@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"erfilter/internal/core"
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+	"erfilter/internal/text"
+)
+
+func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
+	t.Helper()
+	dir := t.TempDir()
+	task := datagen.Generate(datagen.QuickSpec(20, 40, 12, 5))
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	e1 = write("e1.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E1) })
+	e2 = write("e2.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E2) })
+	truth = write("truth.csv", func(f *os.File) error {
+		for _, p := range task.Truth.Pairs() {
+			if _, err := f.WriteString(itoa(p.Left) + "," + itoa(p.Right) + "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return e1, e2, truth
+}
+
+func itoa(x int32) string {
+	if x == 0 {
+		return "0"
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestLoadTask(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
+	task, err := loadTask(e1, e2, truth, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.E1.Len() != 20 || task.E2.Len() != 40 {
+		t.Fatalf("sizes %d/%d", task.E1.Len(), task.E2.Len())
+	}
+	if task.Truth.Size() != 12 {
+		t.Fatalf("truth = %d", task.Truth.Size())
+	}
+	if task.BestAttribute == "" {
+		t.Fatal("best attribute not selected")
+	}
+	// Explicit attribute override.
+	task2, err := loadTask(e1, e2, "", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task2.BestAttribute != "title" {
+		t.Fatalf("attribute override ignored: %q", task2.BestAttribute)
+	}
+}
+
+func TestBuildMethodAll(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
+	task, err := loadTask(e1, e2, truth, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := text.ParseModel("C3G")
+	for _, m := range []string{"pbw", "dbw", "sbw", "knnj", "dknn", "epsjoin", "faiss", "deepblocker"} {
+		f, err := buildMethod(m, model, true, 2, 0.4, task)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if f == nil || f.Name() == "" {
+			t.Fatalf("%s: nil filter", m)
+		}
+	}
+	if _, err := buildMethod("bogus", model, true, 2, 0.4, task); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestParseVerifier(t *testing.T) {
+	e1, e2, _ := writeTaskCSVs(t)
+	task, err := loadTask(e1, e2, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newInputForTest(task)
+	for _, spec := range []string{"tfidf:0.5", "jaro:0.8", "jaccard:0.3", "levenshtein:0.7", "jarowinkler:0.9"} {
+		if _, err := parseVerifier(spec, in); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"tfidf", "nope:0.5", "jaro:xx"} {
+		if _, err := parseVerifier(bad, in); err == nil {
+			t.Errorf("%s should fail", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
+	// Full pipeline with tuning and verification; stdout noise is fine in
+	// tests.
+	if err := run(e1, e2, truth, "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, "tfidf:0.3", true); err != nil {
+		t.Fatal(err)
+	}
+	// Without truth, without tuning.
+	if err := run(e1, e2, "", "pbw", "agnostic", "", 2, 0.4, "C3G", true, false, 0.9, "", true); err != nil {
+		t.Fatal(err)
+	}
+	// Schema-based.
+	if err := run(e1, e2, truth, "epsjoin", "based", "title", 2, 0.3, "C3G", true, false, 0.9, "", true); err != nil {
+		t.Fatal(err)
+	}
+	// Tuning without truth must fail.
+	if err := run(e1, e2, "", "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, "", true); err == nil {
+		t.Fatal("tune without truth should fail")
+	}
+}
+
+// newInputForTest mirrors the input construction of run().
+func newInputForTest(task *entity.Task) *core.Input {
+	return core.NewInput(task, entity.SchemaAgnostic)
+}

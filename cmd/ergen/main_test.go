@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	task := datagen.Generate(datagen.QuickSpec(25, 50, 15, 3))
+	prefix := filepath.Join(dir, "x")
+	if err := export(task, prefix); err != nil {
+		t.Fatal(err)
+	}
+	// The exported files must load back into an equivalent task.
+	open := func(path string) *os.File {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f1 := open(prefix + "_e1.csv")
+	defer f1.Close()
+	e1, err := entity.ReadCSV("E1", f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := open(prefix + "_e2.csv")
+	defer f2.Close()
+	e2, err := entity.ReadCSV("E2", f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := open(prefix + "_truth.csv")
+	defer ft.Close()
+	truth, err := entity.ReadGroundTruthCSV(ft, e1.Len(), e2.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Len() != 25 || e2.Len() != 50 || truth.Size() != 15 {
+		t.Fatalf("round trip: %d/%d/%d", e1.Len(), e2.Len(), truth.Size())
+	}
+	// Every groundtruth pair of the original survives.
+	for _, p := range task.Truth.Pairs() {
+		if !truth.Contains(p) {
+			t.Fatalf("pair %v lost in export", p)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package erfilter is the public API of the library: a Go implementation
+// of the filtering techniques for Entity Resolution benchmarked in
+// "Benchmarking Filtering Techniques for Entity Resolution" (ICDE 2023) —
+// blocking workflows, sparse and dense nearest-neighbor methods, the
+// Problem-1 configuration optimization, and the evaluation measures.
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the types and constructors a downstream application needs:
+//
+//	task := erfilter.GenerateDataset("D4", 0.1)     // or build from CSV
+//	in := erfilter.NewInput(task, erfilter.SchemaAgnostic)
+//	out, _ := erfilter.NewPBW().Run(in)
+//	m := erfilter.Evaluate(out.Pairs, task.Truth)   // PC, PQ, |C|
+//
+//	// Fine-tune a method under Problem 1 (max PQ s.t. PC >= 0.9):
+//	r := erfilter.TuneKNNJoin(in, 0.9)
+//	fmt.Println(r.Metrics.PQ, r.ConfigString())
+package erfilter
+
+import (
+	"io"
+
+	"erfilter/internal/core"
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+	"erfilter/internal/matching"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+	"erfilter/internal/tuning"
+)
+
+// Core data model.
+type (
+	// Profile is an entity profile: a set of textual name-value pairs.
+	Profile = entity.Profile
+	// Attribute is one name-value pair of a profile.
+	Attribute = entity.Attribute
+	// Dataset is a duplicate-free collection of profiles.
+	Dataset = entity.Dataset
+	// Pair is a candidate pair (index into E1, index into E2).
+	Pair = entity.Pair
+	// GroundTruth is the set of true matching pairs.
+	GroundTruth = entity.GroundTruth
+	// Task is one Clean-Clean ER filtering task.
+	Task = entity.Task
+	// SchemaSetting selects schema-agnostic or schema-based views.
+	SchemaSetting = entity.SchemaSetting
+)
+
+// Schema settings.
+const (
+	// SchemaAgnostic concatenates all attribute values of a profile.
+	SchemaAgnostic = entity.SchemaAgnostic
+	// SchemaBased uses only the task's best attribute.
+	SchemaBased = entity.SchemaBased
+)
+
+// Filtering.
+type (
+	// Filter is one configured filtering method.
+	Filter = core.Filter
+	// Input is a task under one schema setting with cached preprocessing.
+	Input = core.Input
+	// Outcome is a filtering result: candidate pairs plus phase timings.
+	Outcome = core.Outcome
+	// Metrics holds PC (recall), PQ (precision) and the candidate count.
+	Metrics = core.Metrics
+	// BlockingWorkflow is the 4-step blocking pipeline of the paper's
+	// Figure 1.
+	BlockingWorkflow = core.BlockingWorkflow
+	// EpsJoinFilter is the ε-Join sparse NN method.
+	EpsJoinFilter = core.EpsJoinFilter
+	// KNNJoinFilter is the kNN-Join sparse NN method.
+	KNNJoinFilter = core.KNNJoinFilter
+	// FlatKNNFilter is exact dense kNN search (the FAISS analog).
+	FlatKNNFilter = core.FlatKNNFilter
+	// DeepBlockerFilter is the autoencoder tuple-embedding method.
+	DeepBlockerFilter = core.DeepBlockerFilter
+)
+
+// Token representations and similarities of the sparse NN methods.
+type (
+	// Model is one of the ten representation models of Table IV
+	// (T1G, T1GM, C2G ... C5GM).
+	Model = text.Model
+	// Measure is a set similarity measure (Cosine, Dice, Jaccard).
+	Measure = sparse.Measure
+)
+
+// Set similarity measures.
+const (
+	Cosine  = sparse.Cosine
+	Dice    = sparse.Dice
+	Jaccard = sparse.Jaccard
+)
+
+// ParseModel converts a Table IV model name (e.g. "C5GM") to a Model.
+func ParseModel(name string) (Model, error) { return text.ParseModel(name) }
+
+// NewDataset creates a dataset from profiles, assigning sequential ids.
+func NewDataset(name string, profiles []Profile) *Dataset {
+	return entity.New(name, profiles)
+}
+
+// NewGroundTruth builds a groundtruth from matching pairs.
+func NewGroundTruth(pairs []Pair) *GroundTruth { return entity.NewGroundTruth(pairs) }
+
+// ReadDatasetCSV loads a dataset from CSV (header row = attribute names).
+func ReadDatasetCSV(name string, r io.Reader) (*Dataset, error) {
+	return entity.ReadCSV(name, r)
+}
+
+// ReadGroundTruthCSV loads matching (E1 index, E2 index) pairs from CSV.
+func ReadGroundTruthCSV(r io.Reader, n1, n2 int) (*GroundTruth, error) {
+	return entity.ReadGroundTruthCSV(r, n1, n2)
+}
+
+// BestAttribute selects the most informative attribute of a task
+// (coverage × distinctiveness) for the schema-based setting.
+func BestAttribute(t *Task) string { return entity.BestAttribute(t) }
+
+// GenerateDataset builds one of the synthetic dataset analogs D1..D10 at
+// the given scale (1.0 = the paper's size); it returns nil for unknown
+// names.
+func GenerateDataset(name string, scale float64) *Task { return datagen.ByName(name, scale) }
+
+// NewInput materializes a task's schema views for filtering.
+func NewInput(t *Task, setting SchemaSetting) *Input { return core.NewInput(t, setting) }
+
+// Evaluate computes Pair Completeness and Pairs Quality of a candidate
+// set (Section III of the paper).
+func Evaluate(pairs []Pair, truth *GroundTruth) Metrics { return core.Evaluate(pairs, truth) }
+
+// Baseline methods (Section VI).
+var (
+	// NewPBW returns the Parameter-free Blocking Workflow.
+	NewPBW = core.NewPBW
+	// NewDBW returns the Default Blocking Workflow.
+	NewDBW = core.NewDBW
+	// NewDkNN returns the Default kNN-Join.
+	NewDkNN = core.NewDkNN
+	// NewDDB returns the Default DeepBlocker.
+	NewDDB = core.NewDDB
+)
+
+// TuneResult is the outcome of a Problem-1 grid search.
+type TuneResult = tuning.Result
+
+// TuneStandardBlocking fine-tunes the Standard Blocking workflow.
+func TuneStandardBlocking(in *Input, target float64) *TuneResult {
+	return tuning.TuneBlocking(in, tuning.BlockingSpaces(false)[0], target)
+}
+
+// TuneEpsJoin fine-tunes the ε-Join under Problem 1.
+func TuneEpsJoin(in *Input, target float64) *TuneResult {
+	return tuning.TuneEpsJoin(in, tuning.DefaultSparseSpace(false), target)
+}
+
+// TuneKNNJoin fine-tunes the kNN-Join under Problem 1.
+func TuneKNNJoin(in *Input, target float64) *TuneResult {
+	return tuning.TuneKNNJoin(in, tuning.DefaultSparseSpace(false), target)
+}
+
+// Verification (the matching step of the Filtering-Verification
+// framework).
+type (
+	// Matcher verifies candidate pairs with a similarity threshold.
+	Matcher = matching.Matcher
+	// MatchQuality holds precision/recall/F1 of verified matches.
+	MatchQuality = matching.Quality
+)
+
+// Matcher similarity functions.
+const (
+	SimLevenshtein  = matching.SimLevenshtein
+	SimJaro         = matching.SimJaro
+	SimJaroWinkler  = matching.SimJaroWinkler
+	SimTokenJaccard = matching.SimTokenJaccard
+	SimTFIDFCosine  = matching.SimTFIDFCosine
+)
+
+// NewMatcher builds a verification matcher over the input's views.
+func NewMatcher(sim matching.Similarity, threshold float64, in *Input) *Matcher {
+	return matching.NewMatcher(sim, threshold, in.V1, in.V2)
+}
+
+// EvaluateMatches computes match quality against the groundtruth.
+func EvaluateMatches(matches []Pair, truth *GroundTruth) MatchQuality {
+	return matching.EvaluateMatches(matches, truth)
+}

@@ -1,0 +1,92 @@
+package erfilter
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole Filtering-Verification pipeline
+// through the public facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	task := GenerateDataset("D2", 0.05)
+	if task == nil {
+		t.Fatal("GenerateDataset returned nil")
+	}
+	in := NewInput(task, SchemaAgnostic)
+
+	// Baseline filtering.
+	out, err := NewPBW().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(out.Pairs, task.Truth)
+	if m.PC < 0.9 {
+		t.Fatalf("PBW PC = %.2f", m.PC)
+	}
+
+	// Problem-1 tuning.
+	r := TuneKNNJoin(in, 0.9)
+	if !r.Satisfied {
+		t.Fatalf("tuned kNN-Join PC = %.2f", r.Metrics.PC)
+	}
+	if r.ConfigString() == "" {
+		t.Fatal("empty config string")
+	}
+
+	// Verification.
+	matcher := NewMatcher(SimTFIDFCosine, 0.4, in)
+	tunedOut, err := r.Filter.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := matcher.Verify(tunedOut.Pairs, in.V1, in.V2)
+	q := EvaluateMatches(matches, task.Truth)
+	if q.F1 <= 0 {
+		t.Fatalf("verification quality = %+v", q)
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	d, err := ReadDatasetCSV("shop", strings.NewReader("title\ncanon a540\nnikon p100\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDatasetCSV("shop2", strings.NewReader("title\ncanon a540 camera\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ReadGroundTruthCSV(strings.NewReader("0,0\n"), d.Len(), d2.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &Task{Name: "csv", E1: d, E2: d2, Truth: truth}
+	task.BestAttribute = BestAttribute(task)
+	if task.BestAttribute != "title" {
+		t.Fatalf("best attribute = %q", task.BestAttribute)
+	}
+	in := NewInput(task, SchemaBased)
+	model, err := ParseModel("C3G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&KNNJoinFilter{Model: model, Measure: Cosine, K: 1}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Evaluate(out.Pairs, truth).PC != 1 {
+		t.Fatal("match not found through public API")
+	}
+}
+
+func TestPublicDatasetConstruction(t *testing.T) {
+	d := NewDataset("x", []Profile{
+		{Attrs: []Attribute{{Name: "name", Value: "alpha"}}},
+	})
+	if d.Len() != 1 || d.Profiles[0].ID != 0 {
+		t.Fatal("NewDataset wiring broken")
+	}
+	g := NewGroundTruth([]Pair{{Left: 0, Right: 0}})
+	if g.Size() != 1 {
+		t.Fatal("NewGroundTruth wiring broken")
+	}
+}

@@ -1,0 +1,62 @@
+package erfilter_test
+
+import (
+	"fmt"
+
+	"erfilter"
+)
+
+// ExampleEvaluate shows the two effectiveness measures of the paper's
+// Section III: Pair Completeness (recall) and Pairs Quality (precision).
+func ExampleEvaluate() {
+	truth := erfilter.NewGroundTruth([]erfilter.Pair{
+		{Left: 0, Right: 0},
+		{Left: 1, Right: 1},
+	})
+	candidates := []erfilter.Pair{
+		{Left: 0, Right: 0}, // true match
+		{Left: 0, Right: 1}, // superfluous
+		{Left: 2, Right: 2}, // superfluous
+	}
+	m := erfilter.Evaluate(candidates, truth)
+	fmt.Printf("PC=%.2f PQ=%.2f |C|=%d\n", m.PC, m.PQ, m.Candidates)
+	// Output: PC=0.50 PQ=0.33 |C|=3
+}
+
+// Example_pipeline runs the full Filtering-Verification pipeline on two
+// tiny catalogs.
+func Example_pipeline() {
+	shopA := erfilter.NewDataset("A", []erfilter.Profile{
+		{Attrs: []erfilter.Attribute{{Name: "title", Value: "canon powershot a540"}}},
+		{Attrs: []erfilter.Attribute{{Name: "title", Value: "nikon coolpix p100"}}},
+	})
+	shopB := erfilter.NewDataset("B", []erfilter.Profile{
+		{Attrs: []erfilter.Attribute{{Name: "title", Value: "canon power shot a540 camera"}}},
+		{Attrs: []erfilter.Attribute{{Name: "title", Value: "garmin nuvi 350"}}},
+	})
+	truth := erfilter.NewGroundTruth([]erfilter.Pair{{Left: 0, Right: 0}})
+	task := &erfilter.Task{Name: "shops", E1: shopA, E2: shopB, Truth: truth}
+	task.BestAttribute = erfilter.BestAttribute(task)
+
+	in := erfilter.NewInput(task, erfilter.SchemaAgnostic)
+
+	// Filtering: 1-nearest-neighbor join over character trigrams.
+	model, _ := erfilter.ParseModel("C3G")
+	filter := &erfilter.KNNJoinFilter{Model: model, Measure: erfilter.Cosine, K: 1}
+	out, _ := filter.Run(in)
+
+	// Verification: TF-IDF cosine threshold.
+	matcher := erfilter.NewMatcher(erfilter.SimTFIDFCosine, 0.2, in)
+	matches := matcher.Verify(out.Pairs, in.V1, in.V2)
+
+	q := erfilter.EvaluateMatches(matches, truth)
+	fmt.Printf("matches=%d recall=%.1f precision=%.1f\n", len(matches), q.Recall, q.Precision)
+	// Output: matches=1 recall=1.0 precision=1.0
+}
+
+// ExampleParseModel converts Table IV representation-model names.
+func ExampleParseModel() {
+	m, _ := erfilter.ParseModel("C5GM")
+	fmt.Println(m.N, m.Multiset, m)
+	// Output: 5 true C5GM
+}

@@ -1,0 +1,40 @@
+// Movies: the low-coverage scenario of the paper's D5–D7 datasets. Movie
+// names are frequently misplaced into the wrong attribute (extraction
+// errors), so the schema-based setting cannot reach the target recall no
+// matter the filter, while the schema-agnostic setting — which sees the
+// whole profile as one text — is unaffected. This is the paper's core
+// argument for schema-agnostic filtering.
+package main
+
+import (
+	"fmt"
+
+	"erfilter/internal/core"
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+	"erfilter/internal/tuning"
+)
+
+func main() {
+	task := datagen.ByName("D6", 0.08)
+	stats := entity.StatsFor(task, task.BestAttribute)
+	fmt.Printf("D6 analog (IMDb-TVDB): |E1|=%d |E2|=%d duplicates=%d\n", task.E1.Len(), task.E2.Len(), task.Truth.Size())
+	fmt.Printf("best attribute %q: coverage %.2f, groundtruth coverage %.2f\n\n",
+		task.BestAttribute, stats.Coverage, stats.GroundtruthCoverage)
+
+	space := tuning.DefaultSparseSpace(false)
+	for _, setting := range []entity.SchemaSetting{entity.SchemaBased, entity.SchemaAgnostic} {
+		in := core.NewInput(task, setting)
+		r := tuning.TuneKNNJoin(in, space, 0.9)
+		verdict := "reaches the 0.9 recall target"
+		if !r.Satisfied {
+			verdict = "CANNOT reach the 0.9 recall target (misplaced values are invisible)"
+		}
+		fmt.Printf("%-16s kNN-Join best PC=%.3f PQ=%.3f  -> %s\n",
+			setting.String()+":", r.Metrics.PC, r.Metrics.PQ, verdict)
+	}
+
+	fmt.Println("\nWhy: a misplaced name lands in a 'notes' attribute. Schema-based")
+	fmt.Println("views read only the best attribute and lose it; schema-agnostic views")
+	fmt.Println("concatenate every value and still see it.")
+}

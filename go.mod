@@ -1,0 +1,3 @@
+module erfilter
+
+go 1.22

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonReport is the machine-readable form of a Report, for downstream
+// plotting and regression tracking (the "Continuous Benchmark" spirit of
+// the paper's released artifact).
+type jsonReport struct {
+	Scale     float64    `json:"scale"`
+	FullGrids bool       `json:"full_grids"`
+	Target    float64    `json:"target_pc"`
+	Cells     []jsonCell `json:"cells"`
+}
+
+type jsonCell struct {
+	Dataset string       `json:"dataset"`
+	Setting string       `json:"setting"`
+	N1      int          `json:"e1"`
+	N2      int          `json:"e2"`
+	Dups    int          `json:"duplicates"`
+	Methods []jsonMethod `json:"methods"`
+}
+
+type jsonMethod struct {
+	Method     string             `json:"method"`
+	PC         float64            `json:"pc"`
+	PQ         float64            `json:"pq"`
+	Candidates int                `json:"candidates"`
+	Satisfied  bool               `json:"satisfied"`
+	RTMillis   float64            `json:"rt_ms"`
+	Phases     map[string]float64 `json:"phases_ms,omitempty"`
+	Config     map[string]string  `json:"config,omitempty"`
+}
+
+// WriteJSON serializes the report.
+func WriteJSON(w io.Writer, r *Report) error {
+	out := jsonReport{
+		Scale:     r.Options.Scale,
+		FullGrids: r.Options.FullGrids,
+		Target:    r.Options.Target,
+	}
+	for _, c := range r.Cells {
+		jc := jsonCell{
+			Dataset: c.Dataset,
+			Setting: c.Setting.String(),
+			N1:      c.Task.E1.Len(),
+			N2:      c.Task.E2.Len(),
+			Dups:    c.Task.Truth.Size(),
+		}
+		for _, name := range MethodNames {
+			mr := c.Results[name]
+			if mr == nil {
+				continue
+			}
+			jm := jsonMethod{
+				Method:     mr.Method,
+				PC:         mr.Metrics.PC,
+				PQ:         mr.Metrics.PQ,
+				Candidates: mr.Metrics.Candidates,
+				Satisfied:  mr.Satisfied,
+				RTMillis:   ms(mr.Timing.Total),
+				Config:     mr.Config,
+			}
+			phases := map[string]float64{}
+			for _, p := range []struct {
+				name string
+				d    time.Duration
+			}{
+				{"build", mr.Timing.Build}, {"purge", mr.Timing.Purge},
+				{"filter", mr.Timing.Filter}, {"clean", mr.Timing.Clean},
+				{"preprocess", mr.Timing.Preprocess}, {"index", mr.Timing.Index},
+				{"query", mr.Timing.Query},
+			} {
+				if p.d > 0 {
+					phases[p.name] = ms(p.d)
+				}
+			}
+			if len(phases) > 0 {
+				jm.Phases = phases
+			}
+			jc.Methods = append(jc.Methods, jm)
+		}
+		out.Cells = append(out.Cells, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a report previously written by WriteJSON into its
+// machine-readable form (used by tests and external tooling; the full
+// Report with live tasks is not reconstructed).
+func ReadJSON(r io.Reader) (map[string]interface{}, error) {
+	var out map[string]interface{}
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// msRound is the rounding applied to reported run-times.
+const msRound = 100 * time.Microsecond
+
+// table is a minimal fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtPQ renders a Pairs Quality value with the paper's precision, using
+// scientific notation for very small values.
+func fmtPQ(pq float64) string {
+	if pq == 0 {
+		return "0"
+	}
+	if pq < 0.001 {
+		return fmt.Sprintf("%.1e", pq)
+	}
+	return fmt.Sprintf("%.3f", pq)
+}
+
+// fmtPC renders a Pair Completeness value; a trailing '!' flags cells
+// below the target recall (printed red in the paper).
+func fmtPC(pc float64, satisfied bool) string {
+	s := fmt.Sprintf("%.3f", pc)
+	if !satisfied {
+		s += "!"
+	}
+	return s
+}
+
+// fmtRT renders a run-time like the paper: milliseconds below a second,
+// seconds above.
+func fmtRT(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// fmtCount renders a candidate count like Table XI (scientific notation
+// for large values).
+func fmtCount(n int) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%.1e", float64(n))
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// histogram renders an ASCII histogram with log-spaced bucket labels.
+func histogram(w io.Writer, title string, buckets []string, counts []int) {
+	fmt.Fprintln(w, title)
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	const width = 50
+	for i, label := range buckets {
+		bar := counts[i] * width / max
+		fmt.Fprintf(w, "  %-10s %6d %s\n", label, counts[i], strings.Repeat("#", bar))
+	}
+}

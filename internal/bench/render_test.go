@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtPQ(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.500",
+		0.001:   "0.001",
+		0.0003:  "3.0e-04",
+		2.7e-05: "2.7e-05",
+	}
+	for in, want := range cases {
+		if got := fmtPQ(in); got != want {
+			t.Errorf("fmtPQ(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtPC(t *testing.T) {
+	if got := fmtPC(0.95, true); got != "0.950" {
+		t.Errorf("fmtPC satisfied = %q", got)
+	}
+	if got := fmtPC(0.85, false); got != "0.850!" {
+		t.Errorf("fmtPC unsatisfied = %q", got)
+	}
+}
+
+func TestFmtRT(t *testing.T) {
+	if got := fmtRT(2500 * time.Microsecond); got != "2.5ms" {
+		t.Errorf("fmtRT ms = %q", got)
+	}
+	if got := fmtRT(3200 * time.Millisecond); got != "3.2s" {
+		t.Errorf("fmtRT s = %q", got)
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	if got := fmtCount(999); got != "999" {
+		t.Errorf("small count = %q", got)
+	}
+	if got := fmtCount(2_500_000); got != "2.5e+06" {
+		t.Errorf("large count = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := newTable("a", "bbbb")
+	tb.add("xxxxxx", "y")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	// Separator row uses dashes matching column widths.
+	if !strings.HasPrefix(lines[1], "------") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	var buf bytes.Buffer
+	histogram(&buf, "title", []string{"0", "1"}, []int{10, 5})
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram output:\n%s", out)
+	}
+	// The larger bucket gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(250*time.Millisecond, time.Second); got != "25.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(time.Second, 0); got != "0%" {
+		t.Errorf("pct zero total = %q", got)
+	}
+}

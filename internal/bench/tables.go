@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+)
+
+// TableVI prints the technical characteristics of the dataset analogs
+// (entities, duplicates, Cartesian product, best attribute), mirroring the
+// paper's Table VI.
+func TableVI(w io.Writer, scale float64) {
+	t := newTable("dataset", "|E1|", "|E2|", "duplicates", "cartesian", "best attribute")
+	for _, spec := range datagen.Specs(scale) {
+		task := datagen.Generate(spec)
+		t.add(spec.Name,
+			fmt.Sprintf("%d", task.E1.Len()),
+			fmt.Sprintf("%d", task.E2.Len()),
+			fmt.Sprintf("%d", task.Truth.Size()),
+			fmt.Sprintf("%.2e", task.CartesianProduct()),
+			task.BestAttribute,
+		)
+	}
+	fmt.Fprintln(w, "Table VI: technical characteristics of the dataset analogs")
+	t.write(w)
+}
+
+// cellsOf groups the report's cells by schema setting, preserving order.
+func (r *Report) cellsOf(setting entity.SchemaSetting) []*Cell {
+	var out []*Cell
+	for _, c := range r.Cells {
+		if c.Setting == setting {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// methodRows returns the methods present in the report, in Table VII order.
+func (r *Report) methodRows() []string {
+	present := map[string]bool{}
+	for _, c := range r.Cells {
+		for m := range c.Results {
+			present[m] = true
+		}
+	}
+	var out []string
+	for _, m := range MethodNames {
+		if present[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TableVII prints the three effectiveness/efficiency sub-tables (PC, PQ,
+// RT) for every method and cell, like the paper's Table VII.
+func TableVII(w io.Writer, r *Report) {
+	cells := append(r.cellsOf(entity.SchemaAgnostic), r.cellsOf(entity.SchemaBased)...)
+	if len(cells) == 0 {
+		fmt.Fprintln(w, "Table VII: no cells in report")
+		return
+	}
+	methods := r.methodRows()
+
+	section := func(title string, render func(*MethodResult) string) {
+		t := newTable(append([]string{"method"}, keysOf(cells)...)...)
+		for _, m := range methods {
+			row := []string{m}
+			for _, c := range cells {
+				mr := c.Results[m]
+				if mr == nil {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, render(mr))
+			}
+			t.add(row...)
+		}
+		fmt.Fprintln(w, title)
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+
+	section("Table VII(a): recall PC ('!' marks PC below the target)",
+		func(mr *MethodResult) string { return fmtPC(mr.Metrics.PC, mr.Satisfied) })
+	section("Table VII(b): precision PQ ('!' marks PC below the target)",
+		func(mr *MethodResult) string {
+			s := fmtPQ(mr.Metrics.PQ)
+			if !mr.Satisfied {
+				s += "!"
+			}
+			return s
+		})
+	section("Table VII(c): overall run-time RT",
+		func(mr *MethodResult) string { return fmtRT(mr.Timing.Total) })
+}
+
+func keysOf(cells []*Cell) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = c.Key()
+	}
+	return out
+}
+
+// configTable prints the winning configuration of the given methods per
+// cell, reproducing Tables VIII (blocking workflows), IX (sparse NN) and
+// X (dense NN).
+func configTable(w io.Writer, r *Report, title string, methods []string) {
+	cells := append(r.cellsOf(entity.SchemaAgnostic), r.cellsOf(entity.SchemaBased)...)
+	fmt.Fprintln(w, title)
+	for _, m := range methods {
+		any := false
+		t := newTable("cell", "configuration")
+		for _, c := range cells {
+			mr := c.Results[m]
+			if mr == nil || len(mr.Config) == 0 {
+				continue
+			}
+			any = true
+			t.add(c.Key(), renderConfig(mr.Config))
+		}
+		if any {
+			fmt.Fprintf(w, "\n%s:\n", m)
+			t.write(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// TableVIII prints the best blocking-workflow configurations.
+func TableVIII(w io.Writer, r *Report) {
+	configTable(w, r, "Table VIII: best configuration per blocking workflow",
+		[]string{"SBW", "QBW", "EQBW", "SABW", "ESABW"})
+}
+
+// TableIX prints the best sparse-NN configurations.
+func TableIX(w io.Writer, r *Report) {
+	configTable(w, r, "Table IX: best configuration per sparse NN method",
+		[]string{"eps-Join", "kNNJ"})
+}
+
+// TableX prints the best dense-NN configurations.
+func TableX(w io.Writer, r *Report) {
+	configTable(w, r, "Table X: best configuration per dense NN method",
+		[]string{"MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DeepBlocker"})
+}
+
+// TableXI prints the candidate-set sizes per method and cell.
+func TableXI(w io.Writer, r *Report) {
+	cells := append(r.cellsOf(entity.SchemaAgnostic), r.cellsOf(entity.SchemaBased)...)
+	if len(cells) == 0 {
+		fmt.Fprintln(w, "Table XI: no cells in report")
+		return
+	}
+	t := newTable(append([]string{"method"}, keysOf(cells)...)...)
+	for _, m := range r.methodRows() {
+		row := []string{m}
+		for _, c := range cells {
+			mr := c.Results[m]
+			if mr == nil {
+				row = append(row, "-")
+				continue
+			}
+			s := fmtCount(mr.Metrics.Candidates)
+			if !mr.Satisfied {
+				s += "!"
+			}
+			row = append(row, s)
+		}
+		t.add(row...)
+	}
+	fmt.Fprintln(w, "Table XI: number of candidate pairs ('!' marks PC below the target)")
+	t.write(w)
+}
+
+func renderConfig(cfg map[string]string) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += k + "=" + cfg[k]
+	}
+	return s
+}

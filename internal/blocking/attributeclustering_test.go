@@ -1,0 +1,113 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+
+	"erfilter/internal/entity"
+)
+
+// heterogeneousTask builds a task where the same information lives under
+// different attribute names in each dataset.
+func heterogeneousTask() *entity.Task {
+	e1 := entity.New("E1", []entity.Profile{
+		{Attrs: []entity.Attribute{
+			{Name: "name", Value: "canon powershot a540"},
+			{Name: "maker", Value: "canon"},
+		}},
+		{Attrs: []entity.Attribute{
+			{Name: "name", Value: "nikon coolpix p100"},
+			{Name: "maker", Value: "nikon"},
+		}},
+	})
+	e2 := entity.New("E2", []entity.Profile{
+		{Attrs: []entity.Attribute{
+			{Name: "title", Value: "canon powershot a540 camera"},
+			{Name: "brand", Value: "canon"},
+		}},
+		{Attrs: []entity.Attribute{
+			{Name: "title", Value: "nikon coolpix p100 zoom"},
+			{Name: "brand", Value: "nikon"},
+		}},
+	})
+	truth := entity.NewGroundTruth([]entity.Pair{{Left: 0, Right: 0}, {Left: 1, Right: 1}})
+	return &entity.Task{Name: "hetero", E1: e1, E2: e2, Truth: truth}
+}
+
+func TestAttributeClusteringFindsMatches(t *testing.T) {
+	task := heterogeneousTask()
+	c := BuildAttributeClustering(task, 0.1)
+	if len(c.Blocks) == 0 {
+		t.Fatal("no blocks built")
+	}
+	// The matching pairs must co-occur in at least one block.
+	found := map[entity.Pair]bool{}
+	for i := range c.Blocks {
+		for _, e1 := range c.Blocks[i].E1 {
+			for _, e2 := range c.Blocks[i].E2 {
+				found[entity.Pair{Left: e1, Right: e2}] = true
+			}
+		}
+	}
+	for _, p := range task.Truth.Pairs() {
+		if !found[p] {
+			t.Fatalf("matching pair %v not covered by any block", p)
+		}
+	}
+}
+
+func TestAttributeClusteringQualifiesKeys(t *testing.T) {
+	// With clustering, the name/title cluster differs from the maker/brand
+	// cluster: the token "canon" appears in both, so it must form two
+	// separate blocks (one per cluster) rather than a single merged one.
+	task := heterogeneousTask()
+	c := BuildAttributeClustering(task, 0.1)
+	canonBlocks := 0
+	for i := range c.Blocks {
+		if strings.HasSuffix(c.Blocks[i].Key, "\x00canon") {
+			canonBlocks++
+		}
+	}
+	if canonBlocks < 2 {
+		t.Fatalf("token 'canon' in %d cluster blocks, want >= 2 (cluster-qualified keys)", canonBlocks)
+	}
+}
+
+func TestAttributeClusteringGlue(t *testing.T) {
+	// Attributes with no counterpart fall into the glue cluster and still
+	// contribute blocks.
+	e1 := entity.New("E1", []entity.Profile{
+		{Attrs: []entity.Attribute{{Name: "zzz_only_here", Value: "uniquetoken"}}},
+	})
+	e2 := entity.New("E2", []entity.Profile{
+		{Attrs: []entity.Attribute{{Name: "completely_other", Value: "uniquetoken"}}},
+	})
+	task := &entity.Task{E1: e1, E2: e2, Truth: entity.NewGroundTruth(nil)}
+	// minSim of 1.0 forbids linking unless vocabularies are identical; the
+	// vocabularies here ARE identical ("uniquetoken"), so they cluster.
+	c := BuildAttributeClustering(task, 1.0)
+	if len(c.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(c.Blocks))
+	}
+	// With an impossible threshold both go to the glue cluster - and still
+	// share a block there.
+	e2b := entity.New("E2", []entity.Profile{
+		{Attrs: []entity.Attribute{{Name: "other", Value: "uniquetoken different words"}}},
+	})
+	task2 := &entity.Task{E1: e1, E2: e2b, Truth: entity.NewGroundTruth(nil)}
+	c2 := BuildAttributeClustering(task2, 0.99)
+	if len(c2.Blocks) != 1 {
+		t.Fatalf("glue blocks = %d, want 1", len(c2.Blocks))
+	}
+}
+
+func TestAttributeClusteringEmptyDatasets(t *testing.T) {
+	task := &entity.Task{
+		E1:    entity.New("E1", nil),
+		E2:    entity.New("E2", nil),
+		Truth: entity.NewGroundTruth(nil),
+	}
+	if c := BuildAttributeClustering(task, 0.5); len(c.Blocks) != 0 {
+		t.Fatal("empty task should yield no blocks")
+	}
+}

@@ -1,0 +1,264 @@
+// Package blocking implements the block building methods of the paper's
+// Section IV-B: Standard Blocking, Q-Grams Blocking, Extended Q-Grams
+// Blocking, Suffix Arrays Blocking and Extended Suffix Arrays Blocking,
+// together with the block collection data structure shared by the block
+// cleaning (package cleaning) and comparison cleaning (package
+// metablocking) steps.
+//
+// All methods are signature-based: each entity is associated with one or
+// more textual signatures (blocking keys), and every distinct key that
+// occurs in both input datasets forms a block holding the entities that
+// carry it. In Clean-Clean ER a block's candidate comparisons are the cross
+// product of its E1 and E2 members.
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/text"
+)
+
+// Block groups the entities of both datasets that share one blocking key.
+type Block struct {
+	Key string
+	E1  []int32
+	E2  []int32
+}
+
+// Comparisons returns the number of candidate comparisons the block
+// contributes: |E1| * |E2|.
+func (b *Block) Comparisons() int { return len(b.E1) * len(b.E2) }
+
+// Size returns the total number of entity placements in the block.
+func (b *Block) Size() int { return len(b.E1) + len(b.E2) }
+
+// Collection is an ordered set of blocks over a Clean-Clean ER task.
+// The order is deterministic (sorted by key at build time); block ids are
+// positions in Blocks.
+type Collection struct {
+	Blocks []Block
+	// N1 and N2 are the dataset sizes, kept for the cleaning steps.
+	N1, N2 int
+}
+
+// TotalComparisons sums the comparisons of all blocks (with repetitions:
+// redundant pairs appearing in several blocks are counted once per block).
+func (c *Collection) TotalComparisons() float64 {
+	var total float64
+	for i := range c.Blocks {
+		total += float64(c.Blocks[i].Comparisons())
+	}
+	return total
+}
+
+// TotalPlacements sums the block sizes, i.e. the number of entity-to-block
+// assignments (the "block assignments" BC of the meta-blocking literature).
+func (c *Collection) TotalPlacements() int {
+	total := 0
+	for i := range c.Blocks {
+		total += c.Blocks[i].Size()
+	}
+	return total
+}
+
+// EntityIndex maps every entity to the ids of the blocks that contain it.
+// Side 0 indexes E1 entities, side 1 indexes E2 entities.
+type EntityIndex struct {
+	blocksOf [2][][]int32
+}
+
+// Index builds the entity-to-blocks index of the collection.
+func (c *Collection) Index() *EntityIndex {
+	idx := &EntityIndex{}
+	idx.blocksOf[0] = make([][]int32, c.N1)
+	idx.blocksOf[1] = make([][]int32, c.N2)
+	for bid := range c.Blocks {
+		b := &c.Blocks[bid]
+		for _, e := range b.E1 {
+			idx.blocksOf[0][e] = append(idx.blocksOf[0][e], int32(bid))
+		}
+		for _, e := range b.E2 {
+			idx.blocksOf[1][e] = append(idx.blocksOf[1][e], int32(bid))
+		}
+	}
+	return idx
+}
+
+// BlocksOf returns the ids of the blocks containing entity e of the given
+// side (0 for E1, 1 for E2). The returned slice must not be modified.
+func (x *EntityIndex) BlocksOf(side int, e int32) []int32 { return x.blocksOf[side][e] }
+
+// Builder extracts the blocking keys of one entity's textual content.
+type Builder interface {
+	// Name identifies the method, e.g. "standard" or "qgrams(q=3)".
+	Name() string
+	// Keys returns the signatures of the given textual value.
+	Keys(text string) []string
+	// MaxBlockSize returns the proactive upper bound on block size
+	// (total entities per block), or 0 if the method is lazy and imposes
+	// no bound. Only the Suffix Arrays methods are proactive.
+	MaxBlockSize() int
+}
+
+// Build constructs the block collection of a Clean-Clean ER task from the
+// two schema views using the given builder. Keys occurring in only one
+// dataset produce no comparisons and are dropped. For proactive builders,
+// blocks with MaxBlockSize() or more entities are discarded at build time.
+func Build(v1, v2 *entity.View, b Builder) *Collection {
+	type sides struct {
+		e1, e2 []int32
+	}
+	m := map[string]*sides{}
+	collect := func(v *entity.View, side int) {
+		for i := 0; i < v.Len(); i++ {
+			for _, k := range text.Dedup(b.Keys(v.Text(i))) {
+				s := m[k]
+				if s == nil {
+					s = &sides{}
+					m[k] = s
+				}
+				if side == 0 {
+					s.e1 = append(s.e1, int32(i))
+				} else {
+					s.e2 = append(s.e2, int32(i))
+				}
+			}
+		}
+	}
+	collect(v1, 0)
+	collect(v2, 1)
+
+	keys := make([]string, 0, len(m))
+	for k, s := range m {
+		if len(s.e1) == 0 || len(s.e2) == 0 {
+			continue
+		}
+		if max := b.MaxBlockSize(); max > 0 && len(s.e1)+len(s.e2) >= max {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	c := &Collection{N1: v1.Len(), N2: v2.Len(), Blocks: make([]Block, 0, len(keys))}
+	for _, k := range keys {
+		s := m[k]
+		c.Blocks = append(c.Blocks, Block{Key: k, E1: s.e1, E2: s.e2})
+	}
+	return c
+}
+
+// Standard implements Standard (Token) Blocking: one key per distinct
+// token of the entity's text. It is parameter-free.
+type Standard struct{}
+
+// Name implements Builder.
+func (Standard) Name() string { return "standard" }
+
+// MaxBlockSize implements Builder; Standard Blocking is lazy.
+func (Standard) MaxBlockSize() int { return 0 }
+
+// Keys implements Builder.
+func (Standard) Keys(s string) []string { return text.Tokenize(s) }
+
+// QGrams implements Q-Grams Blocking: the keys are the character q-grams of
+// each token of Standard Blocking.
+type QGrams struct {
+	Q int
+}
+
+// Name implements Builder.
+func (b QGrams) Name() string { return fmt.Sprintf("qgrams(q=%d)", b.Q) }
+
+// MaxBlockSize implements Builder; Q-Grams Blocking is lazy.
+func (QGrams) MaxBlockSize() int { return 0 }
+
+// Keys implements Builder.
+func (b QGrams) Keys(s string) []string {
+	var keys []string
+	for _, tok := range text.Tokenize(s) {
+		keys = append(keys, text.NGrams(tok, b.Q)...)
+	}
+	return keys
+}
+
+// ExtendedQGrams implements Extended Q-Grams Blocking: keys are
+// concatenations of at least L = max(1, floor(k*T)) of each token's k
+// q-grams, producing fewer, more selective blocks than plain q-grams.
+type ExtendedQGrams struct {
+	Q int
+	// T in [0,1) controls the minimum combination length.
+	T float64
+	// MaxGramsPerToken caps the per-token subset enumeration; 0 means the
+	// default of 15 grams (32768 subsets), mirroring JedAI's cap.
+	MaxGramsPerToken int
+}
+
+// Name implements Builder.
+func (b ExtendedQGrams) Name() string { return fmt.Sprintf("extqgrams(q=%d,t=%.2f)", b.Q, b.T) }
+
+// MaxBlockSize implements Builder; Extended Q-Grams Blocking is lazy.
+func (ExtendedQGrams) MaxBlockSize() int { return 0 }
+
+// Keys implements Builder.
+func (b ExtendedQGrams) Keys(s string) []string {
+	cap := b.MaxGramsPerToken
+	if cap <= 0 {
+		cap = 15
+	}
+	var keys []string
+	for _, tok := range text.Tokenize(s) {
+		keys = append(keys, text.QGramCombinations(text.NGrams(tok, b.Q), b.T, cap)...)
+	}
+	return keys
+}
+
+// SuffixArrays implements Suffix Arrays Blocking: keys are the token
+// suffixes of at least Lmin characters; blocks reaching Bmax entities are
+// discarded (the method is proactive).
+type SuffixArrays struct {
+	Lmin int
+	Bmax int
+}
+
+// Name implements Builder.
+func (b SuffixArrays) Name() string { return fmt.Sprintf("suffix(l=%d,b=%d)", b.Lmin, b.Bmax) }
+
+// MaxBlockSize implements Builder.
+func (b SuffixArrays) MaxBlockSize() int { return b.Bmax }
+
+// Keys implements Builder.
+func (b SuffixArrays) Keys(s string) []string {
+	var keys []string
+	for _, tok := range text.Tokenize(s) {
+		keys = append(keys, text.Suffixes(tok, b.Lmin)...)
+	}
+	return keys
+}
+
+// ExtendedSuffixArrays implements Extended Suffix Arrays Blocking: keys are
+// all token substrings of at least Lmin characters; blocks reaching Bmax
+// entities are discarded.
+type ExtendedSuffixArrays struct {
+	Lmin int
+	Bmax int
+}
+
+// Name implements Builder.
+func (b ExtendedSuffixArrays) Name() string {
+	return fmt.Sprintf("extsuffix(l=%d,b=%d)", b.Lmin, b.Bmax)
+}
+
+// MaxBlockSize implements Builder.
+func (b ExtendedSuffixArrays) MaxBlockSize() int { return b.Bmax }
+
+// Keys implements Builder.
+func (b ExtendedSuffixArrays) Keys(s string) []string {
+	var keys []string
+	for _, tok := range text.Tokenize(s) {
+		keys = append(keys, text.Substrings(tok, b.Lmin)...)
+	}
+	return keys
+}

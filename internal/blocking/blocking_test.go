@@ -1,0 +1,215 @@
+package blocking
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"erfilter/internal/entity"
+)
+
+// mkViews builds two one-attribute datasets from plain strings.
+func mkViews(a, b []string) (*entity.View, *entity.View) {
+	mk := func(name string, texts []string) *entity.Dataset {
+		profiles := make([]entity.Profile, len(texts))
+		for i, t := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "name", Value: t}}}
+		}
+		return entity.New(name, profiles)
+	}
+	d1, d2 := mk("E1", a), mk("E2", b)
+	return entity.NewView(d1, entity.SchemaAgnostic, ""), entity.NewView(d2, entity.SchemaAgnostic, "")
+}
+
+func blockKeys(c *Collection) []string {
+	keys := make([]string, len(c.Blocks))
+	for i := range c.Blocks {
+		keys[i] = c.Blocks[i].Key
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestStandardBlocking(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"joe biden", "kamala harris"},
+		[]string{"biden joseph", "donald trump"},
+	)
+	c := Build(v1, v2, Standard{})
+	// Only "biden" occurs on both sides.
+	if len(c.Blocks) != 1 || c.Blocks[0].Key != "biden" {
+		t.Fatalf("blocks = %v", blockKeys(c))
+	}
+	b := c.Blocks[0]
+	if len(b.E1) != 1 || b.E1[0] != 0 || len(b.E2) != 1 || b.E2[0] != 0 {
+		t.Fatalf("block members = %+v", b)
+	}
+	if b.Comparisons() != 1 || b.Size() != 2 {
+		t.Fatalf("comparisons=%d size=%d", b.Comparisons(), b.Size())
+	}
+}
+
+func TestStandardDedupKeysWithinEntity(t *testing.T) {
+	v1, v2 := mkViews([]string{"red red red"}, []string{"red"})
+	c := Build(v1, v2, Standard{})
+	if len(c.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(c.Blocks))
+	}
+	if got := len(c.Blocks[0].E1); got != 1 {
+		t.Fatalf("entity placed %d times in one block", got)
+	}
+}
+
+func TestQGramsCatchesTypos(t *testing.T) {
+	// "nikon" vs "nikom": no shared token, but shared 3-grams nik, iko.
+	v1, v2 := mkViews([]string{"nikon"}, []string{"nikom"})
+	if c := Build(v1, v2, Standard{}); len(c.Blocks) != 0 {
+		t.Fatalf("standard should produce no block, got %v", blockKeys(c))
+	}
+	c := Build(v1, v2, QGrams{Q: 3})
+	got := blockKeys(c)
+	want := []string{"iko", "nik"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("qgram blocks = %v, want %v", got, want)
+	}
+}
+
+func TestExtendedQGramsSmallerBlocks(t *testing.T) {
+	texts1 := []string{"canon powershot camera", "nikon coolpix camera"}
+	texts2 := []string{"canon powershot", "nikon coolpix zoom"}
+	v1, v2 := mkViews(texts1, texts2)
+	qb := Build(v1, v2, QGrams{Q: 3})
+	eb := Build(v1, v2, ExtendedQGrams{Q: 3, T: 0.9})
+	// Extended Q-Grams produces more selective keys: fewer comparisons in
+	// the largest block.
+	maxComp := func(c *Collection) int {
+		m := 0
+		for i := range c.Blocks {
+			if x := c.Blocks[i].Comparisons(); x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxComp(eb) > maxComp(qb) {
+		t.Fatalf("extended q-grams max block %d > q-grams %d", maxComp(eb), maxComp(qb))
+	}
+}
+
+func TestSuffixArraysProactiveBound(t *testing.T) {
+	// Ten entities sharing the token "metallica" on each side: the suffix
+	// blocks have 20 entities, so bmax=5 discards them all.
+	var a, b []string
+	for i := 0; i < 10; i++ {
+		a = append(a, "metallica")
+		b = append(b, "metallica")
+	}
+	c := Build(mkViewsHelper(a), mkViewsHelper(b), SuffixArrays{Lmin: 3, Bmax: 5})
+	if len(c.Blocks) != 0 {
+		t.Fatalf("expected all blocks purged by bmax, got %d", len(c.Blocks))
+	}
+	c = Build(mkViewsHelper(a), mkViewsHelper(b), SuffixArrays{Lmin: 3, Bmax: 100})
+	if len(c.Blocks) == 0 {
+		t.Fatal("expected blocks with generous bmax")
+	}
+	for i := range c.Blocks {
+		if c.Blocks[i].Size() >= 100 {
+			t.Fatalf("block size %d >= bmax", c.Blocks[i].Size())
+		}
+	}
+}
+
+func mkViewsHelper(texts []string) *entity.View {
+	profiles := make([]entity.Profile, len(texts))
+	for i, t := range texts {
+		profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "name", Value: t}}}
+	}
+	return entity.NewView(entity.New("d", profiles), entity.SchemaAgnostic, "")
+}
+
+func TestExtendedSuffixArraysSupersetOfSuffix(t *testing.T) {
+	v1, v2 := mkViews([]string{"joe biden"}, []string{"biden"})
+	sa := Build(v1, v2, SuffixArrays{Lmin: 3, Bmax: 1000})
+	esa := Build(v1, v2, ExtendedSuffixArrays{Lmin: 3, Bmax: 1000})
+	saKeys := map[string]bool{}
+	for _, k := range blockKeys(esa) {
+		saKeys[k] = true
+	}
+	for _, k := range blockKeys(sa) {
+		if !saKeys[k] {
+			t.Fatalf("suffix key %q missing from extended suffix keys", k)
+		}
+	}
+	if len(esa.Blocks) < len(sa.Blocks) {
+		t.Fatalf("extended suffix should have at least as many blocks (%d < %d)", len(esa.Blocks), len(sa.Blocks))
+	}
+}
+
+func TestEntityIndex(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"alpha beta", "beta gamma"},
+		[]string{"alpha beta gamma"},
+	)
+	c := Build(v1, v2, Standard{})
+	idx := c.Index()
+	// entity 0 of E1 appears in blocks alpha, beta.
+	bids := idx.BlocksOf(0, 0)
+	if len(bids) != 2 {
+		t.Fatalf("entity 0 of E1 in %d blocks, want 2", len(bids))
+	}
+	// entity 0 of E2 appears in all three blocks.
+	if got := len(idx.BlocksOf(1, 0)); got != 3 {
+		t.Fatalf("entity 0 of E2 in %d blocks, want 3", got)
+	}
+	total := 0
+	for i := range c.Blocks {
+		total += c.Blocks[i].Size()
+	}
+	if total != c.TotalPlacements() {
+		t.Fatalf("TotalPlacements mismatch: %d vs %d", total, c.TotalPlacements())
+	}
+}
+
+func TestBuildDeterministicOrder(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"c b a", "b d"},
+		[]string{"a b c d"},
+	)
+	c1 := Build(v1, v2, Standard{})
+	c2 := Build(v1, v2, Standard{})
+	k1, k2 := blockKeys(c1), blockKeys(c2)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("non-deterministic block order")
+		}
+	}
+	// Keys must be sorted.
+	if !sort.StringsAreSorted(k1) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestBuildPropertyNoEmptySides(t *testing.T) {
+	f := func(a, b []string) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		v1, v2 := mkViews(a, b)
+		c := Build(v1, v2, Standard{})
+		for i := range c.Blocks {
+			if len(c.Blocks[i].E1) == 0 || len(c.Blocks[i].E2) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

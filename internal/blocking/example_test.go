@@ -1,0 +1,43 @@
+package blocking_test
+
+import (
+	"fmt"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/entity"
+)
+
+func viewsOf(a, b []string) (*entity.View, *entity.View) {
+	mk := func(texts []string) *entity.View {
+		profiles := make([]entity.Profile, len(texts))
+		for i, s := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "v", Value: s}}}
+		}
+		return entity.NewView(entity.New("d", profiles), entity.SchemaAgnostic, "")
+	}
+	return mk(a), mk(b)
+}
+
+// ExampleBuild shows Standard (Token) Blocking: one block per token that
+// occurs in both collections.
+func ExampleBuild() {
+	v1, v2 := viewsOf(
+		[]string{"joe biden", "kamala harris"},
+		[]string{"joseph biden", "donald trump"},
+	)
+	c := blocking.Build(v1, v2, blocking.Standard{})
+	for _, b := range c.Blocks {
+		fmt.Printf("%s: %d comparison(s)\n", b.Key, b.Comparisons())
+	}
+	// Output: biden: 1 comparison(s)
+}
+
+// ExampleQGrams shows how character q-grams catch typos that token
+// blocking misses.
+func ExampleQGrams() {
+	v1, v2 := viewsOf([]string{"nikon"}, []string{"nikom"})
+	std := blocking.Build(v1, v2, blocking.Standard{})
+	qg := blocking.Build(v1, v2, blocking.QGrams{Q: 3})
+	fmt.Println(len(std.Blocks), len(qg.Blocks))
+	// Output: 0 2
+}

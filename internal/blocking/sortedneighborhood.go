@@ -1,0 +1,81 @@
+package blocking
+
+import (
+	"sort"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/text"
+)
+
+// SortedNeighborhood implements the classic Sorted Neighborhood method:
+// all entities of both collections are sorted by their blocking keys
+// (tokens) and a window of fixed size slides over the sorted list; every
+// pair of cross-collection entities inside a window becomes a candidate.
+//
+// The paper evaluated Sorted Neighborhood and excluded it from the
+// reported results because it consistently underperforms the block-based
+// methods: its windows are incompatible with the block and comparison
+// cleaning techniques that remove superfluous comparisons (Section IV-B).
+// It is provided here for completeness and for the ablation experiments.
+type SortedNeighborhood struct {
+	// WindowSize is the number of consecutive sorted entries considered
+	// together; must be >= 2.
+	WindowSize int
+}
+
+// Candidates returns the distinct cross-collection pairs co-occurring in
+// at least one window.
+func (s SortedNeighborhood) Candidates(v1, v2 *entity.View) []entity.Pair {
+	w := s.WindowSize
+	if w < 2 {
+		w = 2
+	}
+	type keyed struct {
+		key  string
+		side int
+		id   int32
+	}
+	var entries []keyed
+	collect := func(v *entity.View, side int) {
+		for i := 0; i < v.Len(); i++ {
+			for _, tok := range text.Dedup(text.Tokenize(v.Text(i))) {
+				entries = append(entries, keyed{key: tok, side: side, id: int32(i)})
+			}
+		}
+	}
+	collect(v1, 0)
+	collect(v2, 1)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		if entries[i].side != entries[j].side {
+			return entries[i].side < entries[j].side
+		}
+		return entries[i].id < entries[j].id
+	})
+
+	seen := map[entity.Pair]struct{}{}
+	var out []entity.Pair
+	for i := range entries {
+		hi := i + w
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for j := i + 1; j < hi; j++ {
+			a, b := entries[i], entries[j]
+			if a.side == b.side {
+				continue
+			}
+			if a.side == 1 {
+				a, b = b, a
+			}
+			p := entity.Pair{Left: a.id, Right: b.id}
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

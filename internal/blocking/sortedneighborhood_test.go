@@ -1,0 +1,64 @@
+package blocking
+
+import (
+	"testing"
+
+	"erfilter/internal/entity"
+)
+
+func TestSortedNeighborhoodFindsAdjacentKeys(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"canon a540", "nikon p100"},
+		[]string{"canon a540 camera", "garmin nuvi"},
+	)
+	sn := SortedNeighborhood{WindowSize: 3}
+	pairs := sn.Candidates(v1, v2)
+	found := false
+	for _, p := range pairs {
+		if p.Left == 0 && p.Right == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("matching pair not in window candidates: %v", pairs)
+	}
+}
+
+func TestSortedNeighborhoodDistinctPairs(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"a b c", "a b"},
+		[]string{"a b c"},
+	)
+	sn := SortedNeighborhood{WindowSize: 4}
+	pairs := sn.Candidates(v1, v2)
+	seen := map[entity.Pair]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSortedNeighborhoodWindowMonotone(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"alpha beta", "gamma delta", "epsilon zeta"},
+		[]string{"alpha gamma", "beta epsilon", "delta zeta"},
+	)
+	prev := -1
+	for _, w := range []int{2, 3, 5, 8} {
+		n := len(SortedNeighborhood{WindowSize: w}.Candidates(v1, v2))
+		if n < prev {
+			t.Fatalf("window %d produced fewer candidates (%d < %d)", w, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSortedNeighborhoodMinimumWindow(t *testing.T) {
+	v1, v2 := mkViews([]string{"x"}, []string{"x"})
+	// WindowSize below 2 is clamped.
+	if got := (SortedNeighborhood{WindowSize: 0}).Candidates(v1, v2); len(got) != 1 {
+		t.Fatalf("candidates = %v", got)
+	}
+}

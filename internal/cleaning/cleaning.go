@@ -1,0 +1,164 @@
+// Package cleaning implements the two coarse-grained block cleaning steps
+// of the blocking workflow (Figure 1): Block Purging and Block Filtering.
+// Both operate on whole blocks or entity placements and never inspect
+// individual comparisons; the fine-grained comparison cleaning lives in
+// package metablocking.
+package cleaning
+
+import (
+	"math"
+	"sort"
+
+	"erfilter/internal/blocking"
+)
+
+// DefaultSmoothFactor is the smooth factor of comparison-based Block
+// Purging, matching the value used by the JedAI toolkit the paper builds
+// on. The step remains parameter-free from the user's perspective.
+const DefaultSmoothFactor = 1.025
+
+// Purge applies comparison-based Block Purging: a parameter-free method
+// that discards the blocks with the most comparisons (oversized blocks
+// stemming from stop-word-like signatures), because such blocks are the
+// least likely to convey matching pairs that share no other block.
+//
+// The maximum allowed comparisons per block is determined from the data:
+// scanning the distinct block cardinalities from largest to smallest, the
+// threshold is set just below the first cardinality whose marginal
+// contribution of comparisons outweighs its contribution of entity
+// placements by more than the smooth factor.
+func Purge(c *blocking.Collection) *blocking.Collection {
+	return PurgeSmooth(c, DefaultSmoothFactor)
+}
+
+// PurgeSmooth is Purge with an explicit smooth factor, exposed for testing
+// and ablation studies.
+func PurgeSmooth(c *blocking.Collection, smoothFactor float64) *blocking.Collection {
+	if len(c.Blocks) == 0 {
+		return c
+	}
+	// Gather the distinct block cardinalities in ascending order with
+	// cumulative placement (BC) and comparison (CC) counts.
+	type stat struct {
+		cardinality float64 // comparisons of one block of this cardinality
+		bc          float64 // cumulative placements of blocks with <= cardinality
+		cc          float64 // cumulative comparisons of blocks with <= cardinality
+	}
+	byCard := map[float64]*stat{}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		card := float64(b.Comparisons())
+		s := byCard[card]
+		if s == nil {
+			s = &stat{cardinality: card}
+			byCard[card] = s
+		}
+		s.bc += float64(b.Size())
+		s.cc += card
+	}
+	stats := make([]stat, 0, len(byCard))
+	for _, s := range byCard {
+		stats = append(stats, *s)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].cardinality < stats[j].cardinality })
+	for i := 1; i < len(stats); i++ {
+		stats[i].bc += stats[i-1].bc
+		stats[i].cc += stats[i-1].cc
+	}
+
+	// Walk the cutoffs in ascending cardinality. The cumulative ratio
+	// cc/bc (comparisons per entity placement) is non-decreasing; the first
+	// cutoff that raises it by more than the smooth factor marks the start
+	// of the oversized, stop-word-like blocks. Everything above the last
+	// accepted cardinality is purged.
+	maxComparisons := stats[len(stats)-1].cardinality
+	for i := 1; i < len(stats); i++ {
+		prev, cur := &stats[i-1], &stats[i]
+		// cur.cc/cur.bc > smoothFactor * prev.cc/prev.bc, cross-multiplied
+		// to avoid divisions.
+		if cur.cc*prev.bc > smoothFactor*prev.cc*cur.bc {
+			maxComparisons = prev.cardinality
+			break
+		}
+	}
+
+	out := &blocking.Collection{N1: c.N1, N2: c.N2}
+	for i := range c.Blocks {
+		if float64(c.Blocks[i].Comparisons()) <= maxComparisons {
+			out.Blocks = append(out.Blocks, c.Blocks[i])
+		}
+	}
+	return out
+}
+
+// Filter applies Block Filtering with ratio r in (0,1]: every entity is
+// retained only in the ceil(r * |blocks(e)|) smallest of its blocks
+// (ordered by comparisons ascending), on the assumption that an entity's
+// largest blocks are the least likely to pair it with its match. r = 1
+// keeps all placements and is equivalent to skipping the step.
+func Filter(c *blocking.Collection, r float64) *blocking.Collection {
+	if r >= 1 || len(c.Blocks) == 0 {
+		return c
+	}
+	if r <= 0 {
+		return &blocking.Collection{N1: c.N1, N2: c.N2}
+	}
+	idx := c.Index()
+
+	// keep[side][block id] is the set of entities of that side retained in
+	// the block after filtering.
+	keep := [2][]map[int32]struct{}{}
+	for side := 0; side < 2; side++ {
+		keep[side] = make([]map[int32]struct{}, len(c.Blocks))
+		for i := range keep[side] {
+			keep[side][i] = map[int32]struct{}{}
+		}
+	}
+
+	order := make([]int32, 0, 64)
+	for side, n := range []int{c.N1, c.N2} {
+		for e := int32(0); e < int32(n); e++ {
+			bids := idx.BlocksOf(side, e)
+			if len(bids) == 0 {
+				continue
+			}
+			order = order[:0]
+			order = append(order, bids...)
+			sort.Slice(order, func(i, j int) bool {
+				ci := c.Blocks[order[i]].Comparisons()
+				cj := c.Blocks[order[j]].Comparisons()
+				if ci != cj {
+					return ci < cj
+				}
+				return order[i] < order[j]
+			})
+			limit := int(math.Ceil(r * float64(len(order))))
+			if limit < 1 {
+				limit = 1
+			}
+			for _, bid := range order[:limit] {
+				keep[side][bid][e] = struct{}{}
+			}
+		}
+	}
+
+	out := &blocking.Collection{N1: c.N1, N2: c.N2}
+	for bid := range c.Blocks {
+		b := &c.Blocks[bid]
+		var e1, e2 []int32
+		for _, e := range b.E1 {
+			if _, ok := keep[0][bid][e]; ok {
+				e1 = append(e1, e)
+			}
+		}
+		for _, e := range b.E2 {
+			if _, ok := keep[1][bid][e]; ok {
+				e2 = append(e2, e)
+			}
+		}
+		if len(e1) > 0 && len(e2) > 0 {
+			out.Blocks = append(out.Blocks, blocking.Block{Key: b.Key, E1: e1, E2: e2})
+		}
+	}
+	return out
+}

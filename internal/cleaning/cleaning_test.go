@@ -1,0 +1,218 @@
+package cleaning
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/entity"
+)
+
+// mkCollection builds a collection with blocks of the given (|E1|,|E2|)
+// shapes over synthetic entity ids.
+func mkCollection(n1, n2 int, shapes ...[2]int) *blocking.Collection {
+	c := &blocking.Collection{N1: n1, N2: n2}
+	for i, s := range shapes {
+		b := blocking.Block{Key: fmt.Sprintf("k%d", i)}
+		for e := 0; e < s[0]; e++ {
+			b.E1 = append(b.E1, int32(e%n1))
+		}
+		for e := 0; e < s[1]; e++ {
+			b.E2 = append(b.E2, int32(e%n2))
+		}
+		c.Blocks = append(c.Blocks, b)
+	}
+	return c
+}
+
+func TestPurgeDropsOversizedBlocks(t *testing.T) {
+	// Many small blocks plus one giant stop-word block.
+	shapes := make([][2]int, 0, 41)
+	for i := 0; i < 40; i++ {
+		shapes = append(shapes, [2]int{2, 2})
+	}
+	shapes = append(shapes, [2]int{100, 100}) // 10,000 comparisons
+	c := mkCollection(100, 100, shapes...)
+	out := Purge(c)
+	if len(out.Blocks) != 40 {
+		t.Fatalf("purge kept %d blocks, want 40 (giant block removed)", len(out.Blocks))
+	}
+	for i := range out.Blocks {
+		if out.Blocks[i].Comparisons() > 4 {
+			t.Fatalf("oversized block survived: %d comparisons", out.Blocks[i].Comparisons())
+		}
+	}
+}
+
+func TestPurgeKeepsUniformBlocks(t *testing.T) {
+	// All blocks equal: nothing should be purged.
+	shapes := make([][2]int, 20)
+	for i := range shapes {
+		shapes[i] = [2]int{3, 3}
+	}
+	c := mkCollection(10, 10, shapes...)
+	out := Purge(c)
+	if len(out.Blocks) != 20 {
+		t.Fatalf("purge of uniform blocks kept %d, want 20", len(out.Blocks))
+	}
+}
+
+func TestPurgeEmpty(t *testing.T) {
+	c := &blocking.Collection{N1: 5, N2: 5}
+	if out := Purge(c); len(out.Blocks) != 0 {
+		t.Fatal("purging empty collection should stay empty")
+	}
+}
+
+// buildRealistic builds blocks from actual strings via Standard Blocking.
+func buildRealistic(t *testing.T) *blocking.Collection {
+	t.Helper()
+	mk := func(texts []string) *entity.View {
+		profiles := make([]entity.Profile, len(texts))
+		for i, s := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "v", Value: s}}}
+		}
+		return entity.NewView(entity.New("d", profiles), entity.SchemaAgnostic, "")
+	}
+	a := []string{
+		"the canon powershot a540 camera",
+		"the nikon coolpix p100 camera",
+		"the sony cybershot w55 camera",
+		"the olympus stylus 710 camera",
+	}
+	b := []string{
+		"canon powershot a540 digital the camera",
+		"nikon coolpix p100 digital the camera",
+		"sony cybershot w55 digital the camera",
+		"olympus stylus 710 digital the camera",
+	}
+	return blocking.Build(mk(a), mk(b), blocking.Standard{})
+}
+
+func TestFilterReducesComparisons(t *testing.T) {
+	c := buildRealistic(t)
+	before := c.TotalComparisons()
+	out := Filter(c, 0.5)
+	after := out.TotalComparisons()
+	if after >= before {
+		t.Fatalf("filtering did not reduce comparisons: %v -> %v", before, after)
+	}
+}
+
+func TestFilterRatioOneIsIdentity(t *testing.T) {
+	c := buildRealistic(t)
+	out := Filter(c, 1.0)
+	if out.TotalComparisons() != c.TotalComparisons() {
+		t.Fatal("r=1 must keep all comparisons")
+	}
+}
+
+func TestFilterMonotoneInRatio(t *testing.T) {
+	c := buildRealistic(t)
+	prev := -1.0
+	for _, r := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cur := Filter(c, r).TotalComparisons()
+		if cur < prev {
+			t.Fatalf("comparisons not monotone in r: r=%v gives %v < %v", r, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFilterKeepsSmallestBlocks(t *testing.T) {
+	// Entity 0 of E1 is in a small and a big block. With r=0.5 it must stay
+	// only in the small one.
+	c := &blocking.Collection{N1: 1, N2: 3}
+	c.Blocks = []blocking.Block{
+		{Key: "small", E1: []int32{0}, E2: []int32{0}},
+		{Key: "big", E1: []int32{0}, E2: []int32{0, 1, 2}},
+	}
+	out := Filter(c, 0.5)
+	if len(out.Blocks) != 1 || out.Blocks[0].Key != "small" {
+		t.Fatalf("filter kept %+v", out.Blocks)
+	}
+}
+
+func TestFilterZeroRatioEmpties(t *testing.T) {
+	c := buildRealistic(t)
+	if out := Filter(c, 0); len(out.Blocks) != 0 {
+		t.Fatal("r=0 should drop everything")
+	}
+}
+
+func TestPurgeKeepsSmallestBlocks(t *testing.T) {
+	// Property: Block Purging never removes a block from the smallest
+	// cardinality level — pairs that only co-occur in minimum-size blocks
+	// always survive.
+	shapes := [][2]int{{1, 1}, {1, 1}, {2, 2}, {3, 3}, {50, 50}}
+	c := mkCollection(60, 60, shapes...)
+	out := Purge(c)
+	minCard := c.Blocks[0].Comparisons()
+	for i := range c.Blocks {
+		if x := c.Blocks[i].Comparisons(); x < minCard {
+			minCard = x
+		}
+	}
+	kept := map[string]bool{}
+	for i := range out.Blocks {
+		kept[out.Blocks[i].Key] = true
+	}
+	for i := range c.Blocks {
+		if c.Blocks[i].Comparisons() == minCard && !kept[c.Blocks[i].Key] {
+			t.Fatalf("minimum-cardinality block %q purged", c.Blocks[i].Key)
+		}
+	}
+}
+
+func TestPurgeNeverIncreasesComparisons(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 25 {
+			sizes = sizes[:25]
+		}
+		shapes := make([][2]int, 0, len(sizes))
+		for _, s := range sizes {
+			k := int(s%10) + 1
+			shapes = append(shapes, [2]int{k, k})
+		}
+		c := mkCollection(11, 11, shapes...)
+		out := Purge(c)
+		return out.TotalComparisons() <= c.TotalComparisons() && len(out.Blocks) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterPreservesNoGhostEntities(t *testing.T) {
+	// After filtering, every retained entity placement existed before.
+	c := buildRealistic(t)
+	out := Filter(c, 0.4)
+	before := map[string]map[int32]bool{}
+	for i := range c.Blocks {
+		m := map[int32]bool{}
+		for _, e := range c.Blocks[i].E1 {
+			m[e] = true
+		}
+		for _, e := range c.Blocks[i].E2 {
+			m[^e] = true
+		}
+		before[c.Blocks[i].Key] = m
+	}
+	for i := range out.Blocks {
+		b := &out.Blocks[i]
+		for _, e := range b.E1 {
+			if !before[b.Key][e] {
+				t.Fatalf("ghost E1 entity %d in block %q", e, b.Key)
+			}
+		}
+		for _, e := range b.E2 {
+			if !before[b.Key][^e] {
+				t.Fatalf("ghost E2 entity %d in block %q", e, b.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"erfilter/internal/blocking"
+	"erfilter/internal/metablocking"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+// The four baseline methods of Section VI ("Baseline methods"): default
+// parameter settings shared across all datasets, contrasted against the
+// fine-tuned configurations to quantify the benefit of tuning.
+
+// NewPBW returns the Parameter-free Blocking Workflow: Standard Blocking +
+// Block Purging + Comparison Propagation, all parameter-free.
+func NewPBW() *BlockingWorkflow {
+	return &BlockingWorkflow{
+		Label:       "PBW",
+		Builder:     blocking.Standard{},
+		Purging:     true,
+		FilterRatio: 1,
+		Cleaning:    ComparisonCleaning{Propagation: true},
+	}
+}
+
+// NewDBW returns the Default Blocking Workflow: Q-Grams Blocking with q=6,
+// Block Filtering with ratio 0.5, and WEP+ECBS comparison cleaning — the
+// best-performing default configuration of the prior blocking study the
+// paper adopts.
+func NewDBW() *BlockingWorkflow {
+	return &BlockingWorkflow{
+		Label:       "DBW",
+		Builder:     blocking.QGrams{Q: 6},
+		Purging:     false,
+		FilterRatio: 0.5,
+		Cleaning: ComparisonCleaning{
+			Scheme:    metablocking.ECBS,
+			Algorithm: metablocking.WEP,
+		},
+	}
+}
+
+// NewDkNN returns the Default kNN-Join: cosine similarity, cleaned values,
+// the C5GM representation model and K=5, querying with the smaller
+// dataset. smallerIsE2 reports whether E2 is the smaller collection (then
+// the default direction already queries with it; otherwise the join is
+// reversed).
+func NewDkNN(smallerIsE2 bool) *KNNJoinFilter {
+	return &KNNJoinFilter{
+		Clean:   true,
+		Model:   text.Model{N: 5, Multiset: true}, // C5GM
+		Measure: sparse.Cosine,
+		K:       5,
+		Reverse: !smallerIsE2,
+	}
+}
+
+// NewDDB returns the Default DeepBlocker: cleaned values, K=5, querying
+// with the smaller dataset, Autoencoder tuple embedding.
+func NewDDB(smallerIsE2 bool) *DeepBlockerFilter {
+	return &DeepBlockerFilter{
+		Clean:   true,
+		K:       5,
+		Reverse: !smallerIsE2,
+	}
+}

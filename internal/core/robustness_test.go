@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/entity"
+	"erfilter/internal/metablocking"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+// emptyTask builds degenerate tasks for failure-injection testing.
+func taskOf(t *testing.T, texts1, texts2 []string, truth []entity.Pair) *entity.Task {
+	t.Helper()
+	mk := func(name string, texts []string) *entity.Dataset {
+		profiles := make([]entity.Profile, len(texts))
+		for i, s := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "v", Value: s}}}
+		}
+		return entity.New(name, profiles)
+	}
+	return &entity.Task{
+		Name:          "degenerate",
+		E1:            mk("E1", texts1),
+		E2:            mk("E2", texts2),
+		Truth:         entity.NewGroundTruth(truth),
+		BestAttribute: "v",
+	}
+}
+
+// allFilters enumerates one representative configuration per method.
+func allFilters() []Filter {
+	return []Filter{
+		NewPBW(),
+		NewDBW(),
+		&BlockingWorkflow{Builder: blocking.Standard{}, FilterRatio: 0.5,
+			Cleaning: ComparisonCleaning{Scheme: metablocking.ARCS, Algorithm: metablocking.WEP}},
+		&EpsJoinFilter{Model: text.Model{N: 3}, Measure: sparse.Cosine, Threshold: 0.3},
+		&KNNJoinFilter{Model: text.Model{N: 3}, Measure: sparse.Cosine, K: 2},
+		&MinHashFilter{Bands: 8, Rows: 4, K: 3},
+		&HyperplaneFilter{Tables: 2, Hashes: 4, Probes: 2},
+		&CrossPolytopeFilter{Tables: 2, Hashes: 1, LastCPDim: 8, Probes: 2},
+		&FlatKNNFilter{K: 2},
+		&PartitionedKNNFilter{K: 2},
+		&DeepBlockerFilter{K: 2, Hidden: 4, Epochs: 1},
+	}
+}
+
+func runAllFilters(t *testing.T, task *entity.Task, label string) {
+	t.Helper()
+	in := NewInputDim(task, entity.SchemaAgnostic, 16)
+	for _, f := range allFilters() {
+		out, err := f.Run(in)
+		if err != nil {
+			t.Errorf("%s: %s returned error: %v", label, f.Name(), err)
+			continue
+		}
+		m := Evaluate(out.Pairs, task.Truth)
+		if m.PC < 0 || m.PC > 1 || m.PQ < 0 || m.PQ > 1 {
+			t.Errorf("%s: %s metrics out of range: %+v", label, f.Name(), m)
+		}
+		for _, p := range out.Pairs {
+			if int(p.Left) >= task.E1.Len() || int(p.Right) >= task.E2.Len() || p.Left < 0 || p.Right < 0 {
+				t.Errorf("%s: %s produced out-of-range pair %v", label, f.Name(), p)
+				break
+			}
+		}
+	}
+}
+
+func TestFiltersOnEmptyE1(t *testing.T) {
+	runAllFilters(t, taskOf(t, nil, []string{"canon a540", "nikon p100"}, nil), "empty E1")
+}
+
+func TestFiltersOnEmptyE2(t *testing.T) {
+	runAllFilters(t, taskOf(t, []string{"canon a540"}, nil, nil), "empty E2")
+}
+
+func TestFiltersOnBothEmpty(t *testing.T) {
+	runAllFilters(t, taskOf(t, nil, nil, nil), "both empty")
+}
+
+func TestFiltersOnSingleEntities(t *testing.T) {
+	runAllFilters(t, taskOf(t,
+		[]string{"canon powershot a540"},
+		[]string{"canon power shot a540"},
+		[]entity.Pair{{Left: 0, Right: 0}}), "single entities")
+}
+
+func TestFiltersOnEmptyTexts(t *testing.T) {
+	runAllFilters(t, taskOf(t,
+		[]string{"", "canon a540", ""},
+		[]string{"", "canon a540 camera"},
+		[]entity.Pair{{Left: 1, Right: 1}}), "empty texts")
+}
+
+func TestFiltersOnPunctuationOnlyTexts(t *testing.T) {
+	runAllFilters(t, taskOf(t,
+		[]string{"...", "!!!"},
+		[]string{"???"},
+		nil), "punctuation-only")
+}
+
+func TestFiltersOnUnicode(t *testing.T) {
+	runAllFilters(t, taskOf(t,
+		[]string{"café münchen 北京", "ψηφιακή κάμερα"},
+		[]string{"cafe munchen 北京", "ψηφιακη καμερα canon"},
+		[]entity.Pair{{Left: 0, Right: 0}, {Left: 1, Right: 1}}), "unicode")
+}
+
+func TestFiltersOnAllStopwords(t *testing.T) {
+	// Cleaning reduces these texts to nothing; cleaned variants must not
+	// crash.
+	task := taskOf(t,
+		[]string{"the and of", "a an the"},
+		[]string{"of and the"},
+		nil)
+	in := NewInputDim(task, entity.SchemaAgnostic, 16)
+	for _, f := range []Filter{
+		&KNNJoinFilter{Clean: true, Model: text.Model{N: 3}, Measure: sparse.Cosine, K: 1},
+		&EpsJoinFilter{Clean: true, Model: text.Model{N: 1}, Measure: sparse.Jaccard, Threshold: 0.5},
+		&FlatKNNFilter{Clean: true, K: 1},
+		&DeepBlockerFilter{Clean: true, K: 1, Hidden: 4, Epochs: 1},
+	} {
+		if _, err := f.Run(in); err != nil {
+			t.Errorf("all-stopwords: %s: %v", f.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/cleaning"
+	"erfilter/internal/entity"
+	"erfilter/internal/metablocking"
+)
+
+// ComparisonCleaning selects the mandatory comparison cleaning step of a
+// blocking workflow: parameter-free Comparison Propagation, or one of the
+// 42 Meta-blocking combinations (6 weighting schemes × 7 pruning
+// algorithms).
+type ComparisonCleaning struct {
+	// Propagation selects Comparison Propagation; Scheme/Algorithm are
+	// ignored when set.
+	Propagation bool
+	Scheme      metablocking.Scheme
+	Algorithm   metablocking.Algorithm
+}
+
+// String implements fmt.Stringer.
+func (c ComparisonCleaning) String() string {
+	if c.Propagation {
+		return "CP"
+	}
+	return c.Algorithm.String() + "+" + c.Scheme.String()
+}
+
+// BlockingWorkflow is the four-step pipeline of Figure 1: block building,
+// optional Block Purging, optional Block Filtering, and mandatory
+// comparison cleaning.
+type BlockingWorkflow struct {
+	// Label names the workflow family (e.g. "SBW") for reports.
+	Label string
+	// Builder is the block building method.
+	Builder blocking.Builder
+	// Purging enables the parameter-free Block Purging step.
+	Purging bool
+	// FilterRatio is the Block Filtering ratio r; r >= 1 skips the step.
+	FilterRatio float64
+	// Cleaning is the comparison cleaning step.
+	Cleaning ComparisonCleaning
+}
+
+// Name implements Filter.
+func (w *BlockingWorkflow) Name() string {
+	label := w.Label
+	if label == "" {
+		label = "blocking"
+	}
+	return fmt.Sprintf("%s[%s,purge=%v,r=%.3f,%s]",
+		label, w.Builder.Name(), w.Purging, w.FilterRatio, w.Cleaning)
+}
+
+// Run implements Filter.
+func (w *BlockingWorkflow) Run(in *Input) (*Outcome, error) {
+	sw := newStopwatch()
+	out := &Outcome{}
+
+	blocks := blocking.Build(in.V1, in.V2, w.Builder)
+	out.Timing.Build = sw.lap()
+
+	if w.Purging {
+		blocks = cleaning.Purge(blocks)
+	}
+	out.Timing.Purge = sw.lap()
+
+	if w.FilterRatio > 0 && w.FilterRatio < 1 {
+		blocks = cleaning.Filter(blocks, w.FilterRatio)
+	}
+	out.Timing.Filter = sw.lap()
+
+	var pairs []entity.Pair
+	if w.Cleaning.Propagation {
+		pairs = metablocking.Propagate(blocks)
+	} else {
+		g := metablocking.BuildGraph(blocks)
+		pairs = metablocking.Prune(g, w.Cleaning.Scheme, w.Cleaning.Algorithm, blocks.TotalPlacements())
+	}
+	out.Timing.Clean = sw.lap()
+	out.Timing.Total = sw.total()
+	out.Pairs = pairs
+	return out, nil
+}
+
+// BlocksAfterCleaning exposes the intermediate block collection after the
+// block cleaning steps (before comparison cleaning), used by diagnostics
+// and tuning early-termination: if the PC upper bound of these blocks is
+// already below the target, no comparison cleaning can recover it.
+func (w *BlockingWorkflow) BlocksAfterCleaning(in *Input) *blocking.Collection {
+	blocks := blocking.Build(in.V1, in.V2, w.Builder)
+	if w.Purging {
+		blocks = cleaning.Purge(blocks)
+	}
+	if w.FilterRatio > 0 && w.FilterRatio < 1 {
+		blocks = cleaning.Filter(blocks, w.FilterRatio)
+	}
+	return blocks
+}

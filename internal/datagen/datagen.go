@@ -1,0 +1,149 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+
+	"erfilter/internal/entity"
+)
+
+// Spec describes one synthetic Clean-Clean ER dataset analog.
+type Spec struct {
+	// Name of the dataset, e.g. "D4".
+	Name string
+	// Domain is one of "restaurant", "product", "bibliographic", "movie".
+	Domain string
+	// N1, N2 are the collection sizes; Duplicates the number of matching
+	// pairs (each matching object appears once per collection).
+	N1, N2, Duplicates int
+
+	// TypoRate, DropTokenRate, MissingRate, ShuffleRate feed the noise
+	// channel (see noise).
+	TypoRate, DropTokenRate, MissingRate, ShuffleRate float64
+	// MisplaceRate moves the best attribute's value into a "notes"
+	// attribute, breaking schema-based coverage without losing the text.
+	MisplaceRate float64
+	// BestMissingNonDupRate drops the best attribute only from
+	// non-duplicate profiles, reproducing D1's "covers 2/3 of all
+	// profiles but all of the duplicate ones".
+	BestMissingNonDupRate float64
+	// GenericBias is the fraction of title/description words drawn from
+	// the small shared generic vocabulary; high values depress filtering
+	// precision (the D3/D8 regime).
+	GenericBias float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// newDomain instantiates the Spec's domain with a seeded vocabulary.
+func (s Spec) newDomain(rng *rand.Rand) domain {
+	gen := &wordGen{rng: rng}
+	switch s.Domain {
+	case "restaurant":
+		return newRestaurantDomain(gen)
+	case "product":
+		return newProductDomain(gen, s.GenericBias)
+	case "bibliographic":
+		return newBibDomain(gen, s.GenericBias)
+	case "movie":
+		return newMovieDomain(gen, s.GenericBias)
+	}
+	panic("datagen: unknown domain " + s.Domain)
+}
+
+// Generate materializes the task: N1+N2-Duplicates distinct objects, the
+// first Duplicates of which are rendered (with independent noise) into
+// both collections. E2's profile order is shuffled so matching pairs do
+// not align by index.
+func Generate(s Spec) *entity.Task {
+	rng := rand.New(rand.NewSource(int64(s.Seed)))
+	dom := s.newDomain(rng)
+	n := noise{
+		TypoRate:      s.TypoRate,
+		DropTokenRate: s.DropTokenRate,
+		MissingRate:   s.MissingRate,
+		MisplaceRate:  s.MisplaceRate,
+		ShuffleRate:   s.ShuffleRate,
+	}
+
+	total := s.N1 + s.N2 - s.Duplicates
+	objects := make([]object, total)
+	for i := range objects {
+		objects[i] = dom.newObject(rng)
+	}
+
+	render := func(obj object, isDup bool) entity.Profile {
+		var attrs []entity.Attribute
+		var notes []string
+		for _, name := range attributeOrder(obj) {
+			val := obj[name]
+			if rng.Float64() < s.MissingRate {
+				continue
+			}
+			val = n.corrupt(rng, val)
+			if name == dom.best() {
+				if !isDup && rng.Float64() < s.BestMissingNonDupRate {
+					continue
+				}
+				if rng.Float64() < s.MisplaceRate {
+					notes = append(notes, val)
+					continue
+				}
+			}
+			attrs = append(attrs, entity.Attribute{Name: name, Value: val})
+		}
+		if len(notes) > 0 {
+			attrs = append(attrs, entity.Attribute{Name: "notes", Value: strings.Join(notes, " ")})
+		}
+		return entity.Profile{Attrs: attrs}
+	}
+
+	// E1: duplicates first, then E1-only objects.
+	p1 := make([]entity.Profile, 0, s.N1)
+	for i := 0; i < s.N1; i++ {
+		p1 = append(p1, render(objects[i], i < s.Duplicates))
+	}
+	// E2: duplicates plus the remaining objects, shuffled.
+	type e2src struct {
+		obj   object
+		match int32 // E1 index for duplicates, -1 otherwise
+	}
+	srcs := make([]e2src, 0, s.N2)
+	for i := 0; i < s.Duplicates; i++ {
+		srcs = append(srcs, e2src{obj: objects[i], match: int32(i)})
+	}
+	for i := s.N1; i < total; i++ {
+		srcs = append(srcs, e2src{obj: objects[i], match: -1})
+	}
+	rng.Shuffle(len(srcs), func(i, j int) { srcs[i], srcs[j] = srcs[j], srcs[i] })
+
+	p2 := make([]entity.Profile, 0, s.N2)
+	var truth []entity.Pair
+	for j, src := range srcs {
+		p2 = append(p2, render(src.obj, src.match >= 0))
+		if src.match >= 0 {
+			truth = append(truth, entity.Pair{Left: src.match, Right: int32(j)})
+		}
+	}
+
+	return &entity.Task{
+		Name:          s.Name,
+		E1:            entity.New(s.Name+"/E1", p1),
+		E2:            entity.New(s.Name+"/E2", p2),
+		Truth:         entity.NewGroundTruth(truth),
+		BestAttribute: dom.best(),
+	}
+}
+
+// attributeOrder returns the object's attribute names in a fixed canonical
+// order so rendering is deterministic.
+func attributeOrder(obj object) []string {
+	order := []string{"name", "title", "manufacturer", "authors", "address", "description", "actors", "city", "venue", "phone", "type", "genre", "language", "year", "price"}
+	var out []string
+	for _, n := range order {
+		if _, ok := obj[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"testing"
+
+	"erfilter/internal/entity"
+)
+
+func TestGenerateShape(t *testing.T) {
+	task := Generate(QuickSpec(50, 120, 30, 1))
+	if task.E1.Len() != 50 || task.E2.Len() != 120 {
+		t.Fatalf("sizes = %d/%d", task.E1.Len(), task.E2.Len())
+	}
+	if task.Truth.Size() != 30 {
+		t.Fatalf("duplicates = %d", task.Truth.Size())
+	}
+	for _, p := range task.Truth.Pairs() {
+		if p.Left < 0 || int(p.Left) >= 50 || p.Right < 0 || int(p.Right) >= 120 {
+			t.Fatalf("groundtruth pair out of range: %v", p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(QuickSpec(30, 60, 15, 7))
+	b := Generate(QuickSpec(30, 60, 15, 7))
+	for i := range a.E1.Profiles {
+		if a.E1.Profiles[i].AllText() != b.E1.Profiles[i].AllText() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := Generate(QuickSpec(30, 60, 15, 8))
+	same := true
+	for i := range a.E1.Profiles {
+		if a.E1.Profiles[i].AllText() != c.E1.Profiles[i].AllText() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDuplicatesShareContent(t *testing.T) {
+	task := Generate(QuickSpec(60, 120, 40, 3))
+	v1, v2 := entity.TaskViews(task, entity.SchemaAgnostic)
+	shared := 0
+	for _, p := range task.Truth.Pairs() {
+		t1 := map[string]bool{}
+		for _, w := range splitWords(v1.Text(int(p.Left))) {
+			t1[w] = true
+		}
+		for _, w := range splitWords(v2.Text(int(p.Right))) {
+			if t1[w] {
+				shared++
+				break
+			}
+		}
+	}
+	if float64(shared) < 0.95*float64(task.Truth.Size()) {
+		t.Fatalf("only %d/%d duplicate pairs share a token", shared, task.Truth.Size())
+	}
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestSpecsScaling(t *testing.T) {
+	full := Specs(1)
+	if len(full) != 10 {
+		t.Fatalf("specs = %d", len(full))
+	}
+	if full[3].N1 != 2616 || full[3].N2 != 2294 || full[3].Duplicates != 2224 {
+		t.Fatalf("D4 spec wrong: %+v", full[3])
+	}
+	small := Specs(0.05)
+	for i, s := range small {
+		if s.N1 < 30 && paperSpecs[i].N1 >= 30 {
+			t.Fatalf("%s scaled below minimum: %+v", s.Name, s)
+		}
+		if s.Duplicates > s.N1 || s.Duplicates > s.N2 {
+			t.Fatalf("%s has more duplicates than entities", s.Name)
+		}
+	}
+}
+
+func TestMisplacedValuesBreakSchemaBasedCoverage(t *testing.T) {
+	// The D6 analog has a high misplace rate: the best attribute's
+	// groundtruth coverage must be well below 0.9, while schema-agnostic
+	// text still contains the name (under "notes").
+	task := ByName("D6", 0.05)
+	stats := entity.StatsFor(task, task.BestAttribute)
+	if stats.GroundtruthCoverage > 0.8 {
+		t.Fatalf("D6 groundtruth coverage = %.2f, want < 0.8", stats.GroundtruthCoverage)
+	}
+	// D4 analog is clean: near-complete coverage.
+	clean := ByName("D4", 0.05)
+	cleanStats := entity.StatsFor(clean, clean.BestAttribute)
+	if cleanStats.GroundtruthCoverage < 0.95 {
+		t.Fatalf("D4 groundtruth coverage = %.2f, want >= 0.95", cleanStats.GroundtruthCoverage)
+	}
+}
+
+func TestBestAttributeSelection(t *testing.T) {
+	task := ByName("D4", 0.05)
+	if got := entity.BestAttribute(task); got != "title" {
+		t.Fatalf("best attribute of D4 analog = %q, want title", got)
+	}
+}
+
+func TestD1NonDupCoverageGap(t *testing.T) {
+	task := ByName("D1", 0.5)
+	stats := entity.StatsFor(task, task.BestAttribute)
+	// All duplicates covered, but overall coverage visibly lower.
+	if stats.GroundtruthCoverage < 0.9 {
+		t.Fatalf("D1 duplicate coverage = %.2f", stats.GroundtruthCoverage)
+	}
+	if stats.Coverage > stats.GroundtruthCoverage-0.05 {
+		t.Fatalf("D1 overall coverage %.2f should trail groundtruth coverage %.2f",
+			stats.Coverage, stats.GroundtruthCoverage)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("D99", 1) != nil {
+		t.Fatal("unknown dataset should return nil")
+	}
+}
+
+func TestCleanCleanNoIntraDuplicates(t *testing.T) {
+	// Each object is rendered at most once per collection, so the AllText
+	// of two distinct profiles should rarely be identical; verify the
+	// groundtruth maps E1 to E2 injectively (Clean-Clean assumption).
+	task := Generate(QuickSpec(40, 80, 25, 9))
+	seenL := map[int32]bool{}
+	seenR := map[int32]bool{}
+	for _, p := range task.Truth.Pairs() {
+		if seenL[p.Left] || seenR[p.Right] {
+			t.Fatalf("groundtruth not injective at %v", p)
+		}
+		seenL[p.Left] = true
+		seenR[p.Right] = true
+	}
+}

@@ -1,0 +1,162 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// object is one real-world entity: canonical attribute values before any
+// rendering noise.
+type object map[string]string
+
+// domain renders real-world objects of one flavor (restaurants, products,
+// bibliographic records, movies/TV shows).
+type domain interface {
+	// best returns the most informative attribute (Table VI's "Best
+	// Attribute" row).
+	best() string
+	// newObject draws a fresh canonical object.
+	newObject(rng *rand.Rand) object
+}
+
+// pick returns a random element of the slice.
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+// maybeGeneric returns a generic filler word with probability bias,
+// otherwise a distinctive word from the vocabulary.
+func maybeGeneric(rng *rand.Rand, bias float64, vocab []string) string {
+	if rng.Float64() < bias {
+		return pick(rng, genericWords)
+	}
+	return pick(rng, vocab)
+}
+
+// --- Restaurants (the D1 analog) ---
+
+type restaurantDomain struct {
+	names []string
+	gen   *wordGen
+}
+
+func newRestaurantDomain(gen *wordGen) *restaurantDomain {
+	return &restaurantDomain{names: gen.vocab(4000, 2, 4), gen: gen}
+}
+
+func (d *restaurantDomain) best() string { return "name" }
+
+func (d *restaurantDomain) newObject(rng *rand.Rand) object {
+	name := pick(rng, d.names)
+	if rng.Intn(2) == 0 {
+		name += " " + pick(rng, d.names)
+	}
+	return object{
+		"name":    name,
+		"address": fmt.Sprintf("%d %s %s", 1+rng.Intn(9999), pick(rng, d.names), pick(rng, streetTypes)),
+		"city":    pick(rng, cityNames),
+		"phone":   fmt.Sprintf("%03d %03d %04d", rng.Intn(1000), rng.Intn(1000), rng.Intn(10000)),
+		"type":    pick(rng, cuisines),
+	}
+}
+
+// --- Products (the D2, D3, D8 analogs) ---
+
+type productDomain struct {
+	brands      []string
+	types       []string
+	descWords   []string
+	genericBias float64
+	gen         *wordGen
+}
+
+func newProductDomain(gen *wordGen, genericBias float64) *productDomain {
+	return &productDomain{
+		brands:      gen.vocab(120, 2, 3),
+		types:       gen.vocab(60, 2, 3),
+		descWords:   gen.vocab(3000, 2, 4),
+		genericBias: genericBias,
+		gen:         gen,
+	}
+}
+
+func (d *productDomain) best() string { return "title" }
+
+func (d *productDomain) newObject(rng *rand.Rand) object {
+	brand := pick(rng, d.brands)
+	code := d.gen.modelCode()
+	title := []string{brand, code, pick(rng, d.types)}
+	for i := 0; i < rng.Intn(3); i++ {
+		title = append(title, maybeGeneric(rng, d.genericBias, d.descWords))
+	}
+	var desc []string
+	for i := 0; i < 6+rng.Intn(8); i++ {
+		desc = append(desc, maybeGeneric(rng, d.genericBias, d.descWords))
+	}
+	return object{
+		"title":        strings.Join(title, " "),
+		"manufacturer": brand,
+		"description":  strings.Join(desc, " "),
+		"price":        fmt.Sprintf("%d.%02d", 5+rng.Intn(995), rng.Intn(100)),
+	}
+}
+
+// --- Bibliographic records (the D4, D9 analogs) ---
+
+type bibDomain struct {
+	topics      []string
+	genericBias float64
+}
+
+func newBibDomain(gen *wordGen, genericBias float64) *bibDomain {
+	return &bibDomain{topics: gen.vocab(5000, 2, 4), genericBias: genericBias}
+}
+
+func (d *bibDomain) best() string { return "title" }
+
+func (d *bibDomain) newObject(rng *rand.Rand) object {
+	var title []string
+	for i := 0; i < 5+rng.Intn(5); i++ {
+		title = append(title, maybeGeneric(rng, d.genericBias, d.topics))
+	}
+	var authors []string
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		authors = append(authors, pick(rng, firstNames)+" "+pick(rng, lastNames))
+	}
+	return object{
+		"title":   strings.Join(title, " "),
+		"authors": strings.Join(authors, " "),
+		"venue":   pick(rng, venues),
+		"year":    fmt.Sprintf("%d", 1995+rng.Intn(26)),
+	}
+}
+
+// --- Movies / TV shows (the D5–D7, D10 analogs) ---
+
+type movieDomain struct {
+	titleWords  []string
+	genericBias float64
+}
+
+func newMovieDomain(gen *wordGen, genericBias float64) *movieDomain {
+	return &movieDomain{titleWords: gen.vocab(6000, 2, 4), genericBias: genericBias}
+}
+
+func (d *movieDomain) best() string { return "name" }
+
+func (d *movieDomain) newObject(rng *rand.Rand) object {
+	var title []string
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		title = append(title, maybeGeneric(rng, d.genericBias, d.titleWords))
+	}
+	var actors []string
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		actors = append(actors, pick(rng, firstNames)+" "+pick(rng, lastNames))
+	}
+	return object{
+		"name":     strings.Join(title, " "),
+		"actors":   strings.Join(actors, " "),
+		"year":     fmt.Sprintf("%d", 1960+rng.Intn(62)),
+		"language": pick(rng, languages),
+		"genre":    pick(rng, genres),
+	}
+}

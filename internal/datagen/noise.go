@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// noise controls the corruption applied to every rendered entity profile.
+type noise struct {
+	// TypoRate is the per-token probability of a character-level edit
+	// (substitution, deletion, transposition or insertion).
+	TypoRate float64
+	// DropTokenRate is the per-token probability of dropping the token.
+	DropTokenRate float64
+	// MissingRate is the per-attribute probability of losing the value
+	// entirely.
+	MissingRate float64
+	// MisplaceRate is the per-profile probability that the best
+	// attribute's value migrates into a generic "notes" attribute — the
+	// extraction-error phenomenon the paper describes for D5–D7 and D10:
+	// the value is not missing from the profile, only filed under the
+	// wrong attribute, so schema-agnostic settings still see it.
+	MisplaceRate float64
+	// ShuffleRate is the per-attribute probability of shuffling token
+	// order (harmless to set models, visible to humans).
+	ShuffleRate float64
+}
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// typo applies one random character edit to the word.
+func typo(rng *rand.Rand, w string) string {
+	if len(w) < 2 {
+		return w
+	}
+	b := []byte(w)
+	switch rng.Intn(4) {
+	case 0: // substitution
+		b[rng.Intn(len(b))] = letters[rng.Intn(26)]
+	case 1: // deletion
+		i := rng.Intn(len(b))
+		b = append(b[:i], b[i+1:]...)
+	case 2: // transposition
+		i := rng.Intn(len(b) - 1)
+		b[i], b[i+1] = b[i+1], b[i]
+	default: // insertion
+		i := rng.Intn(len(b) + 1)
+		b = append(b[:i], append([]byte{letters[rng.Intn(26)]}, b[i:]...)...)
+	}
+	return string(b)
+}
+
+// corrupt applies token-level noise to a value.
+func (n noise) corrupt(rng *rand.Rand, value string) string {
+	toks := strings.Fields(value)
+	out := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if len(toks) > 1 && rng.Float64() < n.DropTokenRate {
+			continue
+		}
+		if rng.Float64() < n.TypoRate {
+			tok = typo(rng, tok)
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		out = toks[:1]
+	}
+	if rng.Float64() < n.ShuffleRate {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return strings.Join(out, " ")
+}

@@ -1,0 +1,126 @@
+package dedup
+
+import (
+	"sort"
+
+	"erfilter/internal/cleaning"
+	"erfilter/internal/entity"
+	"erfilter/internal/text"
+)
+
+// The Clean-Clean adapter of Run misrepresents blocking statistics in the
+// dirty setting: with E1 = E2 every block is mirrored, its comparison
+// count becomes k² instead of the true k·(k-1)/2, and single-entity
+// blocks (harmless self-pairs) distort Block Purging's cardinality
+// statistics. Blocking workflows therefore get a native dirty
+// implementation here, with blocks over one collection and unordered
+// candidate pairs; the NN methods remain served by Run, whose
+// index/query structure is unaffected by self-joins.
+
+// dirtyBlock is one block over a single collection.
+type dirtyBlock struct {
+	key      string
+	entities []int32
+}
+
+func (b *dirtyBlock) comparisons() float64 {
+	k := float64(len(b.entities))
+	return k * (k - 1) / 2
+}
+
+// buildDirtyBlocks groups entities by token; blocks with fewer than two
+// entities produce no comparisons and are dropped.
+func buildDirtyBlocks(v *entity.View) []dirtyBlock {
+	m := map[string][]int32{}
+	for i := 0; i < v.Len(); i++ {
+		for _, tok := range text.Dedup(text.Tokenize(v.Text(i))) {
+			m[tok] = append(m[tok], int32(i))
+		}
+	}
+	keys := make([]string, 0, len(m))
+	for k, es := range m {
+		if len(es) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]dirtyBlock, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, dirtyBlock{key: k, entities: m[k]})
+	}
+	return out
+}
+
+// purgeDirty applies comparison-based Block Purging with the dirty
+// comparison semantics, reusing the same smooth-factor rule as the
+// Clean-Clean implementation.
+func purgeDirty(blocks []dirtyBlock, smoothFactor float64) []dirtyBlock {
+	if len(blocks) == 0 {
+		return blocks
+	}
+	type stat struct{ card, bc, cc float64 }
+	byCard := map[float64]*stat{}
+	for i := range blocks {
+		card := blocks[i].comparisons()
+		s := byCard[card]
+		if s == nil {
+			s = &stat{card: card}
+			byCard[card] = s
+		}
+		s.bc += float64(len(blocks[i].entities))
+		s.cc += card
+	}
+	stats := make([]stat, 0, len(byCard))
+	for _, s := range byCard {
+		stats = append(stats, *s)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].card < stats[j].card })
+	for i := 1; i < len(stats); i++ {
+		stats[i].bc += stats[i-1].bc
+		stats[i].cc += stats[i-1].cc
+	}
+	maxComparisons := stats[len(stats)-1].card
+	for i := 1; i < len(stats); i++ {
+		prev, cur := &stats[i-1], &stats[i]
+		if cur.cc*prev.bc > smoothFactor*prev.cc*cur.bc {
+			maxComparisons = prev.card
+			break
+		}
+	}
+	out := blocks[:0:0]
+	for i := range blocks {
+		if blocks[i].comparisons() <= maxComparisons {
+			out = append(out, blocks[i])
+		}
+	}
+	return out
+}
+
+// RunPBW runs the parameter-free blocking workflow (Standard Blocking +
+// Block Purging + Comparison Propagation) natively on a dirty collection.
+func RunPBW(task *Task, setting entity.SchemaSetting) *Outcome {
+	v := entity.NewView(task.Data, setting, task.BestAttribute)
+	blocks := purgeDirty(buildDirtyBlocks(v), cleaning.DefaultSmoothFactor)
+	seen := map[Pair]struct{}{}
+	var pairs []Pair
+	for i := range blocks {
+		es := blocks[i].entities
+		for a := 0; a < len(es); a++ {
+			for b := a + 1; b < len(es); b++ {
+				if c, ok := Canon(es[a], es[b]); ok {
+					if _, dup := seen[c]; !dup {
+						seen[c] = struct{}{}
+						pairs = append(pairs, c)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return &Outcome{Pairs: pairs}
+}

@@ -1,0 +1,148 @@
+// Package dedup extends the library to Dirty ER (Deduplication), the
+// second ER task of the paper's preliminaries: a single collection E with
+// duplicates in itself. The paper evaluates Clean-Clean ER only; this
+// package adapts every Clean-Clean filter to the dirty setting by running
+// it with E as both index and query collection and canonicalizing the
+// result — self-pairs are dropped, mirrored pairs (i,j)/(j,i) collapse
+// into one unordered pair.
+package dedup
+
+import (
+	"sort"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+)
+
+// Pair is an unordered pair of entities of one collection, stored with
+// A < B.
+type Pair struct {
+	A, B int32
+}
+
+// Canon returns the canonical unordered form of (a, b), and ok=false for
+// self-pairs.
+func Canon(a, b int32) (Pair, bool) {
+	if a == b {
+		return Pair{}, false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}, true
+}
+
+// Truth is the set of true duplicate pairs of a dirty collection.
+type Truth struct {
+	pairs map[Pair]struct{}
+}
+
+// NewTruth builds the groundtruth from (possibly unordered, possibly
+// repeated) index pairs; self-pairs are ignored.
+func NewTruth(pairs []Pair) *Truth {
+	t := &Truth{pairs: map[Pair]struct{}{}}
+	for _, p := range pairs {
+		if c, ok := Canon(p.A, p.B); ok {
+			t.pairs[c] = struct{}{}
+		}
+	}
+	return t
+}
+
+// Size returns the number of duplicate pairs.
+func (t *Truth) Size() int { return len(t.pairs) }
+
+// Contains reports whether the unordered pair is a duplicate.
+func (t *Truth) Contains(p Pair) bool {
+	c, ok := Canon(p.A, p.B)
+	if !ok {
+		return false
+	}
+	_, found := t.pairs[c]
+	return found
+}
+
+// Task is one Dirty ER (deduplication) task.
+type Task struct {
+	Name  string
+	Data  *entity.Dataset
+	Truth *Truth
+	// BestAttribute for schema-based settings.
+	BestAttribute string
+}
+
+// cleanCleanTask views the dirty collection as a Clean-Clean task with
+// E1 = E2 = E. The Clean-Clean groundtruth is left empty: evaluation runs
+// against the dirty Truth after canonicalization.
+func (t *Task) cleanCleanTask() *entity.Task {
+	return &entity.Task{
+		Name:          t.Name,
+		E1:            t.Data,
+		E2:            t.Data,
+		Truth:         entity.NewGroundTruth(nil),
+		BestAttribute: t.BestAttribute,
+	}
+}
+
+// Outcome is the deduplicated filtering result.
+type Outcome struct {
+	Pairs  []Pair
+	Timing core.Timing
+}
+
+// Run executes a Clean-Clean filter on the dirty collection and
+// canonicalizes its candidates.
+func Run(f core.Filter, task *Task, setting entity.SchemaSetting) (*Outcome, error) {
+	in := core.NewInput(task.cleanCleanTask(), setting)
+	out, err := f.Run(in)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[Pair]struct{}{}
+	var pairs []Pair
+	for _, p := range out.Pairs {
+		c, ok := Canon(p.Left, p.Right)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		pairs = append(pairs, c)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return &Outcome{Pairs: pairs, Timing: out.Timing}, nil
+}
+
+// Evaluate computes PC and PQ of a dirty candidate set.
+func Evaluate(pairs []Pair, truth *Truth) core.Metrics {
+	seen := map[Pair]struct{}{}
+	matches := 0
+	for _, p := range pairs {
+		c, ok := Canon(p.A, p.B)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		if truth.Contains(c) {
+			matches++
+		}
+	}
+	m := core.Metrics{Candidates: len(seen), Matches: matches}
+	if truth.Size() > 0 {
+		m.PC = float64(matches) / float64(truth.Size())
+	}
+	if len(seen) > 0 {
+		m.PQ = float64(matches) / float64(len(seen))
+	}
+	return m
+}

@@ -1,0 +1,122 @@
+package dedup
+
+import (
+	"testing"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+func TestCanon(t *testing.T) {
+	if _, ok := Canon(3, 3); ok {
+		t.Fatal("self pair must be rejected")
+	}
+	a, _ := Canon(5, 2)
+	b, _ := Canon(2, 5)
+	if a != b || a.A != 2 || a.B != 5 {
+		t.Fatalf("canonicalization wrong: %v %v", a, b)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	tr := NewTruth([]Pair{{A: 1, B: 2}, {A: 2, B: 1}, {A: 3, B: 3}})
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if !tr.Contains(Pair{A: 2, B: 1}) {
+		t.Fatal("unordered contains failed")
+	}
+	if tr.Contains(Pair{A: 3, B: 3}) {
+		t.Fatal("self pair must not match")
+	}
+}
+
+func TestGenerateDirtyShape(t *testing.T) {
+	task := GenerateDirty(50, 20, 7)
+	if task.Data.Len() != 70 {
+		t.Fatalf("collection size = %d", task.Data.Len())
+	}
+	if task.Truth.Size() != 20 {
+		t.Fatalf("duplicates = %d", task.Truth.Size())
+	}
+}
+
+func TestRunDeduplication(t *testing.T) {
+	task := GenerateDirty(60, 25, 11)
+	f := &core.KNNJoinFilter{Clean: true, Model: text.Model{N: 3}, Measure: sparse.Cosine, K: 2}
+	out, err := Run(f, task, entity.SchemaAgnostic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No self pairs, all canonical, no duplicates.
+	seen := map[Pair]bool{}
+	for _, p := range out.Pairs {
+		if p.A >= p.B {
+			t.Fatalf("non-canonical pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	m := Evaluate(out.Pairs, task.Truth)
+	if m.PC < 0.8 {
+		t.Fatalf("dedup PC = %.2f", m.PC)
+	}
+	if m.Candidates >= task.Data.Len()*task.Data.Len()/2 {
+		t.Fatal("no search-space reduction")
+	}
+}
+
+func TestRunBlockingDedup(t *testing.T) {
+	task := GenerateDirty(40, 15, 13)
+	out := RunPBW(task, entity.SchemaAgnostic)
+	m := Evaluate(out.Pairs, task.Truth)
+	if m.PC < 0.85 {
+		t.Fatalf("PBW dedup PC = %.2f", m.PC)
+	}
+	total := task.Data.Len() * (task.Data.Len() - 1) / 2
+	if m.Candidates >= total {
+		t.Fatal("no reduction over the full pair space")
+	}
+	// All pairs canonical and distinct.
+	seen := map[Pair]bool{}
+	for _, p := range out.Pairs {
+		if p.A >= p.B || seen[p] {
+			t.Fatalf("bad pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDirtyPurgeDropsStopwordBlocks(t *testing.T) {
+	// Many tiny blocks plus one giant block.
+	blocks := make([]dirtyBlock, 0, 21)
+	for i := 0; i < 20; i++ {
+		blocks = append(blocks, dirtyBlock{key: "small", entities: []int32{int32(i), int32(i + 1)}})
+	}
+	big := make([]int32, 60)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	blocks = append(blocks, dirtyBlock{key: "the", entities: big})
+	out := purgeDirty(blocks, 1.025)
+	for i := range out {
+		if out[i].key == "the" {
+			t.Fatal("giant block survived purging")
+		}
+	}
+	if len(out) != 20 {
+		t.Fatalf("kept %d blocks", len(out))
+	}
+}
+
+func TestEvaluateHandlesJunk(t *testing.T) {
+	tr := NewTruth([]Pair{{A: 0, B: 1}})
+	m := Evaluate([]Pair{{A: 1, B: 0}, {A: 0, B: 1}, {A: 2, B: 2}}, tr)
+	if m.Candidates != 1 || m.PC != 1 || m.PQ != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

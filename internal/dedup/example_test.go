@@ -1,0 +1,29 @@
+package dedup_test
+
+import (
+	"fmt"
+
+	"erfilter/internal/dedup"
+)
+
+// ExampleCanon shows the unordered-pair canonicalization of Dirty ER.
+func ExampleCanon() {
+	p, ok := dedup.Canon(5, 2)
+	fmt.Println(p.A, p.B, ok)
+	_, self := dedup.Canon(3, 3)
+	fmt.Println(self)
+	// Output:
+	// 2 5 true
+	// false
+}
+
+// ExampleRunPBW deduplicates a dirty collection with the native blocking
+// workflow.
+func ExampleRunPBW() {
+	task := dedup.GenerateDirty(100, 40, 7)
+	out := dedup.RunPBW(task, 0 /* schema-agnostic */)
+	m := dedup.Evaluate(out.Pairs, task.Truth)
+	fmt.Printf("PC above 0.9: %v; search space reduced: %v\n",
+		m.PC >= 0.9, m.Candidates < task.Data.Len()*task.Data.Len()/4)
+	// Output: PC above 0.9: true; search space reduced: true
+}

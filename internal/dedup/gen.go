@@ -1,0 +1,38 @@
+package dedup
+
+import (
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+)
+
+// GenerateDirty builds a synthetic dirty collection: n base entities of
+// which dups have one noisy duplicate rendering appended, yielding a
+// collection of n+dups profiles with a known groundtruth. The generator
+// reuses the Clean-Clean machinery of package datagen.
+func GenerateDirty(n, dups int, seed uint64) *Task {
+	if dups > n {
+		dups = n
+	}
+	cc := datagen.Generate(datagen.QuickSpec(n, dups, dups, seed))
+	// cc.E1 holds n profiles whose first dups objects also appear
+	// (re-rendered with independent noise) as cc.E2. Concatenating both
+	// gives a dirty collection.
+	profiles := make([]entity.Profile, 0, n+dups)
+	for _, p := range cc.E1.Profiles {
+		profiles = append(profiles, entity.Profile{Attrs: p.Attrs})
+	}
+	offset := int32(len(profiles))
+	for _, p := range cc.E2.Profiles {
+		profiles = append(profiles, entity.Profile{Attrs: p.Attrs})
+	}
+	var truth []Pair
+	for _, p := range cc.Truth.Pairs() {
+		truth = append(truth, Pair{A: p.Left, B: offset + p.Right})
+	}
+	return &Task{
+		Name:          "dirty",
+		Data:          entity.New("E", profiles),
+		Truth:         NewTruth(truth),
+		BestAttribute: cc.BestAttribute,
+	}
+}

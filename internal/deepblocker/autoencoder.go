@@ -1,0 +1,188 @@
+// Package deepblocker reimplements the DeepBlocker filtering method of
+// Thirumuruganathan et al. (PVLDB 2021) in the configuration the paper
+// evaluates: the self-supervised Autoencoder tuple-embedding module over
+// (substituted) fastText vectors, with exact kNN search for indexing and
+// querying. Training uses plain SGD on the reconstruction loss; the random
+// weight initialization makes the method stochastic, as the paper's
+// taxonomy notes (Table II).
+package deepblocker
+
+import (
+	"math"
+
+	"erfilter/internal/vector"
+)
+
+// Autoencoder is a single-hidden-layer tied-size autoencoder:
+// h = tanh(W1 x + b1), x' = W2 h + b2, trained to minimize ||x' - x||^2.
+// The encoder output h is the tuple embedding used for filtering.
+type Autoencoder struct {
+	in, hidden int
+	w1, b1     []float64 // w1 is hidden x in
+	w2, b2     []float64 // w2 is in x hidden
+}
+
+// TrainConfig controls autoencoder training.
+type TrainConfig struct {
+	// Hidden is the encoder dimensionality (DeepBlocker reduces the 300-d
+	// input; 0 selects in/2).
+	Hidden int
+	// Epochs over the training set; 0 selects 10.
+	Epochs int
+	// LearningRate of plain SGD; 0 selects 0.05.
+	LearningRate float64
+	// Seed drives weight initialization and example shuffling.
+	Seed uint64
+}
+
+// Train fits an autoencoder on the given tuple embeddings. An empty
+// training set yields an untrained identity-like encoder over vector.Dim
+// inputs.
+func Train(samples []vector.Vec, cfg TrainConfig) *Autoencoder {
+	if len(samples) == 0 {
+		samples = []vector.Vec{make(vector.Vec, vector.Dim)}
+	}
+	in := len(samples[0])
+	hidden := cfg.Hidden
+	if hidden <= 0 {
+		hidden = in / 2
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 10
+	}
+	lr := cfg.LearningRate
+	if lr <= 0 {
+		lr = 0.05
+	}
+
+	a := &Autoencoder{
+		in:     in,
+		hidden: hidden,
+		w1:     make([]float64, hidden*in),
+		b1:     make([]float64, hidden),
+		w2:     make([]float64, in*hidden),
+		b2:     make([]float64, in),
+	}
+	// Xavier-style initialization from the seed.
+	initScale1 := math.Sqrt(1.0 / float64(in))
+	initScale2 := math.Sqrt(1.0 / float64(hidden))
+	vector.Gaussian(a.w1, cfg.Seed+1)
+	vector.Gaussian(a.w2, cfg.Seed+2)
+	for i := range a.w1 {
+		a.w1[i] *= initScale1
+	}
+	for i := range a.w2 {
+		a.w2[i] *= initScale2
+	}
+
+	h := make([]float64, hidden)
+	y := make([]float64, in)
+	dy := make([]float64, in)
+	dh := make([]float64, hidden)
+
+	n := len(samples)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		// Deterministic Fisher-Yates shuffle from the seed.
+		for i := n - 1; i > 0; i-- {
+			j := int(vector.Mix64(uint64(epoch)<<32|uint64(i), cfg.Seed+3) % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, si := range order {
+			x := samples[si]
+			a.forward(x, h, y)
+			// Output gradient of the MSE loss.
+			for i := 0; i < in; i++ {
+				dy[i] = 2 * (y[i] - float64(x[i])) / float64(in)
+			}
+			// Hidden gradient through tanh.
+			for j := 0; j < hidden; j++ {
+				var g float64
+				for i := 0; i < in; i++ {
+					g += a.w2[i*hidden+j] * dy[i]
+				}
+				dh[j] = g * (1 - h[j]*h[j])
+			}
+			// SGD updates.
+			for i := 0; i < in; i++ {
+				gi := lr * dy[i]
+				for j := 0; j < hidden; j++ {
+					a.w2[i*hidden+j] -= gi * h[j]
+				}
+				a.b2[i] -= gi
+			}
+			for j := 0; j < hidden; j++ {
+				gj := lr * dh[j]
+				row := a.w1[j*in : (j+1)*in]
+				for i := 0; i < in; i++ {
+					row[i] -= gj * float64(x[i])
+				}
+				a.b1[j] -= gj
+			}
+		}
+	}
+	return a
+}
+
+// forward computes the hidden activation h and reconstruction y of x.
+func (a *Autoencoder) forward(x vector.Vec, h, y []float64) {
+	for j := 0; j < a.hidden; j++ {
+		row := a.w1[j*a.in : (j+1)*a.in]
+		s := a.b1[j]
+		for i := range row {
+			s += row[i] * float64(x[i])
+		}
+		h[j] = math.Tanh(s)
+	}
+	if y != nil {
+		for i := 0; i < a.in; i++ {
+			row := a.w2[i*a.hidden : (i+1)*a.hidden]
+			s := a.b2[i]
+			for j := range row {
+				s += row[j] * h[j]
+			}
+			y[i] = s
+		}
+	}
+}
+
+// Loss returns the mean reconstruction error over the samples.
+func (a *Autoencoder) Loss(samples []vector.Vec) float64 {
+	h := make([]float64, a.hidden)
+	y := make([]float64, a.in)
+	var total float64
+	for _, x := range samples {
+		a.forward(x, h, y)
+		var s float64
+		for i := range y {
+			d := y[i] - float64(x[i])
+			s += d * d
+		}
+		total += s / float64(a.in)
+	}
+	return total / float64(len(samples))
+}
+
+// Encode maps an input vector to its normalized tuple embedding.
+func (a *Autoencoder) Encode(x vector.Vec) vector.Vec {
+	h := make([]float64, a.hidden)
+	a.forward(x, h, nil)
+	out := make(vector.Vec, a.hidden)
+	for j := range h {
+		out[j] = float32(h[j])
+	}
+	return vector.Normalize(out)
+}
+
+// EncodeAll encodes every sample.
+func (a *Autoencoder) EncodeAll(samples []vector.Vec) []vector.Vec {
+	out := make([]vector.Vec, len(samples))
+	for i, x := range samples {
+		out[i] = a.Encode(x)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package deepblocker
+
+import (
+	"math"
+	"testing"
+
+	"erfilter/internal/vector"
+)
+
+func samples(n, dim int, seed uint64) []vector.Vec {
+	out := make([]vector.Vec, n)
+	buf := make([]float64, dim)
+	for i := range out {
+		vector.Gaussian(buf, seed+uint64(i))
+		v := make(vector.Vec, dim)
+		for j := range v {
+			v[j] = float32(buf[j])
+		}
+		out[i] = vector.Normalize(v)
+	}
+	return out
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	xs := samples(60, 32, 1)
+	untrained := Train(xs, TrainConfig{Hidden: 16, Epochs: 0, LearningRate: 1e-12, Seed: 5})
+	trained := Train(xs, TrainConfig{Hidden: 16, Epochs: 30, LearningRate: 0.05, Seed: 5})
+	l0 := untrained.Loss(xs)
+	l1 := trained.Loss(xs)
+	if !(l1 < l0*0.9) {
+		t.Fatalf("training did not reduce loss: %v -> %v", l0, l1)
+	}
+	if math.IsNaN(l1) || math.IsInf(l1, 0) {
+		t.Fatalf("loss diverged: %v", l1)
+	}
+}
+
+func TestEncodeShapeAndNorm(t *testing.T) {
+	xs := samples(20, 24, 2)
+	ae := Train(xs, TrainConfig{Hidden: 8, Epochs: 3, Seed: 1})
+	enc := ae.Encode(xs[0])
+	if len(enc) != 8 {
+		t.Fatalf("encoded dim = %d", len(enc))
+	}
+	if math.Abs(vector.Norm(enc)-1) > 1e-5 {
+		t.Fatalf("encoded norm = %v", vector.Norm(enc))
+	}
+	all := ae.EncodeAll(xs)
+	if len(all) != len(xs) {
+		t.Fatalf("EncodeAll length = %d", len(all))
+	}
+}
+
+func TestStochasticAcrossSeeds(t *testing.T) {
+	xs := samples(20, 16, 3)
+	a := Train(xs, TrainConfig{Hidden: 8, Epochs: 2, Seed: 1})
+	b := Train(xs, TrainConfig{Hidden: 8, Epochs: 2, Seed: 2})
+	ea, eb := a.Encode(xs[0]), b.Encode(xs[0])
+	same := true
+	for i := range ea {
+		if ea[i] != eb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical encoders")
+	}
+	// Same seed must reproduce exactly (determinism given the seed).
+	c := Train(xs, TrainConfig{Hidden: 8, Epochs: 2, Seed: 1})
+	ec := c.Encode(xs[0])
+	for i := range ea {
+		if ea[i] != ec[i] {
+			t.Fatal("same seed did not reproduce the encoder")
+		}
+	}
+}
+
+func TestEncoderPreservesNeighborhoods(t *testing.T) {
+	// Two tight clusters: after training, intra-cluster encoded similarity
+	// must exceed inter-cluster similarity on average.
+	dim := 32
+	base1 := samples(1, dim, 10)[0]
+	base2 := samples(1, dim, 20)[0]
+	perturb := func(base vector.Vec, seed uint64) vector.Vec {
+		noise := samples(1, dim, seed)[0]
+		v := vector.Clone(base)
+		for i := range v {
+			v[i] += 0.1 * noise[i]
+		}
+		return vector.Normalize(v)
+	}
+	var xs []vector.Vec
+	for i := 0; i < 15; i++ {
+		xs = append(xs, perturb(base1, uint64(100+i)))
+	}
+	for i := 0; i < 15; i++ {
+		xs = append(xs, perturb(base2, uint64(200+i)))
+	}
+	ae := Train(xs, TrainConfig{Hidden: 8, Epochs: 20, Seed: 7})
+	enc := ae.EncodeAll(xs)
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < len(enc); i++ {
+		for j := i + 1; j < len(enc); j++ {
+			s := vector.Dot(enc[i], enc[j])
+			if (i < 15) == (j < 15) {
+				intra += s
+				nIntra++
+			} else {
+				inter += s
+				nInter++
+			}
+		}
+	}
+	if intra/float64(nIntra) <= inter/float64(nInter) {
+		t.Fatalf("encoder destroyed cluster structure: intra=%.3f inter=%.3f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}

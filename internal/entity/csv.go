@@ -1,0 +1,106 @@
+package entity
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a dataset from CSV: the first row holds attribute names,
+// every following row one entity profile. Empty cells become absent
+// attributes. This is the ingestion path for the real-world benchmark
+// datasets (Abt-Buy, DBLP-ACM, ...), which are distributed as CSV files.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("entity: reading CSV header: %w", err)
+	}
+	var profiles []Profile
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("entity: reading CSV row %d: %w", len(profiles)+2, err)
+		}
+		var attrs []Attribute
+		for i, cell := range row {
+			if i >= len(header) || cell == "" {
+				continue
+			}
+			attrs = append(attrs, Attribute{Name: header[i], Value: cell})
+		}
+		profiles = append(profiles, Profile{Attrs: attrs})
+	}
+	return New(name, profiles), nil
+}
+
+// ReadGroundTruthCSV loads matching pairs from a two-column CSV of
+// (E1 index, E2 index) rows; a header row is skipped if the first cell is
+// not numeric.
+func ReadGroundTruthCSV(r io.Reader, n1, n2 int) (*GroundTruth, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var pairs []Pair
+	first := true
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("entity: reading groundtruth: %w", err)
+		}
+		if len(row) < 2 {
+			return nil, fmt.Errorf("entity: groundtruth row needs 2 columns, got %d", len(row))
+		}
+		l, err1 := strconv.Atoi(row[0])
+		rgt, err2 := strconv.Atoi(row[1])
+		if err1 != nil || err2 != nil {
+			if first {
+				first = false
+				continue // header row
+			}
+			return nil, fmt.Errorf("entity: non-numeric groundtruth row %v", row)
+		}
+		first = false
+		if l < 0 || l >= n1 || rgt < 0 || rgt >= n2 {
+			return nil, fmt.Errorf("entity: groundtruth pair (%d,%d) out of range (%d,%d)", l, rgt, n1, n2)
+		}
+		pairs = append(pairs, Pair{Left: int32(l), Right: int32(rgt)})
+	}
+	return NewGroundTruth(pairs), nil
+}
+
+// WriteCSV writes the dataset in the format ReadCSV consumes, using the
+// union of attribute names as columns.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	header := d.AttributeNames()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for i := range d.Profiles {
+		row := make([]string, len(header))
+		for _, a := range d.Profiles[i].Attrs {
+			c := col[a.Name]
+			if row[c] != "" {
+				row[c] += " "
+			}
+			row[c] += a.Value
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

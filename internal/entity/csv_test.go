@@ -1,0 +1,77 @@
+package entity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "name,price\ncanon a540,199\nnikon p100,\n"
+	d, err := ReadCSV("shop", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if got := d.Profiles[0].Value("price"); got != "199" {
+		t.Fatalf("price = %q", got)
+	}
+	if got := d.Profiles[1].Value("price"); got != "" {
+		t.Fatalf("empty cell should be absent, got %q", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := New("d", []Profile{
+		{Attrs: []Attribute{{Name: "a", Value: "x y"}, {Name: "b", Value: "1"}}},
+		{Attrs: []Attribute{{Name: "b", Value: "2"}}},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("d", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round-trip length %d", got.Len())
+	}
+	for i := range orig.Profiles {
+		if got.Profiles[i].AllText() != orig.Profiles[i].AllText() {
+			t.Fatalf("profile %d: %q != %q", i, got.Profiles[i].AllText(), orig.Profiles[i].AllText())
+		}
+	}
+}
+
+func TestReadGroundTruthCSV(t *testing.T) {
+	in := "id1,id2\n0,1\n2,0\n"
+	g, err := ReadGroundTruthCSV(strings.NewReader(in), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 || !g.Contains(Pair{Left: 2, Right: 0}) {
+		t.Fatalf("groundtruth wrong: %v", g.Pairs())
+	}
+	// Headerless input works too.
+	g2, err := ReadGroundTruthCSV(strings.NewReader("0,0\n"), 1, 1)
+	if err != nil || g2.Size() != 1 {
+		t.Fatalf("headerless: %v %v", g2, err)
+	}
+	// Out of range.
+	if _, err := ReadGroundTruthCSV(strings.NewReader("5,0\n"), 3, 2); err == nil {
+		t.Fatal("out-of-range pair should error")
+	}
+	// Non-numeric beyond the header.
+	if _, err := ReadGroundTruthCSV(strings.NewReader("a,b\nc,d\n"), 3, 2); err == nil {
+		t.Fatal("non-numeric body should error")
+	}
+}

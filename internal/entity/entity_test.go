@@ -1,0 +1,186 @@
+package entity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleTask() *Task {
+	e1 := New("E1", []Profile{
+		{Attrs: []Attribute{{Name: "name", Value: "canon a540"}, {Name: "price", Value: "199"}}},
+		{Attrs: []Attribute{{Name: "name", Value: "nikon p100"}}},
+		{Attrs: []Attribute{{Name: "price", Value: "99"}}},
+	})
+	e2 := New("E2", []Profile{
+		{Attrs: []Attribute{{Name: "name", Value: "canon a540 camera"}}},
+		{Attrs: []Attribute{{Name: "name", Value: "garmin nuvi"}, {Name: "price", Value: "449"}}},
+	})
+	truth := NewGroundTruth([]Pair{{Left: 0, Right: 0}})
+	return &Task{Name: "t", E1: e1, E2: e2, Truth: truth, BestAttribute: "name"}
+}
+
+func TestProfileValueAndAllText(t *testing.T) {
+	p := Profile{Attrs: []Attribute{
+		{Name: "name", Value: "canon"},
+		{Name: "name", Value: "a540"},
+		{Name: "price", Value: ""},
+		{Name: "desc", Value: "camera"},
+	}}
+	if got := p.Value("name"); got != "canon a540" {
+		t.Fatalf("Value(name) = %q", got)
+	}
+	if got := p.Value("missing"); got != "" {
+		t.Fatalf("Value(missing) = %q", got)
+	}
+	if got := p.AllText(); got != "canon a540 camera" {
+		t.Fatalf("AllText = %q", got)
+	}
+}
+
+func TestNewAssignsSequentialIDs(t *testing.T) {
+	d := New("d", make([]Profile, 5))
+	for i, p := range d.Profiles {
+		if p.ID != int32(i) {
+			t.Fatalf("profile %d has ID %d", i, p.ID)
+		}
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestAttributeNamesSorted(t *testing.T) {
+	task := sampleTask()
+	names := task.E1.AttributeNames()
+	if len(names) != 2 || names[0] != "name" || names[1] != "price" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	g := NewGroundTruth([]Pair{{Left: 1, Right: 2}, {Left: 1, Right: 2}, {Left: 3, Right: 4}})
+	if g.Size() != 2 {
+		t.Fatalf("size = %d (duplicates must collapse)", g.Size())
+	}
+	if !g.Contains(Pair{Left: 1, Right: 2}) || g.Contains(Pair{Left: 2, Right: 1}) {
+		t.Fatal("contains semantics wrong")
+	}
+	if len(g.Pairs()) != 2 {
+		t.Fatal("Pairs() length wrong")
+	}
+}
+
+func TestViews(t *testing.T) {
+	task := sampleTask()
+	agn := NewView(task.E1, SchemaAgnostic, "")
+	if agn.Text(0) != "canon a540 199" {
+		t.Fatalf("agnostic text = %q", agn.Text(0))
+	}
+	based := NewView(task.E1, SchemaBased, "name")
+	if based.Text(0) != "canon a540" {
+		t.Fatalf("based text = %q", based.Text(0))
+	}
+	if based.Text(2) != "" {
+		t.Fatalf("missing attribute should give empty text, got %q", based.Text(2))
+	}
+	v1, v2 := TaskViews(task, SchemaBased)
+	if v1.Len() != 3 || v2.Len() != 2 {
+		t.Fatal("TaskViews lengths wrong")
+	}
+}
+
+func TestViewWithTexts(t *testing.T) {
+	task := sampleTask()
+	v := NewView(task.E1, SchemaAgnostic, "")
+	replaced := v.WithTexts([]string{"a", "b", "c"})
+	if replaced.Text(1) != "b" || v.Text(1) == "b" {
+		t.Fatal("WithTexts must not mutate the original")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	v.WithTexts([]string{"too", "short"})
+}
+
+func TestStatsFor(t *testing.T) {
+	task := sampleTask()
+	s := StatsFor(task, "name")
+	// 4 of 5 profiles have a name.
+	if s.Coverage != 0.8 {
+		t.Fatalf("coverage = %v", s.Coverage)
+	}
+	// Both duplicate profiles have names.
+	if s.GroundtruthCoverage != 1 {
+		t.Fatalf("groundtruth coverage = %v", s.GroundtruthCoverage)
+	}
+	// All 4 values distinct.
+	if s.Distinctiveness != 1 {
+		t.Fatalf("distinctiveness = %v", s.Distinctiveness)
+	}
+	price := StatsFor(task, "price")
+	if price.Coverage != 0.6 {
+		t.Fatalf("price coverage = %v", price.Coverage)
+	}
+	if price.GroundtruthCoverage != 0.5 {
+		t.Fatalf("price groundtruth coverage = %v", price.GroundtruthCoverage)
+	}
+}
+
+func TestBestAttributePrefersRichText(t *testing.T) {
+	task := sampleTask()
+	if got := BestAttribute(task); got != "name" {
+		t.Fatalf("best attribute = %q", got)
+	}
+}
+
+func TestTextStatsOf(t *testing.T) {
+	task := sampleTask()
+	v1, v2 := TaskViews(task, SchemaAgnostic)
+	s := TextStatsOf(v1, v2)
+	if s.VocabularySize == 0 || s.CharacterLength == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The schema-based view is a strict subset of the text.
+	b1, b2 := TaskViews(task, SchemaBased)
+	sb := TextStatsOf(b1, b2)
+	if sb.CharacterLength >= s.CharacterLength {
+		t.Fatal("schema-based character length should shrink")
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	task := sampleTask()
+	if task.CartesianProduct() != 6 {
+		t.Fatalf("cartesian = %v", task.CartesianProduct())
+	}
+}
+
+func TestSchemaSettingString(t *testing.T) {
+	if SchemaAgnostic.String() != "schema-agnostic" || SchemaBased.String() != "schema-based" {
+		t.Fatal("setting names wrong")
+	}
+}
+
+func TestStatsBounds(t *testing.T) {
+	f := func(values []string) bool {
+		profiles := make([]Profile, len(values))
+		for i, v := range values {
+			profiles[i] = Profile{Attrs: []Attribute{{Name: "a", Value: v}}}
+		}
+		if len(profiles) == 0 {
+			return true
+		}
+		task := &Task{
+			E1:    New("x", profiles),
+			E2:    New("y", []Profile{{Attrs: []Attribute{{Name: "a", Value: "z"}}}}),
+			Truth: NewGroundTruth(nil),
+		}
+		s := StatsFor(task, "a")
+		return s.Coverage >= 0 && s.Coverage <= 1 && s.Distinctiveness >= 0 && s.Distinctiveness <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package entity
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// AttributeStats summarizes an attribute's usefulness for schema-based
+// filtering, per Section VI ("Schema settings") of the paper.
+type AttributeStats struct {
+	Name string
+	// Coverage is the portion of entities with a non-empty value for the
+	// attribute.
+	Coverage float64
+	// GroundtruthCoverage is the portion of duplicate profiles that have at
+	// least one non-empty value for the attribute (Figure 3a).
+	GroundtruthCoverage float64
+	// Distinctiveness is the portion of distinct values among the entities
+	// covered by the attribute.
+	Distinctiveness float64
+}
+
+// StatsFor computes coverage, groundtruth coverage and distinctiveness of
+// one attribute over a whole task (both datasets).
+func StatsFor(t *Task, attribute string) AttributeStats {
+	s := AttributeStats{Name: attribute}
+	covered := 0
+	distinct := map[string]struct{}{}
+	total := t.E1.Len() + t.E2.Len()
+	for _, d := range []*Dataset{t.E1, t.E2} {
+		for i := range d.Profiles {
+			v := d.Profiles[i].Value(attribute)
+			if v != "" {
+				covered++
+				distinct[v] = struct{}{}
+			}
+		}
+	}
+	if total > 0 {
+		s.Coverage = float64(covered) / float64(total)
+	}
+	if covered > 0 {
+		s.Distinctiveness = float64(len(distinct)) / float64(covered)
+	}
+
+	// Groundtruth coverage: portion of duplicate profiles (each side counted)
+	// with a non-empty value.
+	if n := t.Truth.Size(); n > 0 {
+		coveredDup := 0
+		for _, p := range t.Truth.Pairs() {
+			if t.E1.Profiles[p.Left].Value(attribute) != "" {
+				coveredDup++
+			}
+			if t.E2.Profiles[p.Right].Value(attribute) != "" {
+				coveredDup++
+			}
+		}
+		s.GroundtruthCoverage = float64(coveredDup) / float64(2*n)
+	}
+	return s
+}
+
+// BestAttribute selects the attribute with the highest product of coverage
+// and distinctiveness across both datasets of the task, mirroring the
+// paper's selection criteria for the schema-based settings. Ties are
+// broken by the average value length, preferring richer textual
+// attributes (a title over an equally distinctive numeric id).
+func BestAttribute(t *Task) string {
+	best, bestScore, bestLen := "", -1.0, -1.0
+	for _, name := range append(t.E1.AttributeNames(), t.E2.AttributeNames()...) {
+		s := StatsFor(t, name)
+		score := s.Coverage * s.Distinctiveness
+		l := avgValueLength(t, name)
+		if score > bestScore || (score == bestScore && l > bestLen) {
+			best, bestScore, bestLen = name, score, l
+		}
+	}
+	return best
+}
+
+func avgValueLength(t *Task, attribute string) float64 {
+	total, n := 0, 0
+	for _, d := range []*Dataset{t.E1, t.E2} {
+		for i := range d.Profiles {
+			if v := d.Profiles[i].Value(attribute); v != "" {
+				total += utf8.RuneCountInString(v)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// TextStats reports the computational-cost measures of Figure 3(b,c):
+// vocabulary size (distinct whitespace tokens) and overall character length.
+type TextStats struct {
+	VocabularySize  int
+	CharacterLength int
+}
+
+// TextStatsOf computes the vocabulary size and character length over the
+// texts of both views of a task.
+func TextStatsOf(views ...*View) TextStats {
+	vocab := map[string]struct{}{}
+	chars := 0
+	for _, v := range views {
+		for i := 0; i < v.Len(); i++ {
+			txt := v.Text(i)
+			chars += utf8.RuneCountInString(txt)
+			for _, tok := range strings.Fields(txt) {
+				vocab[tok] = struct{}{}
+			}
+		}
+	}
+	return TextStats{VocabularySize: len(vocab), CharacterLength: chars}
+}

@@ -1,0 +1,75 @@
+package entity
+
+// SchemaSetting selects how the textual content of a profile is assembled
+// before filtering, per the paper's "schema settings" (Section VI).
+type SchemaSetting int
+
+const (
+	// SchemaAgnostic concatenates all attribute values of a profile,
+	// treating the entity as one long textual value. It is inherently
+	// applicable to heterogeneous schemata and tolerates misplaced values.
+	SchemaAgnostic SchemaSetting = iota
+	// SchemaBased uses only the value of the task's best attribute,
+	// selected for coverage and distinctiveness.
+	SchemaBased
+)
+
+// String implements fmt.Stringer.
+func (s SchemaSetting) String() string {
+	if s == SchemaBased {
+		return "schema-based"
+	}
+	return "schema-agnostic"
+}
+
+// View exposes the textual content of a dataset under one schema setting.
+// Filters operate exclusively through Views, so every method sees the exact
+// same input text for a given (dataset, setting) combination.
+type View struct {
+	Dataset *Dataset
+	Setting SchemaSetting
+	// Attribute is the attribute used by SchemaBased views; ignored for
+	// SchemaAgnostic ones.
+	Attribute string
+	texts     []string
+}
+
+// NewView materializes the per-entity text of the dataset under the setting.
+func NewView(d *Dataset, setting SchemaSetting, attribute string) *View {
+	v := &View{Dataset: d, Setting: setting, Attribute: attribute}
+	v.texts = make([]string, d.Len())
+	for i := range d.Profiles {
+		if setting == SchemaBased {
+			v.texts[i] = d.Profiles[i].Value(attribute)
+		} else {
+			v.texts[i] = d.Profiles[i].AllText()
+		}
+	}
+	return v
+}
+
+// Len returns the number of entities in the view.
+func (v *View) Len() int { return len(v.texts) }
+
+// Text returns the textual content of entity i under the view's setting.
+func (v *View) Text(i int) string { return v.texts[i] }
+
+// Texts returns the backing slice of per-entity texts. Callers must not
+// modify it.
+func (v *View) Texts() []string { return v.texts }
+
+// WithTexts returns a copy of the view whose texts have been replaced,
+// e.g. after cleaning (stop-word removal and stemming). The replacement
+// slice must have the same length.
+func (v *View) WithTexts(texts []string) *View {
+	if len(texts) != len(v.texts) {
+		panic("entity: WithTexts length mismatch")
+	}
+	return &View{Dataset: v.Dataset, Setting: v.Setting, Attribute: v.Attribute, texts: texts}
+}
+
+// TaskViews builds the E1 and E2 views of a task under the given setting.
+func TaskViews(t *Task, setting SchemaSetting) (*View, *View) {
+	return NewView(t.E1, setting, t.BestAttribute),
+		NewView(t.E2, setting, t.BestAttribute)
+}

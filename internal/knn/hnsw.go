@@ -1,0 +1,246 @@
+package knn
+
+import (
+	"container/heap"
+	"math"
+
+	"erfilter/internal/vector"
+)
+
+// HNSW is a Hierarchical Navigable Small World graph index (Malkov &
+// Yashunin), the graph-based approximate method FAISS offers. The paper
+// experimented with it and found it does not outperform the Flat index
+// under Problem 1; it is implemented here so that finding is reproducible
+// (see the ablation experiments).
+type HNSW struct {
+	// M is the maximum number of neighbors per node per layer (2M at
+	// layer 0); 0 selects 16.
+	M int
+	// EfConstruction is the beam width during insertion; 0 selects 100.
+	EfConstruction int
+	// EfSearch is the beam width during queries; 0 selects 64.
+	EfSearch int
+	// Metric ranks candidates (DotProduct or L2Squared).
+	Metric Metric
+	// Seed drives the random level assignment.
+	Seed uint64
+
+	vecs    []vector.Vec
+	levels  []int
+	links   [][][]int32 // [node][layer][] neighbor ids
+	entry   int32
+	maxL    int
+	levelML float64
+}
+
+// NewHNSW builds the graph over the vectors.
+func NewHNSW(vecs []vector.Vec, h HNSW) *HNSW {
+	idx := &h
+	if idx.M <= 0 {
+		idx.M = 16
+	}
+	if idx.EfConstruction <= 0 {
+		idx.EfConstruction = 100
+	}
+	if idx.EfSearch <= 0 {
+		idx.EfSearch = 64
+	}
+	idx.levelML = 1 / math.Log(float64(idx.M))
+	idx.entry = -1
+	idx.maxL = -1
+	for i := range vecs {
+		idx.insert(vecs, int32(i))
+	}
+	idx.vecs = vecs
+	return idx
+}
+
+// Len returns the number of indexed vectors.
+func (h *HNSW) Len() int { return len(h.vecs) }
+
+// randomLevel samples a node's top layer geometrically.
+func (h *HNSW) randomLevel(id int32) int {
+	u := float64(vector.Mix64(uint64(id)+1, h.Seed)>>11) / (1 << 53)
+	if u <= 0 {
+		u = 1e-18
+	}
+	return int(-math.Log(u) * h.levelML)
+}
+
+func (h *HNSW) dist(vecs []vector.Vec, a vector.Vec, b int32) float64 {
+	return h.Metric.score(a, vecs[b])
+}
+
+// searchLayer runs a best-first beam search of width ef on one layer,
+// starting from the given entry points. Returns the ef closest nodes.
+type cand struct {
+	id int32
+	d  float64
+}
+
+type candMinHeap []cand
+
+func (h candMinHeap) Len() int            { return len(h) }
+func (h candMinHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h candMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candMinHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candMinHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type candMaxHeap []cand
+
+func (h candMaxHeap) Len() int            { return len(h) }
+func (h candMaxHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h candMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candMaxHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candMaxHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func (h *HNSW) searchLayer(vecs []vector.Vec, q vector.Vec, entries []cand, ef, layer int) []cand {
+	visited := map[int32]bool{}
+	frontier := candMinHeap{}
+	results := candMaxHeap{}
+	for _, e := range entries {
+		if visited[e.id] {
+			continue
+		}
+		visited[e.id] = true
+		heap.Push(&frontier, e)
+		heap.Push(&results, e)
+	}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(&frontier).(cand)
+		if results.Len() >= ef && cur.d > results[0].d {
+			break
+		}
+		for _, n := range h.links[cur.id][layer] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			d := h.dist(vecs, q, n)
+			if results.Len() < ef || d < results[0].d {
+				heap.Push(&frontier, cand{id: n, d: d})
+				heap.Push(&results, cand{id: n, d: d})
+				if results.Len() > ef {
+					heap.Pop(&results)
+				}
+			}
+		}
+	}
+	out := make([]cand, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(cand)
+	}
+	return out
+}
+
+// selectNeighbors keeps the m closest candidates (simple heuristic).
+func selectNeighbors(cands []cand, m int) []cand {
+	if len(cands) <= m {
+		return cands
+	}
+	return cands[:m]
+}
+
+func (h *HNSW) insert(vecs []vector.Vec, id int32) {
+	level := h.randomLevel(id)
+	node := make([][]int32, level+1)
+	h.links = append(h.links, node)
+	h.levels = append(h.levels, level)
+
+	if h.entry < 0 {
+		h.entry = id
+		h.maxL = level
+		return
+	}
+
+	q := vecs[id]
+	ep := []cand{{id: h.entry, d: h.dist(vecs, q, h.entry)}}
+	// Greedy descent through the layers above the node's level.
+	for l := h.maxL; l > level; l-- {
+		ep = h.searchLayer(vecs, q, ep, 1, l)
+	}
+	// Insert at each layer from min(level, maxL) down to 0.
+	top := level
+	if top > h.maxL {
+		top = h.maxL
+	}
+	for l := top; l >= 0; l-- {
+		found := h.searchLayer(vecs, q, ep, h.EfConstruction, l)
+		m := h.M
+		if l == 0 {
+			m = 2 * h.M
+		}
+		neighbors := selectNeighbors(found, m)
+		for _, n := range neighbors {
+			h.links[id][l] = append(h.links[id][l], n.id)
+			h.links[n.id][l] = append(h.links[n.id][l], id)
+			// Prune over-connected neighbors.
+			if len(h.links[n.id][l]) > m {
+				h.pruneNode(vecs, n.id, l, m)
+			}
+		}
+		ep = found
+	}
+	if level > h.maxL {
+		h.maxL = level
+		h.entry = id
+	}
+}
+
+// pruneNode trims a node's layer links back to its m closest neighbors.
+func (h *HNSW) pruneNode(vecs []vector.Vec, id int32, layer, m int) {
+	links := h.links[id][layer]
+	cands := make([]cand, 0, len(links))
+	for _, n := range links {
+		cands = append(cands, cand{id: n, d: h.Metric.score(vecs[id], vecs[n])})
+	}
+	// Partial selection: m smallest.
+	for i := 0; i < m && i < len(cands); i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].d < cands[best].d {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	kept := make([]int32, 0, m)
+	for i := 0; i < m && i < len(cands); i++ {
+		kept = append(kept, cands[i].id)
+	}
+	h.links[id][layer] = kept
+}
+
+// Search implements Searcher.
+func (h *HNSW) Search(q vector.Vec, k int) []Result {
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	ep := []cand{{id: h.entry, d: h.dist(h.vecs, q, h.entry)}}
+	for l := h.maxL; l > 0; l-- {
+		ep = h.searchLayer(h.vecs, q, ep, 1, l)
+	}
+	ef := h.EfSearch
+	if ef < k {
+		ef = k
+	}
+	found := h.searchLayer(h.vecs, q, ep, ef, 0)
+	if len(found) > k {
+		found = found[:k]
+	}
+	out := make([]Result, len(found))
+	for i, c := range found {
+		out[i] = Result{ID: c.id, Score: c.d}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package knn
+
+import (
+	"math"
+
+	"erfilter/internal/vector"
+)
+
+// kmeansResult holds trained centroids and the assignment of every input
+// vector to its nearest centroid.
+type kmeansResult struct {
+	centroids []vector.Vec
+	assign    []int
+}
+
+// kmeans runs Lloyd's algorithm with deterministic seeding: the initial
+// centroids are the input vectors at stride positions permuted by the seed,
+// a cheap stand-in for k-means++ that is reproducible without a shared
+// random source. Empty clusters are re-seeded from the farthest point.
+func kmeans(vecs []vector.Vec, k, iterations int, seed uint64) *kmeansResult {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	dim := len(vecs[0])
+
+	centroids := make([]vector.Vec, k)
+	for i := 0; i < k; i++ {
+		pick := int(vector.Mix64(uint64(i), seed) % uint64(n))
+		centroids[i] = vector.Clone(vecs[pick])
+	}
+
+	assign := make([]int, n)
+	nearest := func(v vector.Vec) (int, float64) {
+		best, bestD := 0, math.Inf(1)
+		for c := range centroids {
+			if d := vector.L2Sq(v, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best, bestD
+	}
+
+	for iter := 0; iter < iterations; iter++ {
+		changed := false
+		dists := make([]float64, n)
+		for i, v := range vecs {
+			c, d := nearest(v)
+			dists[i] = d
+			if assign[i] != c || iter == 0 {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([]vector.Vec, k)
+		for c := range sums {
+			sums[c] = make(vector.Vec, dim)
+		}
+		for i, v := range vecs {
+			counts[assign[i]]++
+			vector.Add(sums[assign[i]], v)
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from the farthest point.
+				far, farD := 0, -1.0
+				for i := range vecs {
+					if dists[i] > farD {
+						far, farD = i, dists[i]
+					}
+				}
+				centroids[c] = vector.Clone(vecs[far])
+				continue
+			}
+			vector.Scale(sums[c], 1/float32(counts[c]))
+			centroids[c] = sums[c]
+		}
+	}
+	// Final assignment against the last centroids.
+	for i, v := range vecs {
+		assign[i], _ = nearest(v)
+	}
+	return &kmeansResult{centroids: centroids, assign: assign}
+}

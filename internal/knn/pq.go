@@ -1,0 +1,87 @@
+package knn
+
+import "erfilter/internal/vector"
+
+// productQuantizer implements the asymmetric-hashing (AH) scoring of the
+// SCANN analog: vectors are split into m contiguous subspaces, each
+// subspace is quantized with its own small k-means codebook, and queries
+// are scored against the codes through per-subspace lookup tables built
+// once per query ("asymmetric": the query stays exact, only the database
+// side is quantized).
+type productQuantizer struct {
+	m         int            // number of subspaces
+	subdim    int            // dimensions per subspace (last one may be shorter)
+	codebooks [][]vector.Vec // [subspace][code] -> centroid
+	codes     [][]uint8      // [vector][subspace] -> code
+}
+
+// pqCodebookSize is the number of centroids per subspace codebook (one
+// byte codes, the standard 16-centroid codebook of 4-bit AH doubled for
+// accuracy would be 16; we use 16 as in SCANN's default AH config).
+const pqCodebookSize = 16
+
+// newProductQuantizer trains codebooks over the vectors and encodes them.
+func newProductQuantizer(vecs []vector.Vec, m int, seed uint64) *productQuantizer {
+	dim := len(vecs[0])
+	if m > dim {
+		m = dim
+	}
+	pq := &productQuantizer{m: m, subdim: (dim + m - 1) / m}
+	pq.codebooks = make([][]vector.Vec, m)
+	pq.codes = make([][]uint8, len(vecs))
+	for i := range pq.codes {
+		pq.codes[i] = make([]uint8, m)
+	}
+	for s := 0; s < m; s++ {
+		lo := s * pq.subdim
+		hi := lo + pq.subdim
+		if hi > dim {
+			hi = dim
+		}
+		sub := make([]vector.Vec, len(vecs))
+		for i, v := range vecs {
+			sub[i] = v[lo:hi]
+		}
+		km := kmeans(sub, pqCodebookSize, 8, seed+uint64(s)*0x100000001b3)
+		pq.codebooks[s] = km.centroids
+		for i := range vecs {
+			pq.codes[i][s] = uint8(km.assign[i])
+		}
+	}
+	return pq
+}
+
+// lut builds the per-query lookup table: lut[s][c] is the metric score
+// contribution of subspace s when the database code is c.
+func (pq *productQuantizer) lut(q vector.Vec, metric Metric) [][]float64 {
+	dim := len(q)
+	out := make([][]float64, pq.m)
+	for s := 0; s < pq.m; s++ {
+		lo := s * pq.subdim
+		hi := lo + pq.subdim
+		if hi > dim {
+			hi = dim
+		}
+		qs := q[lo:hi]
+		row := make([]float64, len(pq.codebooks[s]))
+		for c, centroid := range pq.codebooks[s] {
+			if metric == DotProduct {
+				row[c] = -vector.Dot(qs, centroid)
+			} else {
+				row[c] = vector.L2Sq(qs, centroid)
+			}
+		}
+		out[s] = row
+	}
+	return out
+}
+
+// score sums the lookup-table contributions of one encoded vector.
+func (pq *productQuantizer) score(lut [][]float64, id int32) float64 {
+	var sum float64
+	code := pq.codes[id]
+	for s := 0; s < pq.m; s++ {
+		sum += lut[s][code[s]]
+	}
+	return sum
+}

@@ -1,0 +1,168 @@
+package lsh
+
+import (
+	"math"
+	"sort"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/vector"
+)
+
+// Hyperplane implements Hyperplane LSH (Charikar, STOC 2002): each of
+// Tables hash tables draws Hashes random Gaussian hyperplanes; a vector's
+// hash in a table is the sign pattern of its projections. Two unit vectors
+// with angle α collide on one hyperplane with probability 1 − α/π.
+// Querying is multi-probe: besides the query's own bucket, the Probes−1
+// buckets obtained by flipping the lowest-margin sign bits are inspected.
+type Hyperplane struct {
+	Tables, Hashes int
+	// Probes is the number of buckets inspected per table per query
+	// (including the base bucket). Probes <= 1 disables multi-probing.
+	Probes int
+	// Seed drives the random hyperplanes.
+	Seed uint64
+}
+
+// HyperplaneIndex holds the per-table hyperplanes and buckets of one
+// indexed collection.
+type HyperplaneIndex struct {
+	h      *Hyperplane
+	dim    int
+	tables []hpTable
+	stamp  []int32
+	query  int32
+	dots   []float64
+	bits   []bool
+}
+
+type hpTable struct {
+	planes  []float64
+	buckets map[uint64][]int32
+}
+
+// hyperplanes returns the Hashes random hyperplanes of one table as a
+// flat [Hashes][dim] matrix.
+func (h *Hyperplane) hyperplanes(table, dim int) []float64 {
+	planes := make([]float64, h.Hashes*dim)
+	vector.Gaussian(planes, h.Seed+uint64(table)*0x2545f4914f6cdd1d+11)
+	return planes
+}
+
+// signKey packs sign bits into a bucket key.
+func signKey(bits []bool) uint64 {
+	var k uint64
+	for i, b := range bits {
+		if b {
+			k |= 1 << uint(i)
+		}
+	}
+	return k
+}
+
+// Build indexes the vectors.
+func (h *Hyperplane) Build(vecs []vector.Vec) *HyperplaneIndex {
+	if len(vecs) == 0 {
+		return &HyperplaneIndex{h: h}
+	}
+	idx := &HyperplaneIndex{
+		h:      h,
+		dim:    len(vecs[0]),
+		tables: make([]hpTable, h.Tables),
+		stamp:  make([]int32, len(vecs)),
+		dots:   make([]float64, h.Hashes),
+		bits:   make([]bool, h.Hashes),
+	}
+	for i := range idx.stamp {
+		idx.stamp[i] = -1
+	}
+	for t := range idx.tables {
+		idx.tables[t].planes = h.hyperplanes(t, idx.dim)
+		idx.tables[t].buckets = map[uint64][]int32{}
+		for i, v := range vecs {
+			idx.project(idx.tables[t].planes, v)
+			k := signKey(idx.bits)
+			idx.tables[t].buckets[k] = append(idx.tables[t].buckets[k], int32(i))
+		}
+	}
+	return idx
+}
+
+func (idx *HyperplaneIndex) project(planes []float64, v vector.Vec) {
+	for i := 0; i < idx.h.Hashes; i++ {
+		row := planes[i*idx.dim : (i+1)*idx.dim]
+		var d float64
+		for j := range row {
+			d += row[j] * float64(v[j])
+		}
+		idx.dots[i] = d
+		idx.bits[i] = d >= 0
+	}
+}
+
+// Query invokes fn once for every indexed entity sharing a (multi-probed)
+// bucket with v in any table.
+func (idx *HyperplaneIndex) Query(v vector.Vec, fn func(e int32)) {
+	if len(idx.tables) == 0 {
+		return
+	}
+	probes := idx.h.Probes
+	if probes < 1 {
+		probes = 1
+	}
+	idx.query++
+	for t := range idx.tables {
+		tb := &idx.tables[t]
+		idx.project(tb.planes, v)
+		base := signKey(idx.bits)
+		keys := []uint64{base}
+		if probes > 1 {
+			options := make([][]float64, idx.h.Hashes)
+			for i := range options {
+				options[i] = []float64{0, math.Abs(idx.dots[i])}
+			}
+			keys = keys[:0]
+			for _, choice := range probeSequence(options, probes) {
+				k := base
+				for bit, c := range choice {
+					if c == 1 {
+						k ^= 1 << uint(bit)
+					}
+				}
+				keys = append(keys, k)
+			}
+		}
+		for _, k := range keys {
+			for _, e1 := range tb.buckets[k] {
+				if idx.stamp[e1] != idx.query {
+					idx.stamp[e1] = idx.query
+					fn(e1)
+				}
+			}
+		}
+	}
+}
+
+// Candidates indexes vecs1 and probes with every vector of vecs2.
+func (h *Hyperplane) Candidates(vecs1, vecs2 []vector.Vec) []entity.Pair {
+	if len(vecs1) == 0 || len(vecs2) == 0 {
+		return nil
+	}
+	idx := h.Build(vecs1)
+	var out []entity.Pair
+	for j, v := range vecs2 {
+		idx.Query(v, func(e1 int32) {
+			out = append(out, entity.Pair{Left: e1, Right: int32(j)})
+		})
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []entity.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Left != ps[j].Left {
+			return ps[i].Left < ps[j].Left
+		}
+		return ps[i].Right < ps[j].Right
+	})
+}

@@ -1,0 +1,34 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/matching"
+)
+
+// ExampleLevenshtein shows the edit distance used by rule-based matching.
+func ExampleLevenshtein() {
+	fmt.Println(matching.Levenshtein("kitten", "sitting"))
+	fmt.Printf("%.2f\n", matching.LevenshteinSim("kitten", "sitting"))
+	// Output:
+	// 3
+	// 0.57
+}
+
+// ExampleJaroWinkler shows the prefix-boosted Jaro similarity.
+func ExampleJaroWinkler() {
+	fmt.Printf("%.3f\n", matching.JaroWinkler("martha", "marhta"))
+	// Output: 0.961
+}
+
+// ExampleCluster consolidates matched pairs into entity clusters via
+// connected components.
+func ExampleCluster() {
+	clusters := matching.Cluster([]entity.Pair{
+		{Left: 0, Right: 0},
+		{Left: 1, Right: 0}, // links E1's 0 and 1 through E2's 0
+	})
+	fmt.Println(len(clusters), len(clusters[0]))
+	// Output: 1 3
+}

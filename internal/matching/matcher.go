@@ -1,0 +1,162 @@
+package matching
+
+import (
+	"fmt"
+
+	"erfilter/internal/entity"
+)
+
+// Similarity identifies one of the built-in similarity functions.
+type Similarity int
+
+// The rule-based similarity functions.
+const (
+	SimLevenshtein Similarity = iota
+	SimJaro
+	SimJaroWinkler
+	SimTokenJaccard
+	SimTFIDFCosine
+)
+
+// String implements fmt.Stringer.
+func (s Similarity) String() string {
+	switch s {
+	case SimLevenshtein:
+		return "levenshtein"
+	case SimJaro:
+		return "jaro"
+	case SimJaroWinkler:
+		return "jaro-winkler"
+	case SimTokenJaccard:
+		return "token-jaccard"
+	case SimTFIDFCosine:
+		return "tfidf-cosine"
+	}
+	return "unknown"
+}
+
+// Matcher verifies candidate pairs: a pair is declared a duplicate when
+// the similarity of the two entities' texts reaches the threshold.
+type Matcher struct {
+	Similarity Similarity
+	Threshold  float64
+	tfidf      *TFIDFCosine
+}
+
+// NewMatcher builds a matcher over the two views; the corpus is needed
+// only for SimTFIDFCosine document frequencies.
+func NewMatcher(sim Similarity, threshold float64, v1, v2 *entity.View) *Matcher {
+	m := &Matcher{Similarity: sim, Threshold: threshold}
+	if sim == SimTFIDFCosine {
+		corpus := append(append([]string{}, v1.Texts()...), v2.Texts()...)
+		m.tfidf = NewTFIDFCosine(corpus)
+	}
+	return m
+}
+
+// Sim scores one pair of texts.
+func (m *Matcher) Sim(a, b string) float64 {
+	switch m.Similarity {
+	case SimLevenshtein:
+		return LevenshteinSim(normalize(a), normalize(b))
+	case SimJaro:
+		return Jaro(normalize(a), normalize(b))
+	case SimJaroWinkler:
+		return JaroWinkler(normalize(a), normalize(b))
+	case SimTokenJaccard:
+		return TokenJaccard(a, b)
+	case SimTFIDFCosine:
+		return m.tfidf.Sim(a, b)
+	}
+	return 0
+}
+
+// Verify scores every candidate pair and returns those reaching the
+// threshold.
+func (m *Matcher) Verify(candidates []entity.Pair, v1, v2 *entity.View) []entity.Pair {
+	var out []entity.Pair
+	for _, p := range candidates {
+		if m.Sim(v1.Text(int(p.Left)), v2.Text(int(p.Right))) >= m.Threshold {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Quality holds the precision/recall/F1 of a verified match set.
+type Quality struct {
+	Precision, Recall, F1 float64
+	TruePositives         int
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f", q.Precision, q.Recall, q.F1)
+}
+
+// EvaluateMatches computes match quality against the groundtruth.
+func EvaluateMatches(matches []entity.Pair, truth *entity.GroundTruth) Quality {
+	seen := map[entity.Pair]struct{}{}
+	tp := 0
+	for _, p := range matches {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		if truth.Contains(p) {
+			tp++
+		}
+	}
+	q := Quality{TruePositives: tp}
+	if len(seen) > 0 {
+		q.Precision = float64(tp) / float64(len(seen))
+	}
+	if truth.Size() > 0 {
+		q.Recall = float64(tp) / float64(truth.Size())
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// Cluster consolidates matched pairs into entity clusters via connected
+// components over the bipartite match graph, the standard post-processing
+// of rule-based ER. Each cluster lists E1 members as non-negative ids and
+// E2 members as ^id (bitwise complement).
+func Cluster(matches []entity.Pair) [][]int32 {
+	parent := map[int32]int32{}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range matches {
+		union(p.Left, ^p.Right)
+	}
+	groups := map[int32][]int32{}
+	for x := range parent {
+		r := find(x)
+		groups[r] = append(groups[r], x)
+	}
+	out := make([][]int32, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}

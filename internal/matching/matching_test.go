@@ -1,0 +1,187 @@
+package matching
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"erfilter/internal/entity"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+		{"café", "cafe", 1}, // rune-level
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false // symmetry
+		}
+		if (d == 0) != (a == b) {
+			return false // identity
+		}
+		s := LevenshteinSim(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	// Reference values from the literature.
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.944) > 0.001 {
+		t.Errorf("Jaro(martha,marhta) = %.4f", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); math.Abs(got-0.767) > 0.001 {
+		t.Errorf("Jaro(dixon,dicksonx) = %.4f", got)
+	}
+	if got := Jaro("abc", "abc"); got != 1 {
+		t.Errorf("Jaro identity = %v", got)
+	}
+	if got := Jaro("abc", "xyz"); got != 0 {
+		t.Errorf("Jaro disjoint = %v", got)
+	}
+	if got := Jaro("", ""); got != 1 {
+		t.Errorf("Jaro empty = %v", got)
+	}
+	if got := Jaro("a", ""); got != 0 {
+		t.Errorf("Jaro half-empty = %v", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.961) > 0.001 {
+		t.Errorf("JaroWinkler(martha,marhta) = %.4f", got)
+	}
+	// Prefix boost: JW >= Jaro always.
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("canon a540 camera", "camera canon a540"); got != 1 {
+		t.Errorf("order-insensitive jaccard = %v", got)
+	}
+	if got := TokenJaccard("a b", "b c"); got != 1.0/3.0 {
+		t.Errorf("jaccard = %v", got)
+	}
+	if got := TokenJaccard("", ""); got != 1 {
+		t.Errorf("empty jaccard = %v", got)
+	}
+}
+
+func TestTFIDFCosineWeighsRareTokens(t *testing.T) {
+	corpus := []string{
+		"canon a540 camera", "nikon p100 camera", "sony w55 camera",
+		"olympus 710 camera", "kodak c613 camera",
+	}
+	c := NewTFIDFCosine(corpus)
+	// Shared rare token ("a540") must outweigh shared common token ("camera").
+	rare := c.Sim("canon a540", "a540 deluxe")
+	common := c.Sim("canon camera", "nikon camera")
+	if rare <= common {
+		t.Fatalf("rare-token sim %.3f <= common-token sim %.3f", rare, common)
+	}
+	if got := c.Sim("canon a540 camera", "canon a540 camera"); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-sim = %v", got)
+	}
+}
+
+func mkViews(a, b []string) (*entity.View, *entity.View) {
+	mk := func(texts []string) *entity.View {
+		profiles := make([]entity.Profile, len(texts))
+		for i, s := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "v", Value: s}}}
+		}
+		return entity.NewView(entity.New("d", profiles), entity.SchemaAgnostic, "")
+	}
+	return mk(a), mk(b)
+}
+
+func TestMatcherVerify(t *testing.T) {
+	v1, v2 := mkViews(
+		[]string{"canon powershot a540", "nikon coolpix p100"},
+		[]string{"canon power shot a540", "garmin nuvi 350"},
+	)
+	truth := entity.NewGroundTruth([]entity.Pair{{Left: 0, Right: 0}})
+	candidates := []entity.Pair{
+		{Left: 0, Right: 0}, {Left: 0, Right: 1}, {Left: 1, Right: 0}, {Left: 1, Right: 1},
+	}
+	thresholds := map[Similarity]float64{
+		SimLevenshtein: 0.55, SimJaro: 0.55, SimJaroWinkler: 0.55,
+		SimTokenJaccard: 0.3, SimTFIDFCosine: 0.25,
+	}
+	for sim, thr := range thresholds {
+		m := NewMatcher(sim, thr, v1, v2)
+		matches := m.Verify(candidates, v1, v2)
+		q := EvaluateMatches(matches, truth)
+		if q.Recall < 1 {
+			t.Errorf("%s: missed the true match (recall %.2f)", sim, q.Recall)
+		}
+		if q.Precision < 0.5 {
+			t.Errorf("%s: too many false matches (precision %.2f): %v", sim, q.Precision, matches)
+		}
+	}
+}
+
+func TestEvaluateMatches(t *testing.T) {
+	truth := entity.NewGroundTruth([]entity.Pair{{Left: 0, Right: 0}, {Left: 1, Right: 1}})
+	q := EvaluateMatches([]entity.Pair{{Left: 0, Right: 0}, {Left: 0, Right: 1}}, truth)
+	if q.Precision != 0.5 || q.Recall != 0.5 || math.Abs(q.F1-0.5) > 1e-12 {
+		t.Fatalf("quality = %+v", q)
+	}
+	empty := EvaluateMatches(nil, truth)
+	if empty.F1 != 0 {
+		t.Fatalf("empty quality = %+v", empty)
+	}
+}
+
+func TestCluster(t *testing.T) {
+	matches := []entity.Pair{
+		{Left: 0, Right: 0},
+		{Left: 1, Right: 0}, // 0,1 of E1 linked through E2's 0
+		{Left: 2, Right: 2},
+	}
+	clusters := Cluster(matches)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	sizes := map[int]int{}
+	for _, c := range clusters {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 {
+		t.Fatalf("cluster sizes wrong: %v", clusters)
+	}
+}
+
+func TestSimilarityNames(t *testing.T) {
+	for _, s := range []Similarity{SimLevenshtein, SimJaro, SimJaroWinkler, SimTokenJaccard, SimTFIDFCosine} {
+		if s.String() == "unknown" {
+			t.Errorf("similarity %d has no name", s)
+		}
+	}
+}

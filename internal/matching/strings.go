@@ -1,0 +1,232 @@
+// Package matching implements the verification step of the
+// Filtering-Verification framework (Section I): it examines every
+// candidate pair produced by a filter and decides whether it is a
+// duplicate. Following the paper's description of early, label-free ER,
+// the matchers are rule-based: a string similarity function compared
+// against a threshold. The package provides the classic similarity
+// functions (normalized Levenshtein, Jaro, Jaro-Winkler, token Jaccard,
+// TF-IDF cosine) and a connected-components clustering to consolidate the
+// matched pairs.
+package matching
+
+import (
+	"math"
+	"strings"
+
+	"erfilter/internal/text"
+)
+
+// Levenshtein returns the edit distance between two strings (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim returns 1 - dist/maxLen, a similarity in [0,1].
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// Jaro returns the Jaro similarity of two strings in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts the Jaro similarity by the length of the common
+// prefix (up to 4 characters), with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// TokenJaccard returns the Jaccard coefficient of the two strings' token
+// sets.
+func TokenJaccard(a, b string) float64 {
+	sa := map[string]struct{}{}
+	for _, t := range text.Tokenize(a) {
+		sa[t] = struct{}{}
+	}
+	sb := map[string]struct{}{}
+	for _, t := range text.Tokenize(b) {
+		sb[t] = struct{}{}
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// TFIDFCosine scores candidate pairs with a TF-IDF-weighted cosine over
+// whitespace tokens. Document frequencies are taken over the corpus given
+// at construction, so rare shared tokens weigh more than generic ones —
+// the same rationale as Meta-blocking's weighting schemes.
+type TFIDFCosine struct {
+	df   map[string]float64
+	docs float64
+}
+
+// NewTFIDFCosine builds the document-frequency table over the corpus.
+func NewTFIDFCosine(corpus []string) *TFIDFCosine {
+	c := &TFIDFCosine{df: map[string]float64{}, docs: float64(len(corpus))}
+	for _, doc := range corpus {
+		seen := map[string]struct{}{}
+		for _, t := range text.Tokenize(doc) {
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			seen[t] = struct{}{}
+			c.df[t]++
+		}
+	}
+	return c
+}
+
+func (c *TFIDFCosine) weights(s string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, t := range text.Tokenize(s) {
+		tf[t]++
+	}
+	w := make(map[string]float64, len(tf))
+	for t, f := range tf {
+		idf := math.Log((c.docs + 1) / (c.df[t] + 1))
+		w[t] = f * idf
+	}
+	return w
+}
+
+// Sim returns the TF-IDF cosine similarity of two strings in [0,1].
+func (c *TFIDFCosine) Sim(a, b string) float64 {
+	wa, wb := c.weights(a), c.weights(b)
+	var dot, na, nb float64
+	for t, x := range wa {
+		na += x * x
+		if y, ok := wb[t]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range wb {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// normalize lower-cases and collapses whitespace for the character-level
+// similarities.
+func normalize(s string) string {
+	return strings.Join(text.Tokenize(s), " ")
+}

@@ -1,0 +1,216 @@
+// Package metablocking implements the comparison cleaning step of the
+// blocking workflow (Figure 1): Comparison Propagation, which removes the
+// redundant candidate pairs, and Meta-blocking, which additionally prunes
+// superfluous (likely non-matching) pairs by weighting every distinct
+// candidate pair and keeping only the best-weighted ones.
+//
+// The six weighting schemes (ARCS, CBS, ECBS, JS, EJS, ChiSquare) and seven
+// pruning algorithms (BLAST, CEP, CNP, RCNP, WEP, WNP, RWNP) follow the
+// definitions in the paper's Section IV-B and the meta-blocking literature
+// it cites.
+package metablocking
+
+import (
+	"math"
+	"sort"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/entity"
+)
+
+// Graph holds the distinct candidate pairs of a block collection together
+// with the per-pair statistics every weighting scheme needs. Pairs are
+// stored grouped by their E1 entity.
+type Graph struct {
+	// Pairs lists every distinct (non-redundant) candidate pair once.
+	Pairs []entity.Pair
+	// CBS[i] is the number of blocks shared by Pairs[i]'s entities.
+	CBS []float64
+	// ARCS[i] is the sum over the shared blocks of 1/comparisons(block).
+	ARCS []float64
+	// BlocksOf1[e] and BlocksOf2[e] count the blocks containing each entity.
+	BlocksOf1, BlocksOf2 []float64
+	// Degree1[e], Degree2[e] count the distinct pairs of each entity (|v_i|
+	// in the EJS formula).
+	Degree1, Degree2 []float64
+	// TotalBlocks is |B|, TotalPairs is |V| (distinct pairs).
+	TotalBlocks float64
+	TotalPairs  float64
+	N1, N2      int
+}
+
+// BuildGraph enumerates the distinct candidate pairs of the collection and
+// computes the shared-block statistics. It performs the work of Comparison
+// Propagation (each redundant pair is counted exactly once) while keeping
+// the information Meta-blocking needs.
+func BuildGraph(c *blocking.Collection) *Graph {
+	g := &Graph{
+		N1:          c.N1,
+		N2:          c.N2,
+		BlocksOf1:   make([]float64, c.N1),
+		BlocksOf2:   make([]float64, c.N2),
+		Degree1:     make([]float64, c.N1),
+		Degree2:     make([]float64, c.N2),
+		TotalBlocks: float64(len(c.Blocks)),
+	}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, e := range b.E1 {
+			g.BlocksOf1[e]++
+		}
+		for _, e := range b.E2 {
+			g.BlocksOf2[e]++
+		}
+	}
+
+	idx := c.Index()
+	// Accumulate neighbors of each E1 entity across its blocks using a
+	// timestamped counter array over E2, avoiding a map per entity.
+	stamp := make([]int32, c.N2)
+	cbs := make([]float64, c.N2)
+	arcs := make([]float64, c.N2)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var neighbors []int32
+	for e1 := int32(0); e1 < int32(c.N1); e1++ {
+		neighbors = neighbors[:0]
+		for _, bid := range idx.BlocksOf(0, e1) {
+			b := &c.Blocks[bid]
+			w := 1.0 / float64(b.Comparisons())
+			for _, e2 := range b.E2 {
+				if stamp[e2] != e1 {
+					stamp[e2] = e1
+					cbs[e2] = 0
+					arcs[e2] = 0
+					neighbors = append(neighbors, e2)
+				}
+				cbs[e2]++
+				arcs[e2] += w
+			}
+		}
+		sort.Slice(neighbors, func(a, b int) bool { return neighbors[a] < neighbors[b] })
+		for _, e2 := range neighbors {
+			g.Pairs = append(g.Pairs, entity.Pair{Left: e1, Right: e2})
+			g.CBS = append(g.CBS, cbs[e2])
+			g.ARCS = append(g.ARCS, arcs[e2])
+			g.Degree1[e1]++
+			g.Degree2[e2]++
+		}
+	}
+	g.TotalPairs = float64(len(g.Pairs))
+	return g
+}
+
+// Propagate implements Comparison Propagation: it returns every distinct
+// candidate pair exactly once, eliminating all redundant pairs at no cost
+// in recall.
+func Propagate(c *blocking.Collection) []entity.Pair {
+	return BuildGraph(c).Pairs
+}
+
+// Scheme is a Meta-blocking weighting scheme.
+type Scheme int
+
+// The six weighting schemes of Section IV-B.
+const (
+	ARCS      Scheme = iota // promotes pairs sharing smaller blocks
+	CBS                     // counts common blocks
+	ECBS                    // CBS discounted by per-entity block counts
+	JS                      // Jaccard coefficient of the entities' block id sets
+	EJS                     // JS discounted by per-entity pair degrees
+	ChiSquare               // independence test of block co-occurrence
+)
+
+// Schemes lists all weighting schemes.
+func Schemes() []Scheme { return []Scheme{ARCS, CBS, ECBS, JS, EJS, ChiSquare} }
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case ARCS:
+		return "ARCS"
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	case ChiSquare:
+		return "X2"
+	}
+	return "unknown"
+}
+
+// Weights computes the weight of every pair in the graph under the scheme.
+func (g *Graph) Weights(scheme Scheme) []float64 {
+	w := make([]float64, len(g.Pairs))
+	for i, p := range g.Pairs {
+		w[i] = g.weight(scheme, i, p)
+	}
+	return w
+}
+
+func (g *Graph) weight(scheme Scheme, i int, p entity.Pair) float64 {
+	cbs := g.CBS[i]
+	b1 := g.BlocksOf1[p.Left]
+	b2 := g.BlocksOf2[p.Right]
+	switch scheme {
+	case ARCS:
+		return g.ARCS[i]
+	case CBS:
+		return cbs
+	case ECBS:
+		return cbs * safeLog(g.TotalBlocks/b1) * safeLog(g.TotalBlocks/b2)
+	case JS:
+		union := b1 + b2 - cbs
+		if union <= 0 {
+			return 0
+		}
+		return cbs / union
+	case EJS:
+		union := b1 + b2 - cbs
+		if union <= 0 {
+			return 0
+		}
+		js := cbs / union
+		return js * safeLog(g.TotalPairs/g.Degree1[p.Left]) * safeLog(g.TotalPairs/g.Degree2[p.Right])
+	case ChiSquare:
+		// 2x2 contingency over block membership: does e1's presence in a
+		// block predict e2's presence?
+		n := g.TotalBlocks
+		if n <= 0 {
+			return 0
+		}
+		n11 := cbs
+		n10 := b1 - cbs
+		n01 := b2 - cbs
+		n00 := n - n11 - n10 - n01
+		if n00 < 0 {
+			n00 = 0
+		}
+		r1, r0 := n11+n10, n01+n00
+		c1, c0 := n11+n01, n10+n00
+		var chi float64
+		for _, cell := range []struct{ obs, row, col float64 }{
+			{n11, r1, c1}, {n10, r1, c0}, {n01, r0, c1}, {n00, r0, c0},
+		} {
+			exp := cell.row * cell.col / n
+			if exp > 0 {
+				d := cell.obs - exp
+				chi += d * d / exp
+			}
+		}
+		return chi
+	}
+	return 0
+}
+
+func safeLog(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,311 @@
+package metablocking
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/entity"
+)
+
+func mkViews(a, b []string) (*entity.View, *entity.View) {
+	mk := func(texts []string) *entity.View {
+		profiles := make([]entity.Profile, len(texts))
+		for i, s := range texts {
+			profiles[i] = entity.Profile{Attrs: []entity.Attribute{{Name: "v", Value: s}}}
+		}
+		return entity.NewView(entity.New("d", profiles), entity.SchemaAgnostic, "")
+	}
+	return mk(a), mk(b)
+}
+
+func buildBlocks(a, b []string) *blocking.Collection {
+	v1, v2 := mkViews(a, b)
+	return blocking.Build(v1, v2, blocking.Standard{})
+}
+
+func naiveDistinctPairs(c *blocking.Collection) map[entity.Pair]bool {
+	m := map[entity.Pair]bool{}
+	for i := range c.Blocks {
+		for _, e1 := range c.Blocks[i].E1 {
+			for _, e2 := range c.Blocks[i].E2 {
+				m[entity.Pair{Left: e1, Right: e2}] = true
+			}
+		}
+	}
+	return m
+}
+
+func TestPropagateExactDistinctPairs(t *testing.T) {
+	c := buildBlocks(
+		[]string{"canon camera zoom", "nikon camera", "sony tv"},
+		[]string{"canon camera", "nikon zoom camera", "panasonic tv"},
+	)
+	got := Propagate(c)
+	want := naiveDistinctPairs(c)
+	if len(got) != len(want) {
+		t.Fatalf("propagate returned %d pairs, want %d", len(got), len(want))
+	}
+	seen := map[entity.Pair]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestGraphStatistics(t *testing.T) {
+	// E1[0]="a b", E2[0]="a b" share 2 blocks; E2[1]="b" shares 1.
+	c := buildBlocks([]string{"a b"}, []string{"a b", "b"})
+	g := BuildGraph(c)
+	if g.TotalBlocks != 2 {
+		t.Fatalf("total blocks = %v", g.TotalBlocks)
+	}
+	if len(g.Pairs) != 2 {
+		t.Fatalf("pairs = %v", g.Pairs)
+	}
+	find := func(p entity.Pair) int {
+		for i, q := range g.Pairs {
+			if q == p {
+				return i
+			}
+		}
+		t.Fatalf("pair %v missing", p)
+		return -1
+	}
+	i00 := find(entity.Pair{Left: 0, Right: 0})
+	i01 := find(entity.Pair{Left: 0, Right: 1})
+	if g.CBS[i00] != 2 || g.CBS[i01] != 1 {
+		t.Fatalf("CBS = %v / %v", g.CBS[i00], g.CBS[i01])
+	}
+	// Block "a" has 1 comparison, block "b" has 2 (1x2).
+	wantARCS := 1.0/1.0 + 1.0/2.0
+	if math.Abs(g.ARCS[i00]-wantARCS) > 1e-12 {
+		t.Fatalf("ARCS(0,0) = %v, want %v", g.ARCS[i00], wantARCS)
+	}
+	if g.BlocksOf1[0] != 2 || g.BlocksOf2[0] != 2 || g.BlocksOf2[1] != 1 {
+		t.Fatalf("per-entity block counts wrong: %v %v", g.BlocksOf1, g.BlocksOf2)
+	}
+	if g.Degree1[0] != 2 || g.Degree2[0] != 1 || g.Degree2[1] != 1 {
+		t.Fatalf("degrees wrong: %v %v", g.Degree1, g.Degree2)
+	}
+}
+
+func TestWeightingSchemesOrderMatchingFirst(t *testing.T) {
+	// Matching pair shares two rare blocks; non-matching pair shares one
+	// popular block. Every scheme must weight the matching pair higher.
+	a := []string{"canon powershot camera", "nikon coolpix camera", "sony alpha camera"}
+	b := []string{"canon powershot camera", "nikon coolpix camera", "sony alpha camera"}
+	c := buildBlocks(a, b)
+	g := BuildGraph(c)
+	match := -1
+	nonmatch := -1
+	for i, p := range g.Pairs {
+		if p.Left == 0 && p.Right == 0 {
+			match = i
+		}
+		if p.Left == 0 && p.Right == 1 {
+			nonmatch = i
+		}
+	}
+	if match < 0 || nonmatch < 0 {
+		t.Fatalf("expected both pairs present: %v", g.Pairs)
+	}
+	for _, s := range Schemes() {
+		w := g.Weights(s)
+		if w[match] <= w[nonmatch] {
+			t.Errorf("%s: match weight %v <= non-match weight %v", s, w[match], w[nonmatch])
+		}
+	}
+}
+
+func TestJSRange(t *testing.T) {
+	c := buildBlocks(
+		[]string{"a b c", "x y"},
+		[]string{"a b", "x z c"},
+	)
+	g := BuildGraph(c)
+	for i, w := range g.Weights(JS) {
+		if w < 0 || w > 1 {
+			t.Fatalf("JS weight %v out of [0,1] for %v", w, g.Pairs[i])
+		}
+	}
+}
+
+func pairSet(ps []entity.Pair) map[entity.Pair]bool {
+	m := map[entity.Pair]bool{}
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+func TestPruningSubsets(t *testing.T) {
+	c := buildBlocks(
+		[]string{"canon powershot a540 camera", "nikon coolpix camera", "sony cyber shot", "olympus stylus camera"},
+		[]string{"canon powershot a540", "nikon coolpix zoom camera", "sony cyber shot tv", "olympus stylus camera deluxe"},
+	)
+	g := BuildGraph(c)
+	all := pairSet(g.Pairs)
+	tp := c.TotalPlacements()
+	for _, s := range Schemes() {
+		for _, a := range Algorithms() {
+			got := Prune(g, s, a, tp)
+			if len(got) == 0 {
+				t.Errorf("%s+%s pruned everything", s, a)
+				continue
+			}
+			for _, p := range got {
+				if !all[p] {
+					t.Fatalf("%s+%s invented pair %v", s, a, p)
+				}
+			}
+			if len(got) > len(g.Pairs) {
+				t.Fatalf("%s+%s returned more pairs than exist", s, a)
+			}
+		}
+	}
+}
+
+func TestReciprocalSubsumption(t *testing.T) {
+	// RCNP ⊆ CNP and RWNP ⊆ WNP for every scheme.
+	c := buildBlocks(
+		[]string{"alpha beta gamma", "beta delta", "gamma epsilon zeta", "delta zeta"},
+		[]string{"alpha beta", "beta delta gamma", "epsilon zeta", "delta gamma zeta"},
+	)
+	g := BuildGraph(c)
+	tp := c.TotalPlacements()
+	for _, s := range Schemes() {
+		cnp := pairSet(Prune(g, s, CNP, tp))
+		for _, p := range Prune(g, s, RCNP, tp) {
+			if !cnp[p] {
+				t.Fatalf("%s: RCNP pair %v not in CNP", s, p)
+			}
+		}
+		wnp := pairSet(Prune(g, s, WNP, tp))
+		for _, p := range Prune(g, s, RWNP, tp) {
+			if !wnp[p] {
+				t.Fatalf("%s: RWNP pair %v not in WNP", s, p)
+			}
+		}
+	}
+}
+
+func TestCEPRespectsK(t *testing.T) {
+	c := buildBlocks(
+		[]string{"a b c d", "b c d e", "c d e f"},
+		[]string{"a b c", "d e f", "b d f"},
+	)
+	g := BuildGraph(c)
+	k := c.TotalPlacements() / 2
+	got := Prune(g, CBS, CEP, c.TotalPlacements())
+	if len(got) > k && k < len(g.Pairs) {
+		t.Fatalf("CEP returned %d pairs, budget %d", len(got), k)
+	}
+}
+
+func TestWEPKeepsAboveMean(t *testing.T) {
+	c := buildBlocks(
+		[]string{"a b c", "a x", "b y"},
+		[]string{"a b c", "x y"},
+	)
+	g := BuildGraph(c)
+	w := g.Weights(CBS)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	mean := sum / float64(len(w))
+	got := pairSet(Prune(g, CBS, WEP, c.TotalPlacements()))
+	for i, p := range g.Pairs {
+		if (w[i] >= mean) != got[p] {
+			t.Fatalf("WEP wrong for %v: w=%v mean=%v kept=%v", p, w[i], mean, got[p])
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := BuildGraph(&blocking.Collection{N1: 3, N2: 3})
+	for _, s := range Schemes() {
+		for _, a := range Algorithms() {
+			if got := Prune(g, s, a, 0); len(got) != 0 {
+				t.Fatalf("%s+%s on empty graph returned %v", s, a, got)
+			}
+		}
+	}
+}
+
+func TestPairsSortedByLeft(t *testing.T) {
+	c := buildBlocks(
+		[]string{"z a", "a b", "b z"},
+		[]string{"a z b"},
+	)
+	g := BuildGraph(c)
+	lefts := make([]int, len(g.Pairs))
+	for i, p := range g.Pairs {
+		lefts[i] = int(p.Left)
+	}
+	if !sort.IntsAreSorted(lefts) {
+		t.Fatalf("pairs not grouped by left entity: %v", g.Pairs)
+	}
+}
+
+func TestChiSquareHandComputed(t *testing.T) {
+	// Two blocks: "a" = {e1_0} x {e2_0}; "b" = {e1_0} x {e2_0, e2_1}.
+	c := buildBlocks([]string{"a b"}, []string{"a b", "b"})
+	g := BuildGraph(c)
+	w := g.Weights(ChiSquare)
+	var w00 float64
+	for i, p := range g.Pairs {
+		if p.Left == 0 && p.Right == 0 {
+			w00 = w[i]
+		}
+	}
+	// Contingency for (0,0): n=2 blocks, n11=2 (both shared), n10=0,
+	// n01=0, n00=0. Expected values: r1=2, r0=0, c1=2, c0=0.
+	// chi2 = (2 - 2*2/2)^2/(2) + 0 + 0 + 0 = 0.
+	if w00 != 0 {
+		t.Fatalf("chi2(0,0) = %v, want 0 (perfectly dependent with full margins)", w00)
+	}
+
+	// A case with partial overlap: entity pair sharing 1 of their 2/1
+	// blocks.
+	c2 := buildBlocks([]string{"a x"}, []string{"a y"})
+	g2 := BuildGraph(c2)
+	w2 := g2.Weights(ChiSquare)
+	if len(w2) != 1 {
+		t.Fatalf("pairs = %v", g2.Pairs)
+	}
+	// n=1 block total ("a"); n11=1, n10=0, n01=0, n00=0 -> chi2 = 0.
+	if w2[0] != 0 {
+		t.Fatalf("chi2 = %v, want 0", w2[0])
+	}
+}
+
+func TestECBSDiscountsBusyEntities(t *testing.T) {
+	// Two pairs with equal CBS=1; the one whose entities sit in fewer
+	// blocks must get the higher ECBS weight.
+	c := buildBlocks(
+		[]string{"a", "b p q r s"},
+		[]string{"a", "b p q r s"},
+	)
+	g := BuildGraph(c)
+	w := g.Weights(ECBS)
+	var sparse, busy float64
+	for i, p := range g.Pairs {
+		if p.Left == 0 && p.Right == 0 {
+			sparse = w[i] // entities in 1 block each
+		}
+		if p.Left == 1 && p.Right == 1 {
+			busy = w[i] // entities in 5 blocks each
+		}
+	}
+	if sparse <= busy {
+		t.Fatalf("ECBS should discount busy entities: sparse=%v busy=%v", sparse, busy)
+	}
+}

@@ -1,0 +1,236 @@
+package metablocking
+
+import (
+	"math"
+	"sort"
+
+	"erfilter/internal/entity"
+)
+
+// Algorithm is a Meta-blocking pruning algorithm.
+type Algorithm int
+
+// The seven pruning algorithms of Section IV-B.
+const (
+	BLAST Algorithm = iota // weight above a fraction of the entities' average maximum weight
+	CEP                    // overall top-K pairs
+	CNP                    // top-k pairs per entity (union of both entities' lists)
+	RCNP                   // reciprocal CNP: top-k of both entities
+	WEP                    // weight above the overall average
+	WNP                    // weight above the average of at least one entity
+	RWNP                   // reciprocal WNP: above the average of both entities
+)
+
+// Algorithms lists all pruning algorithms.
+func Algorithms() []Algorithm { return []Algorithm{BLAST, CEP, CNP, RCNP, WEP, WNP, RWNP} }
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case BLAST:
+		return "BLAST"
+	case CEP:
+		return "CEP"
+	case CNP:
+		return "CNP"
+	case RCNP:
+		return "RCNP"
+	case WEP:
+		return "WEP"
+	case WNP:
+		return "WNP"
+	case RWNP:
+		return "RWNP"
+	}
+	return "unknown"
+}
+
+// blastRatio is the fraction c of the average maximum entity weight that a
+// pair must exceed under BLAST, following the original BLAST publication
+// (Simonini et al., PVLDB 2016).
+const blastRatio = 0.35
+
+// Prune applies the pruning algorithm to the graph under the given
+// weighting scheme and returns the retained candidate pairs. K and k of
+// CEP/CNP/RCNP are configured automatically from the block characteristics
+// carried by the graph, as the paper describes.
+func Prune(g *Graph, scheme Scheme, alg Algorithm, totalPlacements int) []entity.Pair {
+	if len(g.Pairs) == 0 {
+		return nil
+	}
+	w := g.Weights(scheme)
+	switch alg {
+	case WEP:
+		return pruneWEP(g, w)
+	case CEP:
+		k := totalPlacements / 2
+		return pruneCEP(g, w, k)
+	case CNP, RCNP:
+		k := int(math.Max(1, math.Round(float64(totalPlacements)/float64(g.N1+g.N2))))
+		return pruneCNP(g, w, k, alg == RCNP)
+	case WNP, RWNP:
+		return pruneWNP(g, w, alg == RWNP)
+	case BLAST:
+		return pruneBLAST(g, w)
+	}
+	return nil
+}
+
+func pruneWEP(g *Graph, w []float64) []entity.Pair {
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	mean := sum / float64(len(w))
+	var out []entity.Pair
+	for i, p := range g.Pairs {
+		if w[i] >= mean {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func pruneCEP(g *Graph, w []float64, k int) []entity.Pair {
+	if k <= 0 {
+		k = 1
+	}
+	if k >= len(g.Pairs) {
+		return append([]entity.Pair(nil), g.Pairs...)
+	}
+	order := make([]int, len(w))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if w[order[a]] != w[order[b]] {
+			return w[order[a]] > w[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([]entity.Pair, 0, k)
+	for _, i := range order[:k] {
+		out = append(out, g.Pairs[i])
+	}
+	return out
+}
+
+// entityTopK returns, for each entity of each side, the weight of its k-th
+// best pair (used as the per-entity retention threshold of CNP/RCNP).
+func entityTopK(g *Graph, w []float64, k int) (thr1, thr2 []float64) {
+	top1 := make([][]float64, g.N1)
+	top2 := make([][]float64, g.N2)
+	push := func(heap []float64, x float64) []float64 {
+		// Keep the k largest weights in a small sorted slice (k is tiny).
+		if len(heap) < k {
+			heap = append(heap, x)
+			sort.Float64s(heap)
+			return heap
+		}
+		if x > heap[0] {
+			heap[0] = x
+			sort.Float64s(heap)
+		}
+		return heap
+	}
+	for i, p := range g.Pairs {
+		top1[p.Left] = push(top1[p.Left], w[i])
+		top2[p.Right] = push(top2[p.Right], w[i])
+	}
+	thr1 = make([]float64, g.N1)
+	thr2 = make([]float64, g.N2)
+	for e, h := range top1 {
+		if len(h) > 0 {
+			thr1[e] = h[0]
+		} else {
+			thr1[e] = math.Inf(1)
+		}
+	}
+	for e, h := range top2 {
+		if len(h) > 0 {
+			thr2[e] = h[0]
+		} else {
+			thr2[e] = math.Inf(1)
+		}
+	}
+	return thr1, thr2
+}
+
+func pruneCNP(g *Graph, w []float64, k int, reciprocal bool) []entity.Pair {
+	thr1, thr2 := entityTopK(g, w, k)
+	var out []entity.Pair
+	for i, p := range g.Pairs {
+		in1 := w[i] >= thr1[p.Left]
+		in2 := w[i] >= thr2[p.Right]
+		if (reciprocal && in1 && in2) || (!reciprocal && (in1 || in2)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// entityStats returns the mean and max pair weight per entity of each side.
+func entityStats(g *Graph, w []float64) (mean1, mean2, max1, max2 []float64) {
+	sum1 := make([]float64, g.N1)
+	cnt1 := make([]float64, g.N1)
+	sum2 := make([]float64, g.N2)
+	cnt2 := make([]float64, g.N2)
+	max1 = make([]float64, g.N1)
+	max2 = make([]float64, g.N2)
+	for i := range max1 {
+		max1[i] = math.Inf(-1)
+	}
+	for i := range max2 {
+		max2[i] = math.Inf(-1)
+	}
+	for i, p := range g.Pairs {
+		sum1[p.Left] += w[i]
+		cnt1[p.Left]++
+		sum2[p.Right] += w[i]
+		cnt2[p.Right]++
+		if w[i] > max1[p.Left] {
+			max1[p.Left] = w[i]
+		}
+		if w[i] > max2[p.Right] {
+			max2[p.Right] = w[i]
+		}
+	}
+	mean1 = make([]float64, g.N1)
+	mean2 = make([]float64, g.N2)
+	for e := range mean1 {
+		if cnt1[e] > 0 {
+			mean1[e] = sum1[e] / cnt1[e]
+		}
+	}
+	for e := range mean2 {
+		if cnt2[e] > 0 {
+			mean2[e] = sum2[e] / cnt2[e]
+		}
+	}
+	return mean1, mean2, max1, max2
+}
+
+func pruneWNP(g *Graph, w []float64, reciprocal bool) []entity.Pair {
+	mean1, mean2, _, _ := entityStats(g, w)
+	var out []entity.Pair
+	for i, p := range g.Pairs {
+		in1 := w[i] >= mean1[p.Left]
+		in2 := w[i] >= mean2[p.Right]
+		if (reciprocal && in1 && in2) || (!reciprocal && (in1 || in2)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func pruneBLAST(g *Graph, w []float64) []entity.Pair {
+	_, _, max1, max2 := entityStats(g, w)
+	var out []entity.Pair
+	for i, p := range g.Pairs {
+		thr := blastRatio * (max1[p.Left] + max2[p.Right]) / 2
+		if w[i] >= thr {
+			out = append(out, p)
+		}
+	}
+	return out
+}

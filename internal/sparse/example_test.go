@@ -1,0 +1,43 @@
+package sparse_test
+
+import (
+	"fmt"
+
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+// ExampleKNNJoin pairs every query entity with its nearest indexed
+// entities under cosine similarity of token sets.
+func ExampleKNNJoin() {
+	corpus := sparse.BuildCorpus(
+		[]string{"canon powershot a540", "nikon coolpix p100"},
+		[]string{"canon powershot a540 camera"},
+		text.Model{N: 1},
+	)
+	pairs := sparse.KNNJoin(corpus, sparse.Cosine, 1, false)
+	fmt.Println(pairs)
+	// Output: [(0,0)]
+}
+
+// ExampleEpsJoin returns every pair whose similarity reaches the
+// threshold.
+func ExampleEpsJoin() {
+	corpus := sparse.BuildCorpus(
+		[]string{"a b c", "x y"},
+		[]string{"a b c", "x y z"},
+		text.Model{N: 1},
+	)
+	fmt.Println(len(sparse.EpsJoin(corpus, sparse.Jaccard, 0.5)))
+	// Output: 2
+}
+
+// ExampleMeasure_Sim shows the three normalized set similarities.
+func ExampleMeasure_Sim() {
+	// |A∩B| = 2, |A| = |B| = 3.
+	fmt.Printf("cosine=%.2f dice=%.2f jaccard=%.2f\n",
+		sparse.Cosine.Sim(2, 3, 3),
+		sparse.Dice.Sim(2, 3, 3),
+		sparse.Jaccard.Sim(2, 3, 3))
+	// Output: cosine=0.67 dice=0.67 jaccard=0.50
+}

@@ -1,0 +1,50 @@
+package text_test
+
+import (
+	"fmt"
+
+	"erfilter/internal/text"
+)
+
+// ExampleStem shows Porter stemming as used by the cleaning step of the
+// NN workflow.
+func ExampleStem() {
+	for _, w := range []string{"running", "cameras", "relational"} {
+		fmt.Println(text.Stem(w))
+	}
+	// Output:
+	// run
+	// camera
+	// relat
+}
+
+// ExampleClean shows the full cleaning step: stop-word removal plus
+// stemming.
+func ExampleClean() {
+	fmt.Println(text.Clean("The quick cameras are running"))
+	// Output: quick camera run
+}
+
+// ExampleModel_Tokens shows the representation models of Table IV.
+func ExampleModel_Tokens() {
+	t1g := text.Model{N: 1}
+	fmt.Println(t1g.Tokens("red red fox"))
+	t1gm := text.Model{N: 1, Multiset: true}
+	fmt.Println(t1gm.Tokens("red red fox"))
+	// Output:
+	// [red fox]
+	// [red#1 red#2 fox#1]
+}
+
+// ExampleNGrams shows character q-grams, the signatures of Q-Grams
+// Blocking.
+func ExampleNGrams() {
+	fmt.Println(text.NGrams("biden", 3))
+	// Output: [bid ide den]
+}
+
+// ExampleSuffixes shows the signatures of Suffix Arrays Blocking.
+func ExampleSuffixes() {
+	fmt.Println(text.Suffixes("biden", 3))
+	// Output: [biden iden den]
+}

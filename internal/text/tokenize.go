@@ -1,0 +1,150 @@
+// Package text provides the textual preprocessing substrate shared by all
+// filtering methods: tokenization, character n-grams, q-gram / suffix /
+// substring signature extraction, multiset ("counter") token handling,
+// stop-word removal, Porter stemming, and the ten representation models of
+// the paper's Table IV (T1G, T1GM, C2G ... C5GM).
+package text
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a textual value into lower-cased tokens on any
+// non-alphanumeric character. This is the "whitespace tokenization" of
+// Standard Blocking generalized to punctuation, matching the behaviour of
+// the JedAI toolkit the paper builds on.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// NGrams returns the character n-grams of s (as runes). Strings shorter
+// than n yield the string itself as a single gram (if non-empty), matching
+// the convention of q-gram blocking implementations.
+func NGrams(s string, n int) []string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return nil
+	}
+	if len(r) <= n {
+		return []string{string(r)}
+	}
+	out := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		out = append(out, string(r[i:i+n]))
+	}
+	return out
+}
+
+// Suffixes returns the suffixes of s with at least minLen characters,
+// including s itself. Used by Suffix Arrays Blocking.
+func Suffixes(s string, minLen int) []string {
+	r := []rune(s)
+	if len(r) < minLen {
+		return nil
+	}
+	out := make([]string, 0, len(r)-minLen+1)
+	for i := 0; i+minLen <= len(r); i++ {
+		out = append(out, string(r[i:]))
+	}
+	return out
+}
+
+// Substrings returns all substrings of s with at least minLen characters,
+// including s itself. Used by Extended Suffix Arrays Blocking.
+func Substrings(s string, minLen int) []string {
+	r := []rune(s)
+	if len(r) < minLen {
+		return nil
+	}
+	var out []string
+	for i := 0; i < len(r); i++ {
+		for j := i + minLen; j <= len(r); j++ {
+			out = append(out, string(r[i:j]))
+		}
+	}
+	return out
+}
+
+// QGramCombinations implements the signature construction of Extended
+// Q-Grams Blocking: given the q-grams g of one token, it concatenates every
+// combination of at least L = max(1, floor(k*T)) q-grams, where k = len(g)
+// and T in [0,1). Combinations preserve the original q-gram order and are
+// joined with "_". maxGrams caps k to keep the 2^k enumeration bounded; the
+// grams beyond the cap are ignored (long tokens contribute their prefix
+// grams, which is the JedAI behaviour for its default cap).
+func QGramCombinations(grams []string, t float64, maxGrams int) []string {
+	k := len(grams)
+	if k == 0 {
+		return nil
+	}
+	if k > maxGrams {
+		grams = grams[:maxGrams]
+		k = maxGrams
+	}
+	l := int(float64(k) * t)
+	if l < 1 {
+		l = 1
+	}
+	var out []string
+	// Enumerate all non-empty subsets of the (capped) gram list and keep
+	// those with at least l elements.
+	for mask := 1; mask < 1<<k; mask++ {
+		if popcount(mask) < l {
+			continue
+		}
+		var sb strings.Builder
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteString(grams[i])
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// CounterTokens converts a token multiset into a set by attaching an
+// occurrence counter to each repeated token: {a, a, b} -> {a#1, a#2, b#1}.
+// This is the de-duplication scheme of Table IV's multiset representation
+// models (T1GM, C2GM, ...).
+func CounterTokens(tokens []string) []string {
+	counts := make(map[string]int, len(tokens))
+	out := make([]string, len(tokens))
+	for i, tok := range tokens {
+		counts[tok]++
+		out[i] = tok + "#" + strconv.Itoa(counts[tok])
+	}
+	return out
+}
+
+// Dedup returns the distinct tokens of the input, preserving first-seen
+// order.
+func Dedup(tokens []string) []string {
+	seen := make(map[string]struct{}, len(tokens))
+	out := tokens[:0:0]
+	for _, tok := range tokens {
+		if _, ok := seen[tok]; ok {
+			continue
+		}
+		seen[tok] = struct{}{}
+		out = append(out, tok)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package tuning
+
+import (
+	"erfilter/internal/deepblocker"
+	"erfilter/internal/vector"
+)
+
+// aeEncoder abstracts the trained tuple-embedding module for the
+// DeepBlocker tuner.
+type aeEncoder interface {
+	EncodeAll(samples []vector.Vec) []vector.Vec
+}
+
+// aeTrain trains the DeepBlocker autoencoder.
+func aeTrain(training []vector.Vec, hidden, epochs int, seed uint64) aeEncoder {
+	return deepblocker.Train(training, deepblocker.TrainConfig{
+		Hidden: hidden,
+		Epochs: epochs,
+		Seed:   seed,
+	})
+}

@@ -1,0 +1,191 @@
+package tuning
+
+import (
+	"fmt"
+
+	"erfilter/internal/blocking"
+	"erfilter/internal/cleaning"
+	"erfilter/internal/core"
+	"erfilter/internal/metablocking"
+)
+
+// BlockingSpace is the configuration space of one blocking workflow family
+// (one row group of Table III).
+type BlockingSpace struct {
+	// Label is the family name: SBW, QBW, EQBW, SABW, ESABW.
+	Label string
+	// Builders enumerates the block-building parameter grid.
+	Builders []blocking.Builder
+	// Proactive marks the Suffix Arrays families, which are not combined
+	// with block cleaning (Section V, "Configuration space").
+	Proactive bool
+	// FilterRatios is the Block Filtering grid, descending; ignored for
+	// proactive families.
+	FilterRatios []float64
+	// Cleanings is the comparison cleaning grid (CP + Meta-blocking
+	// combinations).
+	Cleanings []core.ComparisonCleaning
+}
+
+// CleaningGrid returns Comparison Propagation plus the cross product of
+// the given schemes and algorithms.
+func CleaningGrid(schemes []metablocking.Scheme, algorithms []metablocking.Algorithm) []core.ComparisonCleaning {
+	out := []core.ComparisonCleaning{{Propagation: true}}
+	for _, s := range schemes {
+		for _, a := range algorithms {
+			out = append(out, core.ComparisonCleaning{Scheme: s, Algorithm: a})
+		}
+	}
+	return out
+}
+
+// FullCleaningGrid is CP plus all 42 Meta-blocking combinations.
+func FullCleaningGrid() []core.ComparisonCleaning {
+	return CleaningGrid(metablocking.Schemes(), metablocking.Algorithms())
+}
+
+// ratioGrid returns r values from 1.0 down to lo with the given step.
+func ratioGrid(lo, step float64) []float64 {
+	var out []float64
+	for r := 1.0; r >= lo-1e-9; r -= step {
+		out = append(out, r)
+	}
+	return out
+}
+
+// BlockingSpaces returns the five workflow families of Table III.
+// full=true uses the paper's complete grids; full=false uses reduced but
+// representative grids (documented in DESIGN.md) for laptop-scale sweeps.
+func BlockingSpaces(full bool) []BlockingSpace {
+	var ratios []float64
+	var cleanings []core.ComparisonCleaning
+	var qs, ts, lmins, bmaxs []int
+	var tvals []float64
+	if full {
+		ratios = ratioGrid(0.025, 0.025)
+		cleanings = FullCleaningGrid()
+		qs = []int{2, 3, 4, 5, 6}
+		tvals = []float64{0.8, 0.85, 0.9, 0.95}
+		lmins = []int{2, 3, 4, 5, 6}
+		for b := 2; b <= 100; b++ {
+			bmaxs = append(bmaxs, b)
+		}
+	} else {
+		ratios = ratioGrid(0.2, 0.2)
+		cleanings = CleaningGrid(
+			[]metablocking.Scheme{metablocking.ARCS, metablocking.CBS, metablocking.ECBS, metablocking.ChiSquare},
+			[]metablocking.Algorithm{metablocking.BLAST, metablocking.RCNP, metablocking.WEP, metablocking.WNP, metablocking.RWNP},
+		)
+		qs = []int{3, 4, 5, 6}
+		tvals = []float64{0.8, 0.9}
+		lmins = []int{2, 3, 4, 6}
+		bmaxs = []int{5, 10, 25, 50, 100}
+	}
+	_ = ts
+
+	var qb []blocking.Builder
+	for _, q := range qs {
+		qb = append(qb, blocking.QGrams{Q: q})
+	}
+	var eqb []blocking.Builder
+	for _, q := range qs {
+		for _, t := range tvals {
+			eqb = append(eqb, blocking.ExtendedQGrams{Q: q, T: t})
+		}
+	}
+	var sab, esab []blocking.Builder
+	for _, l := range lmins {
+		for _, b := range bmaxs {
+			sab = append(sab, blocking.SuffixArrays{Lmin: l, Bmax: b})
+			esab = append(esab, blocking.ExtendedSuffixArrays{Lmin: l, Bmax: b})
+		}
+	}
+
+	return []BlockingSpace{
+		{Label: "SBW", Builders: []blocking.Builder{blocking.Standard{}}, FilterRatios: ratios, Cleanings: cleanings},
+		{Label: "QBW", Builders: qb, FilterRatios: ratios, Cleanings: cleanings},
+		{Label: "EQBW", Builders: eqb, FilterRatios: ratios, Cleanings: cleanings},
+		{Label: "SABW", Builders: sab, Proactive: true, Cleanings: cleanings},
+		{Label: "ESABW", Builders: esab, Proactive: true, Cleanings: cleanings},
+	}
+}
+
+// TuneBlocking grid-searches one blocking workflow family under Problem 1.
+// Blocks are built once per builder and shared across the block cleaning
+// and comparison cleaning grids; per the paper, the Block Purging /
+// Filtering loop terminates early once the recall upper bound of the
+// cleaned blocks drops below the target, since comparison cleaning can
+// only lose further recall.
+func TuneBlocking(in *core.Input, space BlockingSpace, target float64) *Result {
+	tr := newTracker(space.Label, target)
+	truth := in.Task.Truth
+
+	purgeOptions := []bool{false, true}
+	ratios := space.FilterRatios
+	if space.Proactive {
+		purgeOptions = []bool{false}
+		ratios = []float64{1}
+	}
+
+	for _, builder := range space.Builders {
+		raw := blocking.Build(in.V1, in.V2, builder)
+		for _, purge := range purgeOptions {
+			base := raw
+			if purge {
+				base = cleaning.Purge(raw)
+			}
+			for _, r := range ratios {
+				blocks := base
+				if r < 1 {
+					blocks = cleaning.Filter(base, r)
+				}
+				g := metablocking.BuildGraph(blocks)
+				ub := core.Evaluate(g.Pairs, truth)
+				if ub.PC < target {
+					// Smaller ratios only shrink the blocks further:
+					// stop this grid line, as in the paper.
+					tr.best.Evaluated += len(space.Cleanings)
+					tr.offer(ub, workflowFilter(space.Label, builder, purge, r, core.ComparisonCleaning{Propagation: true}), blockConfig(builder, purge, r, core.ComparisonCleaning{Propagation: true}))
+					break
+				}
+				tp := blocks.TotalPlacements()
+				for _, cl := range space.Cleanings {
+					var m core.Metrics
+					if cl.Propagation {
+						m = ub
+					} else {
+						pairs := metablocking.Prune(g, cl.Scheme, cl.Algorithm, tp)
+						m = core.Evaluate(pairs, truth)
+					}
+					tr.offer(m, workflowFilter(space.Label, builder, purge, r, cl), blockConfig(builder, purge, r, cl))
+				}
+			}
+		}
+	}
+	return tr.result()
+}
+
+func workflowFilter(label string, b blocking.Builder, purge bool, r float64, cl core.ComparisonCleaning) *core.BlockingWorkflow {
+	return &core.BlockingWorkflow{
+		Label:       label,
+		Builder:     b,
+		Purging:     purge,
+		FilterRatio: r,
+		Cleaning:    cl,
+	}
+}
+
+func blockConfig(b blocking.Builder, purge bool, r float64, cl core.ComparisonCleaning) map[string]string {
+	cfg := map[string]string{
+		"builder": b.Name(),
+		"BP":      fmtBool(purge),
+		"BFr":     fmt.Sprintf("%.3f", r),
+	}
+	if cl.Propagation {
+		cfg["PA"] = "CP"
+	} else {
+		cfg["PA"] = cl.Algorithm.String()
+		cfg["WS"] = cl.Scheme.String()
+	}
+	return cfg
+}

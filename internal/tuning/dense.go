@@ -1,0 +1,435 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/vector"
+)
+
+// DenseSpace is the configuration space of the dense NN methods (Table V).
+type DenseSpace struct {
+	CleanOptions []bool
+	// Repetitions averages stochastic methods over this many seeds
+	// (the paper uses 10).
+	Repetitions int
+
+	// MinHash grid.
+	MHBandRows [][2]int
+	MHShingles []int
+
+	// Hyperplane / Cross-Polytope grids.
+	HPTables, HPHashes []int
+	CPTables, CPHashes []int
+	CPLastDims         []int
+	// ProbeLadder is the auto-escalation sequence of multi-probe counts
+	// used to reach the target recall (the paper sets probes
+	// automatically the same way).
+	ProbeLadder []int
+
+	// MaxK bounds the cardinality threshold of FAISS/SCANN/DeepBlocker.
+	MaxK int
+	// AEHidden/AEEpochs bound the DeepBlocker autoencoder (0 = defaults).
+	AEHidden, AEEpochs int
+}
+
+// DefaultDenseSpace returns the Table V grid; full=false thins each axis.
+func DefaultDenseSpace(full bool) DenseSpace {
+	s := DenseSpace{
+		CleanOptions: []bool{false, true},
+		Repetitions:  3,
+		ProbeLadder:  []int{1, 2, 4, 8, 16, 32, 64, 128},
+		MaxK:         1000,
+	}
+	if full {
+		s.Repetitions = 10
+		s.MaxK = 5000
+		for _, product := range []int{128, 256, 512} {
+			for rows := 2; rows <= product/2; rows *= 2 {
+				s.MHBandRows = append(s.MHBandRows, [2]int{product / rows, rows})
+			}
+		}
+		s.MHShingles = []int{2, 3, 4, 5}
+		s.HPTables = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+		s.HPHashes = []int{4, 8, 12, 16, 20}
+		s.CPTables = s.HPTables
+		s.CPHashes = []int{1, 2, 3}
+		s.CPLastDims = []int{1, 4, 16, 64, 256, 512}
+	} else {
+		s.MHBandRows = [][2]int{{16, 8}, {32, 8}, {32, 16}, {64, 8}, {16, 16}, {64, 4}, {128, 2}, {128, 4}}
+		s.MHShingles = []int{2, 3, 5}
+		s.HPTables = []int{4, 8, 16}
+		s.HPHashes = []int{6, 10, 14}
+		s.CPTables = []int{4, 8, 16}
+		s.CPHashes = []int{1, 2}
+		s.CPLastDims = []int{16, 64, 256}
+		s.MaxK = 300
+	}
+	return s
+}
+
+// averageMetrics evaluates a stochastic filter over the repetitions and
+// returns the mean PC/PQ/candidate count, as the paper does for stochastic
+// methods.
+func averageMetrics(in *core.Input, mk func(seed uint64) core.Filter, reps int) (core.Metrics, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var sum core.Metrics
+	for r := 0; r < reps; r++ {
+		run := *in
+		run.Seed = in.Seed + uint64(r)*0x9e37
+		out, err := mk(run.Seed).Run(&run)
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		m := core.Evaluate(out.Pairs, in.Task.Truth)
+		sum.PC += m.PC
+		sum.PQ += m.PQ
+		sum.Candidates += m.Candidates
+		sum.Matches += m.Matches
+	}
+	f := float64(reps)
+	return core.Metrics{
+		PC: sum.PC / f, PQ: sum.PQ / f,
+		Candidates: sum.Candidates / reps, Matches: sum.Matches / reps,
+	}, nil
+}
+
+// TuneMinHash grid-searches MinHash LSH under Problem 1.
+func TuneMinHash(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	tr := newTracker("MH-LSH", target)
+	for _, clean := range space.CleanOptions {
+		for _, br := range space.MHBandRows {
+			for _, k := range space.MHShingles {
+				clean, br, k := clean, br, k
+				m, err := averageMetrics(in, func(seed uint64) core.Filter {
+					return &core.MinHashFilter{Clean: clean, Bands: br[0], Rows: br[1], K: k}
+				}, space.Repetitions)
+				if err != nil {
+					return nil, err
+				}
+				f := &core.MinHashFilter{Clean: clean, Bands: br[0], Rows: br[1], K: k}
+				tr.offer(m, f, map[string]string{
+					"CL": fmtBool(clean), "#bands": fmt.Sprintf("%d", br[0]),
+					"#rows": fmt.Sprintf("%d", br[1]), "k": fmt.Sprintf("%d", k),
+				})
+			}
+		}
+	}
+	return tr.result(), nil
+}
+
+// TuneHyperplane grid-searches Hyperplane LSH; for every (CL, tables,
+// hashes) cell the probe count escalates along the ladder until the target
+// recall is reached, mirroring the paper's automatic multi-probe setting.
+func TuneHyperplane(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	tr := newTracker("HP-LSH", target)
+	for _, clean := range space.CleanOptions {
+		for _, tables := range space.HPTables {
+			for _, hashes := range space.HPHashes {
+				for _, probes := range space.ProbeLadder {
+					clean, tables, hashes, probes := clean, tables, hashes, probes
+					m, err := averageMetrics(in, func(seed uint64) core.Filter {
+						return &core.HyperplaneFilter{Clean: clean, Tables: tables, Hashes: hashes, Probes: probes}
+					}, space.Repetitions)
+					if err != nil {
+						return nil, err
+					}
+					f := &core.HyperplaneFilter{Clean: clean, Tables: tables, Hashes: hashes, Probes: probes}
+					tr.offer(m, f, map[string]string{
+						"CL": fmtBool(clean), "#tables": fmt.Sprintf("%d", tables),
+						"#hashes": fmt.Sprintf("%d", hashes), "#probes": fmt.Sprintf("%d", probes),
+					})
+					if m.PC >= target {
+						break
+					}
+				}
+			}
+		}
+	}
+	return tr.result(), nil
+}
+
+// TuneCrossPolytope grid-searches Cross-Polytope LSH with the same
+// probe-escalation rule.
+func TuneCrossPolytope(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	tr := newTracker("CP-LSH", target)
+	for _, clean := range space.CleanOptions {
+		for _, tables := range space.CPTables {
+			for _, hashes := range space.CPHashes {
+				for _, lastDim := range space.CPLastDims {
+					for _, probes := range space.ProbeLadder {
+						clean, tables, hashes, lastDim, probes := clean, tables, hashes, lastDim, probes
+						m, err := averageMetrics(in, func(seed uint64) core.Filter {
+							return &core.CrossPolytopeFilter{Clean: clean, Tables: tables, Hashes: hashes, LastCPDim: lastDim, Probes: probes}
+						}, space.Repetitions)
+						if err != nil {
+							return nil, err
+						}
+						f := &core.CrossPolytopeFilter{Clean: clean, Tables: tables, Hashes: hashes, LastCPDim: lastDim, Probes: probes}
+						tr.offer(m, f, map[string]string{
+							"CL": fmtBool(clean), "#tables": fmt.Sprintf("%d", tables),
+							"#hashes": fmt.Sprintf("%d", hashes),
+							"cp dim":  fmt.Sprintf("%d", lastDim),
+							"#probes": fmt.Sprintf("%d", probes),
+						})
+						if m.PC >= target {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return tr.result(), nil
+}
+
+// kGrid returns the paper's cardinality-threshold grid: [1,100] step 1,
+// [105,1000] step 5, [1010,5000] step 10, capped at maxK.
+func kGrid(maxK int) []int {
+	var out []int
+	add := func(lo, hi, step int) {
+		for k := lo; k <= hi && k <= maxK; k += step {
+			out = append(out, k)
+		}
+	}
+	add(1, 100, 1)
+	add(105, 1000, 5)
+	add(1010, 5000, 10)
+	return out
+}
+
+// sweepCardinality computes per-K metrics from ranked search results and
+// feeds them to the tracker ascending, stopping at the first K that
+// reaches the target. search(queries, k) must return the per-query ranked
+// hit lists.
+func sweepCardinality(
+	tr *tracker, in *core.Input, target float64,
+	idx knn.Searcher, queries []vector.Vec, reverse bool, maxK int,
+	mkFilter func(k int) core.Filter, mkConfig func(k int) map[string]string,
+) {
+	grid := kGrid(maxK)
+	if len(grid) == 0 {
+		return
+	}
+	top := grid[len(grid)-1]
+	truth := in.Task.Truth
+
+	// One search per query at the largest K; prefix counts give every
+	// smaller K for free.
+	candAt := make([]int, top)
+	matchAt := make([]int, top)
+	for qi, q := range queries {
+		for rank, r := range idx.Search(q, top) {
+			candAt[rank]++
+			p := entity.Pair{Left: r.ID, Right: int32(qi)}
+			if reverse {
+				p = entity.Pair{Left: int32(qi), Right: r.ID}
+			}
+			if truth.Contains(p) {
+				matchAt[rank]++
+			}
+		}
+	}
+	cands, matches := 0, 0
+	next := 0
+	for k := 1; k <= top; k++ {
+		cands += candAt[k-1]
+		matches += matchAt[k-1]
+		if next < len(grid) && grid[next] == k {
+			next++
+			m := metricsFromCounts(cands, matches, truth.Size())
+			tr.offer(m, mkFilter(k), mkConfig(k))
+			if m.PC >= target {
+				return
+			}
+		}
+	}
+}
+
+// TuneFlatKNN grid-searches the FAISS analog (CL × RVS × K).
+func TuneFlatKNN(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	tr := newTracker("FAISS", target)
+	for _, clean := range space.CleanOptions {
+		v1, v2 := in.Embeddings(clean)
+		for _, reverse := range []bool{false, true} {
+			indexed, queries := v1, v2
+			if reverse {
+				indexed, queries = v2, v1
+			}
+			idx := knn.NewFlat(indexed, knn.L2Squared)
+			maxK := space.MaxK
+			if maxK > len(indexed) {
+				maxK = len(indexed)
+			}
+			clean, reverse := clean, reverse
+			sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
+				func(k int) core.Filter {
+					return &core.FlatKNNFilter{Clean: clean, K: k, Reverse: reverse}
+				},
+				func(k int) map[string]string {
+					return map[string]string{
+						"CL": fmtBool(clean), "RVS": fmtBool(reverse), "K": fmt.Sprintf("%d", k),
+					}
+				})
+		}
+	}
+	return tr.result(), nil
+}
+
+// TunePartitioned grid-searches the SCANN analog
+// (CL × RVS × {BF,AH} × {DP,L2²} × K).
+func TunePartitioned(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	tr := newTracker("SCANN", target)
+	for _, clean := range space.CleanOptions {
+		v1, v2 := in.Embeddings(clean)
+		for _, reverse := range []bool{false, true} {
+			indexed, queries := v1, v2
+			if reverse {
+				indexed, queries = v2, v1
+			}
+			for _, scoring := range []knn.Scoring{knn.BruteForce, knn.AsymmetricHashing} {
+				for _, metric := range []knn.Metric{knn.DotProduct, knn.L2Squared} {
+					idx := knn.NewPartitioned(indexed, knn.PartitionedConfig{
+						Metric: metric, Scoring: scoring, Seed: in.Seed,
+					})
+					maxK := space.MaxK
+					if maxK > len(indexed) {
+						maxK = len(indexed)
+					}
+					clean, reverse, scoring, metric := clean, reverse, scoring, metric
+					sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
+						func(k int) core.Filter {
+							return &core.PartitionedKNNFilter{Clean: clean, K: k, Reverse: reverse, Scoring: scoring, Metric: metric}
+						},
+						func(k int) map[string]string {
+							return map[string]string{
+								"CL": fmtBool(clean), "RVS": fmtBool(reverse),
+								"index": scoring.String(), "similarity": metric.String(),
+								"K": fmt.Sprintf("%d", k),
+							}
+						})
+				}
+			}
+		}
+	}
+	return tr.result(), nil
+}
+
+// TuneDeepBlocker grid-searches the DeepBlocker analog (CL × RVS × K),
+// averaging over the repetitions because training is stochastic. The
+// autoencoder is trained once per (CL, seed) and shared across the RVS and
+// K axes.
+func TuneDeepBlocker(in *core.Input, space DenseSpace, target float64) (*Result, error) {
+	reps := space.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	type cell struct {
+		pcSum, pqSum float64
+		cands, match int
+	}
+	truth := in.Task.Truth
+
+	best := map[string]*cell{} // key: clean/reverse/k
+	keyOf := func(clean, reverse bool, k int) string {
+		return fmt.Sprintf("%v/%v/%d", clean, reverse, k)
+	}
+
+	maxK := space.MaxK
+	for _, clean := range space.CleanOptions {
+		v1, v2 := in.Embeddings(clean)
+		for r := 0; r < reps; r++ {
+			seed := in.Seed + uint64(r)*0x51ed
+			training := make([]vector.Vec, 0, len(v1)+len(v2))
+			training = append(training, v1...)
+			training = append(training, v2...)
+			ae := trainAE(training, space, seed)
+			e1 := ae.EncodeAll(v1)
+			e2 := ae.EncodeAll(v2)
+			for _, reverse := range []bool{false, true} {
+				indexed, queries := e1, e2
+				if reverse {
+					indexed, queries = e2, e1
+				}
+				idx := knn.NewFlat(indexed, knn.L2Squared)
+				top := maxK
+				if top > len(indexed) {
+					top = len(indexed)
+				}
+				candAt := make([]int, top)
+				matchAt := make([]int, top)
+				for qi, q := range queries {
+					for rank, res := range idx.Search(q, top) {
+						candAt[rank]++
+						p := entity.Pair{Left: res.ID, Right: int32(qi)}
+						if reverse {
+							p = entity.Pair{Left: int32(qi), Right: res.ID}
+						}
+						if truth.Contains(p) {
+							matchAt[rank]++
+						}
+					}
+				}
+				cands, matches := 0, 0
+				next := 0
+				grid := kGrid(top)
+				for k := 1; k <= top; k++ {
+					cands += candAt[k-1]
+					matches += matchAt[k-1]
+					if next < len(grid) && grid[next] == k {
+						next++
+						c := best[keyOf(clean, reverse, k)]
+						if c == nil {
+							c = &cell{}
+							best[keyOf(clean, reverse, k)] = c
+						}
+						m := metricsFromCounts(cands, matches, truth.Size())
+						c.pcSum += m.PC
+						c.pqSum += m.PQ
+						c.cands += m.Candidates
+						c.match += m.Matches
+						// Stop this repetition's sweep a little past the
+						// target to bound work while keeping the averaged
+						// cells complete near the decision boundary.
+						if m.PC >= math.Min(1, target+0.05) {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	tr := newTracker("DeepBlocker", target)
+	for _, clean := range space.CleanOptions {
+		for _, reverse := range []bool{false, true} {
+			for _, k := range kGrid(maxK) {
+				c := best[keyOf(clean, reverse, k)]
+				if c == nil {
+					continue
+				}
+				f := float64(reps)
+				m := core.Metrics{PC: c.pcSum / f, PQ: c.pqSum / f, Candidates: c.cands / reps, Matches: c.match / reps}
+				filter := &core.DeepBlockerFilter{Clean: clean, K: k, Reverse: reverse, Hidden: space.AEHidden, Epochs: space.AEEpochs}
+				cfg := map[string]string{
+					"CL": fmtBool(clean), "RVS": fmtBool(reverse), "K": fmt.Sprintf("%d", k),
+				}
+				tr.offer(m, filter, cfg)
+				if m.PC >= target {
+					break
+				}
+			}
+		}
+	}
+	return tr.result(), nil
+}
+
+// trainAE trains the DeepBlocker autoencoder with the space's bounds.
+func trainAE(training []vector.Vec, space DenseSpace, seed uint64) aeEncoder {
+	return aeTrain(training, space.AEHidden, space.AEEpochs, seed)
+}

@@ -1,0 +1,197 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+// SparseSpace is the configuration space of the sparse NN methods
+// (Table IV).
+type SparseSpace struct {
+	CleanOptions []bool
+	Measures     []sparse.Measure
+	Models       []text.Model
+	// MaxK is the largest kNN-Join cardinality threshold examined.
+	MaxK int
+	// ThresholdStep is the ε-Join grid step (0.01 in the paper).
+	ThresholdStep float64
+}
+
+// DefaultSparseSpace returns the Table IV grid; full=false thins the
+// representation-model axis.
+func DefaultSparseSpace(full bool) SparseSpace {
+	s := SparseSpace{
+		CleanOptions:  []bool{false, true},
+		Measures:      sparse.Measures(),
+		MaxK:          100,
+		ThresholdStep: 0.01,
+	}
+	if full {
+		s.Models = text.Models()
+	} else {
+		for _, name := range []string{"T1G", "C2G", "C3G", "C3GM", "C4G", "C5GM"} {
+			m, _ := text.ParseModel(name)
+			s.Models = append(s.Models, m)
+		}
+		s.MaxK = 30
+	}
+	return s
+}
+
+// TuneEpsJoin grid-searches the ε-Join. For every (CL, SM, RM) cell the
+// similarity of every overlapping pair is computed once and binned on the
+// threshold grid, so the entire threshold axis is swept in one pass; the
+// winning threshold is the largest grid value whose PC still reaches the
+// target (descending thresholds only add candidates, lowering PQ).
+func TuneEpsJoin(in *core.Input, space SparseSpace, target float64) *Result {
+	tr := newTracker("eps-join", target)
+	truth := in.Task.Truth
+	step := space.ThresholdStep
+	if step <= 0 {
+		step = 0.01
+	}
+	bins := int(math.Round(1/step)) + 1
+
+	for _, clean := range space.CleanOptions {
+		t1, t2 := in.Texts(clean)
+		for _, model := range space.Models {
+			corpus := sparse.BuildCorpus(t1, t2, model)
+			idx := sparse.NewIndex(corpus.Sets1, corpus.NumTokens)
+			for _, measure := range space.Measures {
+				cand := make([]int, bins)
+				match := make([]int, bins)
+				for e2, q := range corpus.Sets2 {
+					qs := len(q)
+					idx.Overlaps(q, func(e1 int32, overlap int) {
+						sim := measure.Sim(overlap, qs, idx.Size(e1))
+						if sim <= 0 {
+							return
+						}
+						b := int(sim / step)
+						if b >= bins {
+							b = bins - 1
+						}
+						cand[b]++
+						if truth.Contains(pair(e1, int32(e2))) {
+							match[b]++
+						}
+					})
+				}
+				// Suffix sums: counts of pairs with sim >= b*step.
+				for b := bins - 2; b >= 0; b-- {
+					cand[b] += cand[b+1]
+					match[b] += match[b+1]
+				}
+				// Descend thresholds from 1.0; stop at the first (largest)
+				// threshold reaching the target.
+				offered := false
+				for b := bins - 1; b >= 0; b-- {
+					m := metricsFromCounts(cand[b], match[b], truth.Size())
+					t := float64(b) * step
+					f := &core.EpsJoinFilter{Clean: clean, Model: model, Measure: measure, Threshold: t}
+					cfg := map[string]string{
+						"CL": fmtBool(clean), "RM": model.String(),
+						"SM": measure.String(), "t": fmt.Sprintf("%.2f", t),
+					}
+					tr.offer(m, f, cfg)
+					if m.PC >= target {
+						offered = true
+						break
+					}
+				}
+				_ = offered
+			}
+		}
+	}
+	return tr.result()
+}
+
+// TuneKNNJoin grid-searches the kNN-Join. For every (CL, RVS, SM, RM) cell
+// the per-query ranked neighbor lists are computed once up to MaxK
+// distinct similarity values; the K axis is then swept ascending and, per
+// the paper, terminates at the first K reaching the target recall (larger
+// K only adds worse-ranked candidates).
+func TuneKNNJoin(in *core.Input, space SparseSpace, target float64) *Result {
+	tr := newTracker("kNN-Join", target)
+	truth := in.Task.Truth
+	maxK := space.MaxK
+	if maxK <= 0 {
+		maxK = 100
+	}
+
+	for _, clean := range space.CleanOptions {
+		t1, t2 := in.Texts(clean)
+		for _, reverse := range []bool{false, true} {
+			for _, model := range space.Models {
+				corpus := sparse.BuildCorpus(t1, t2, model)
+				indexSets, querySets := corpus.Sets1, corpus.Sets2
+				if reverse {
+					indexSets, querySets = corpus.Sets2, corpus.Sets1
+				}
+				idx := sparse.NewIndex(indexSets, corpus.NumTokens)
+				for _, measure := range space.Measures {
+					// candAt[k]/matchAt[k]: pairs added when the per-query
+					// distinct-rank budget grows from k to k+1.
+					candAt := make([]int, maxK)
+					matchAt := make([]int, maxK)
+					for qi, q := range querySets {
+						ns := idx.KNNQuery(q, measure, maxK)
+						rank := -1
+						last := math.Inf(1)
+						for _, n := range ns {
+							if n.Sim != last {
+								rank++
+								last = n.Sim
+							}
+							candAt[rank]++
+							p := pair(n.Entity, int32(qi))
+							if reverse {
+								p = pair(int32(qi), n.Entity)
+							}
+							if truth.Contains(p) {
+								matchAt[rank]++
+							}
+						}
+					}
+					cands, matches := 0, 0
+					for k := 1; k <= maxK; k++ {
+						cands += candAt[k-1]
+						matches += matchAt[k-1]
+						m := metricsFromCounts(cands, matches, truth.Size())
+						f := &core.KNNJoinFilter{Clean: clean, Model: model, Measure: measure, K: k, Reverse: reverse}
+						cfg := map[string]string{
+							"CL": fmtBool(clean), "RVS": fmtBool(reverse),
+							"RM": model.String(), "SM": measure.String(),
+							"K": fmt.Sprintf("%d", k),
+						}
+						tr.offer(m, f, cfg)
+						if m.PC >= target {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return tr.result()
+}
+
+func metricsFromCounts(cands, matches, truthSize int) core.Metrics {
+	m := core.Metrics{Candidates: cands, Matches: matches}
+	if truthSize > 0 {
+		m.PC = float64(matches) / float64(truthSize)
+	}
+	if cands > 0 {
+		m.PQ = float64(matches) / float64(cands)
+	}
+	return m
+}
+
+func pair(l, r int32) entity.Pair {
+	return entity.Pair{Left: l, Right: r}
+}

@@ -1,0 +1,73 @@
+// Package vector provides the dense-vector substrate of the dense NN
+// methods: fixed-dimensional float32 vectors, the usual inner-product and
+// Euclidean operations, and a deterministic hashed-subword embedder that
+// substitutes the paper's pre-trained fastText model (see DESIGN.md).
+package vector
+
+import "math"
+
+// Dim is the embedding dimensionality used throughout the benchmark,
+// matching the 300-dimensional fastText vectors of the paper.
+const Dim = 300
+
+// Vec is a dense vector.
+type Vec []float32
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vec) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vec) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Normalize scales v to unit norm in place and returns it. The zero vector
+// is left unchanged.
+func Normalize(v Vec) Vec {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// L2Sq returns the squared Euclidean distance between two vectors.
+func L2Sq(a, b Vec) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Add accumulates b into a.
+func Add(a, b Vec) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Scale multiplies every component of v by x.
+func Scale(v Vec, x float32) {
+	for i := range v {
+		v[i] *= x
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
