@@ -1,0 +1,27 @@
+GO ?= go
+
+# Packages whose tests exercise the worker pool and the shared caches;
+# these run a second time under the race detector.
+RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core
+
+.PHONY: check vet build test race bench-tune
+
+## check: the full verification gate (vet, build, tests, race tests)
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the concurrency-bearing packages
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## bench-tune: sequential vs parallel grid-search benchmark pair
+bench-tune:
+	$(GO) test -run '^$$' -bench 'BenchmarkTune(Sequential|Parallel)$$' -benchtime 10x -count 3 .

@@ -173,6 +173,44 @@ func BenchmarkReduction(b *testing.B) {
 	}
 }
 
+// --- Sequential vs parallel grid search on a D2 analog slice. The two
+// benchmarks run the same kNN-Join tuning grid; the only difference is
+// the worker count, so their ratio is the speedup of the parallel
+// engine (results are identical by construction — see
+// internal/tuning/parallel_test.go). Measured numbers are recorded in
+// EXPERIMENTS.md. ---
+
+func tuneBenchInput(b *testing.B) *core.Input {
+	b.Helper()
+	task := datagen.ByName("D2", 0.012)
+	in := core.NewInputDim(task, entity.SchemaAgnostic, 48)
+	in.Seed = 1
+	// Warm the text caches so both variants measure the grid search, not
+	// the one-time preprocessing.
+	in.Texts(true)
+	in.Texts(false)
+	return in
+}
+
+func benchTuneKNNJoin(b *testing.B, workers int) {
+	in := tuneBenchInput(b)
+	space := tuning.DefaultSparseSpace(false)
+	space.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := tuning.TuneKNNJoin(in, space, tuning.DefaultTarget); r.Evaluated == 0 {
+			b.Fatal("nothing evaluated")
+		}
+	}
+}
+
+func BenchmarkTuneSequential(b *testing.B) { benchTuneKNNJoin(b, 1) }
+
+// BenchmarkTuneParallel pins 4 workers rather than NumCPU so the pool
+// code path is exercised even on single-core machines (where NumCPU
+// would resolve to the sequential path).
+func BenchmarkTuneParallel(b *testing.B) { benchTuneKNNJoin(b, 4) }
+
 // --- Micro-benchmarks of the individual filtering methods (per-run cost
 // at a fixed configuration, complementing the per-table experiments). ---
 

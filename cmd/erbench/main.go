@@ -9,6 +9,11 @@
 //	erbench -exp tableVII -datasets D2,D4     # restrict datasets
 //	erbench -exp fig4 -datasets D2            # rank distributions
 //	erbench -exp all -scale 0.02              # everything, small
+//	erbench -exp tableVII -workers 1          # force the sequential path
+//
+// Tuning runs on a worker pool sized by -workers (default: all CPUs);
+// results are reduced in canonical grid order, so the tables and figures
+// are byte-identical at any worker count for the same -seed.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
 		full     = flag.Bool("full-grids", false, "use the paper's complete configuration grids (slow)")
 		seed     = flag.Uint64("seed", 1, "random seed for stochastic methods")
+		workers  = flag.Int("workers", 0, "worker-pool size for cells and grid searches (0 = NumCPU, 1 = sequential); results are identical at any count")
 		reps     = flag.Int("reps", 0, "repetitions for stochastic methods (0 = default)")
 		embedDim = flag.Int("embed-dim", 300, "embedding dimensionality (paper: 300)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
@@ -42,6 +48,7 @@ func main() {
 		Scale:       *scale,
 		FullGrids:   *full,
 		Seed:        *seed,
+		Workers:     *workers,
 		Repetitions: *reps,
 		EmbedDim:    *embedDim,
 	}

@@ -41,6 +41,7 @@ func main() {
 		clean     = flag.Bool("clean", true, "apply stop-word removal and stemming (sparse/dense methods)")
 		tune      = flag.Bool("tune", false, "fine-tune the method under Problem 1 (requires -truth)")
 		target    = flag.Float64("target", 0.9, "recall target for -tune")
+		workers   = flag.Int("workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU, 1 = sequential); results are identical at any count")
 		verify    = flag.String("verify", "", "verification, e.g. tfidf:0.5, jaro:0.8, jaccard:0.3")
 		quiet     = flag.Bool("quiet", false, "suppress the evaluation summary on stderr")
 	)
@@ -52,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*e1Path, *e2Path, *truthPath, *method, *schema, *attribute,
-		*k, *threshold, *model, *clean, *tune, *target, *verify, *quiet); err != nil {
+		*k, *threshold, *model, *clean, *tune, *target, *workers, *verify, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "ercli:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func main() {
 
 func run(e1Path, e2Path, truthPath, method, schema, attribute string,
 	k int, threshold float64, modelName string, clean, tune bool,
-	target float64, verify string, quiet bool) error {
+	target float64, workers int, verify string, quiet bool) error {
 
 	task, err := loadTask(e1Path, e2Path, truthPath, attribute)
 	if err != nil {
@@ -82,7 +83,7 @@ func run(e1Path, e2Path, truthPath, method, schema, attribute string,
 		if task.Truth.Size() == 0 {
 			return fmt.Errorf("-tune requires -truth with at least one pair")
 		}
-		r, err := tuneMethod(method, in, target)
+		r, err := tuneMethod(method, in, target, workers)
 		if err != nil {
 			return err
 		}
@@ -190,16 +191,24 @@ func buildMethod(method string, model text.Model, clean bool, k int, threshold f
 	return nil, fmt.Errorf("unknown method %q", method)
 }
 
-func tuneMethod(method string, in *core.Input, target float64) (*tuning.Result, error) {
+func tuneMethod(method string, in *core.Input, target float64, workers int) (*tuning.Result, error) {
 	switch strings.ToLower(method) {
 	case "sbw", "pbw":
-		return tuning.TuneBlocking(in, tuning.BlockingSpaces(false)[0], target), nil
+		space := tuning.BlockingSpaces(false)[0]
+		space.Workers = workers
+		return tuning.TuneBlocking(in, space, target), nil
 	case "knnj", "dknn":
-		return tuning.TuneKNNJoin(in, tuning.DefaultSparseSpace(false), target), nil
+		space := tuning.DefaultSparseSpace(false)
+		space.Workers = workers
+		return tuning.TuneKNNJoin(in, space, target), nil
 	case "epsjoin":
-		return tuning.TuneEpsJoin(in, tuning.DefaultSparseSpace(false), target), nil
+		space := tuning.DefaultSparseSpace(false)
+		space.Workers = workers
+		return tuning.TuneEpsJoin(in, space, target), nil
 	case "faiss":
-		return tuning.TuneFlatKNN(in, tuning.DefaultDenseSpace(false), target)
+		space := tuning.DefaultDenseSpace(false)
+		space.Workers = workers
+		return tuning.TuneFlatKNN(in, space, target)
 	}
 	return nil, fmt.Errorf("method %q does not support -tune", method)
 }

@@ -121,19 +121,19 @@ func TestRunEndToEnd(t *testing.T) {
 	e1, e2, truth := writeTaskCSVs(t)
 	// Full pipeline with tuning and verification; stdout noise is fine in
 	// tests.
-	if err := run(e1, e2, truth, "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, "tfidf:0.3", true); err != nil {
+	if err := run(e1, e2, truth, "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, 0, "tfidf:0.3", true); err != nil {
 		t.Fatal(err)
 	}
 	// Without truth, without tuning.
-	if err := run(e1, e2, "", "pbw", "agnostic", "", 2, 0.4, "C3G", true, false, 0.9, "", true); err != nil {
+	if err := run(e1, e2, "", "pbw", "agnostic", "", 2, 0.4, "C3G", true, false, 0.9, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	// Schema-based.
-	if err := run(e1, e2, truth, "epsjoin", "based", "title", 2, 0.3, "C3G", true, false, 0.9, "", true); err != nil {
+	if err := run(e1, e2, truth, "epsjoin", "based", "title", 2, 0.3, "C3G", true, false, 0.9, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	// Tuning without truth must fail.
-	if err := run(e1, e2, "", "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, "", true); err == nil {
+	if err := run(e1, e2, "", "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, 0, "", true); err == nil {
 		t.Fatal("tune without truth should fail")
 	}
 }

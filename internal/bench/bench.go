@@ -4,13 +4,14 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"sort"
 
 	"erfilter/internal/core"
 	"erfilter/internal/datagen"
 	"erfilter/internal/entity"
+	"erfilter/internal/parallel"
 	"erfilter/internal/tuning"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// AEHidden/AEEpochs bound the DeepBlocker autoencoder for the
 	// laptop-scale runs (0 = package defaults).
 	AEHidden, AEEpochs int
+	// Workers bounds the worker pool of the run: dataset×setting cells
+	// and the configuration grids inside each tuner fan out onto at most
+	// this many goroutines per pool. 0 selects runtime.NumCPU(); 1 forces
+	// the legacy sequential path. Reports are byte-identical at any
+	// worker count for the same Seed.
+	Workers int
 }
 
 // WithDefaults fills unset options.
@@ -130,10 +137,24 @@ func (o Options) wantDataset(name string) bool {
 
 // Run executes tuning and measurement for every requested cell. Progress
 // lines go to log (pass io.Discard to silence).
+//
+// Cells are dispatched onto opts.Workers goroutines (0 = NumCPU, 1 =
+// sequential). Each concurrent cell buffers its progress lines and a
+// sequencer releases the buffers in canonical cell order, so the log
+// stream — like the report — is byte-identical at any worker count.
 func Run(opts Options, log io.Writer) (*Report, error) {
 	opts = opts.WithDefaults()
 	rep := &Report{Options: opts}
 
+	// Plan the cells up front: dataset generation is cheap and sharing
+	// one task between the two schema settings of a dataset mirrors the
+	// sequential run.
+	type plan struct {
+		dataset string
+		setting entity.SchemaSetting
+		task    *entity.Task
+	}
+	var plans []plan
 	for _, spec := range datagen.Specs(opts.Scale) {
 		if !opts.wantDataset(spec.Name) {
 			continue
@@ -144,15 +165,41 @@ func Run(opts Options, log io.Writer) (*Report, error) {
 			settings = append(settings, entity.SchemaBased)
 		}
 		for _, setting := range settings {
-			cell := &Cell{Dataset: spec.Name, Setting: setting, Task: task, Results: map[string]*MethodResult{}}
-			fmt.Fprintf(log, "== %s (%s) |E1|=%d |E2|=%d dup=%d\n",
-				cell.Key(), setting, task.E1.Len(), task.E2.Len(), task.Truth.Size())
-			if err := runCell(opts, cell, log); err != nil {
-				return nil, err
-			}
-			rep.Cells = append(rep.Cells, cell)
+			plans = append(plans, plan{dataset: spec.Name, setting: setting, task: task})
 		}
 	}
+
+	workers := parallel.Workers(opts.Workers)
+	cells := make([]*Cell, len(plans))
+	seq := parallel.NewSequencer(log)
+	err := parallel.ForEach(workers, len(plans), func(i int) error {
+		p := plans[i]
+		cell := &Cell{Dataset: p.dataset, Setting: p.setting, Task: p.task, Results: map[string]*MethodResult{}}
+
+		// Sequential runs stream their progress lines directly; parallel
+		// runs buffer per cell and release through the sequencer.
+		var w io.Writer = log
+		var buf *bytes.Buffer
+		if workers > 1 {
+			buf = &bytes.Buffer{}
+			w = buf
+		}
+		fmt.Fprintf(w, "== %s (%s) |E1|=%d |E2|=%d dup=%d\n",
+			cell.Key(), p.setting, p.task.E1.Len(), p.task.E2.Len(), p.task.Truth.Size())
+		err := runCell(opts, cell, w)
+		if buf != nil {
+			seq.Put(i, buf.Bytes())
+		}
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Cells = cells
 	return rep, nil
 }
 
@@ -177,8 +224,7 @@ func runCell(opts Options, cell *Cell, log io.Writer) error {
 			}
 		}
 		cell.Results[name] = mr
-		fmt.Fprintf(log, "   %-12s PC=%.3f PQ=%.4f |C|=%-8d cfg{%s} rt=%v\n",
-			name, mr.Metrics.PC, mr.Metrics.PQ, mr.Metrics.Candidates, configBrief(mr.Config), mr.Timing.Total.Round(msRound))
+		progressLine(log, name, mr)
 	}
 
 	// Blocking workflows.
@@ -186,6 +232,7 @@ func runCell(opts Options, cell *Cell, log io.Writer) error {
 		if !opts.wantMethod(space.Label) {
 			continue
 		}
+		space.Workers = opts.Workers
 		record(space.Label, tuning.TuneBlocking(in, space, opts.Target))
 	}
 
@@ -205,6 +252,7 @@ func runCell(opts Options, cell *Cell, log io.Writer) error {
 
 	// Sparse NN.
 	sparseSpace := tuning.DefaultSparseSpace(opts.FullGrids)
+	sparseSpace.Workers = opts.Workers
 	if opts.wantMethod("eps-Join") {
 		record("eps-Join", tuning.TuneEpsJoin(in, sparseSpace, opts.Target))
 	}
@@ -218,6 +266,7 @@ func runCell(opts Options, cell *Cell, log io.Writer) error {
 
 	// Dense NN.
 	denseSpace := tuning.DefaultDenseSpace(opts.FullGrids)
+	denseSpace.Workers = opts.Workers
 	if opts.Repetitions > 0 {
 		denseSpace.Repetitions = opts.Repetitions
 	}
@@ -270,23 +319,4 @@ func runBaseline(in *core.Input, f core.Filter) *tuning.Result {
 		Satisfied: m.PC >= tuning.DefaultTarget,
 		Evaluated: 1,
 	}
-}
-
-func configBrief(cfg map[string]string) string {
-	if len(cfg) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(cfg))
-	for k := range cfg {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := ""
-	for i, k := range keys {
-		if i > 0 {
-			s += ","
-		}
-		s += k + "=" + cfg[k]
-	}
-	return s
 }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+// rtPattern matches wall-clock runtimes in progress lines; runtimes are
+// the one legitimately nondeterministic part of the output.
+var rtPattern = regexp.MustCompile(`rt=\S+`)
+
+// TestRunDeterministicAcrossWorkerCounts is the determinism satellite: a
+// small bench.Run (one dataset, two methods, hence two schema-setting
+// cells) executed on the sequential path and on a 4-worker pool must
+// produce byte-identical timing-free reports, identical per-cell
+// configurations and metrics, and — after masking wall-clock runtimes —
+// byte-identical progress logs.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	runAt := func(workers int) (*Report, string) {
+		opts := tinyOptions()
+		opts.Methods = []string{"SBW", "kNNJ"}
+		opts.Workers = workers
+		var log bytes.Buffer
+		rep, err := Run(opts, &log)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rep, log.String()
+	}
+
+	seqRep, seqLog := runAt(1)
+	parRep, parLog := runAt(4)
+
+	// Progress logs agree byte for byte once runtimes are masked: the
+	// sequencer must release the buffered cell logs in canonical order.
+	mask := func(s string) string { return rtPattern.ReplaceAllString(s, "rt=X") }
+	if mask(seqLog) != mask(parLog) {
+		t.Errorf("progress logs diverged\n--- workers=1 ---\n%s--- workers=4 ---\n%s", mask(seqLog), mask(parLog))
+	}
+
+	// Cell structure and every tuned outcome agree exactly.
+	if len(seqRep.Cells) != len(parRep.Cells) {
+		t.Fatalf("cell count %d != %d", len(seqRep.Cells), len(parRep.Cells))
+	}
+	for i, sc := range seqRep.Cells {
+		pc := parRep.Cells[i]
+		if sc.Key() != pc.Key() {
+			t.Fatalf("cell %d: %s != %s (canonical order broken)", i, sc.Key(), pc.Key())
+		}
+		for name, sr := range sc.Results {
+			pr := pc.Results[name]
+			if pr == nil {
+				t.Errorf("%s/%s missing from parallel run", pc.Key(), name)
+				continue
+			}
+			if !reflect.DeepEqual(sr.Config, pr.Config) {
+				t.Errorf("%s/%s config diverged\n  workers=1: %v\n  workers=4: %v", sc.Key(), name, sr.Config, pr.Config)
+			}
+			if sr.Metrics != pr.Metrics {
+				t.Errorf("%s/%s metrics diverged\n  workers=1: %+v\n  workers=4: %+v", sc.Key(), name, sr.Metrics, pr.Metrics)
+			}
+			if sr.Satisfied != pr.Satisfied {
+				t.Errorf("%s/%s satisfied %v != %v", sc.Key(), name, sr.Satisfied, pr.Satisfied)
+			}
+		}
+	}
+
+	// The timing-free tables render byte-identically. (Table VII and
+	// Figure 7 embed runtimes, so they are compared via the masked logs
+	// and the metrics above instead.)
+	renderers := map[string]func(*Report) string{
+		"TableVIII": func(r *Report) string { var b bytes.Buffer; TableVIII(&b, r); return b.String() },
+		"TableIX":   func(r *Report) string { var b bytes.Buffer; TableIX(&b, r); return b.String() },
+		"TableX":    func(r *Report) string { var b bytes.Buffer; TableX(&b, r); return b.String() },
+		"TableXI":   func(r *Report) string { var b bytes.Buffer; TableXI(&b, r); return b.String() },
+	}
+	for name, render := range renderers {
+		if s, p := render(seqRep), render(parRep); s != p {
+			t.Errorf("%s diverged\n--- workers=1 ---\n%s--- workers=4 ---\n%s", name, s, p)
+		}
+	}
+}

@@ -3,12 +3,44 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
 
 // msRound is the rounding applied to reported run-times.
 const msRound = 100 * time.Microsecond
+
+// progressLine renders one method's per-cell progress log line. The
+// format is deliberately deterministic (sorted config keys, fixed
+// rounding of everything except the run-time) so that concurrent and
+// sequential runs produce comparable streams; the run-time is the one
+// wall-clock-dependent field.
+func progressLine(w io.Writer, name string, mr *MethodResult) {
+	fmt.Fprintf(w, "   %-12s PC=%.3f PQ=%.4f |C|=%-8d cfg{%s} rt=%v\n",
+		name, mr.Metrics.PC, mr.Metrics.PQ, mr.Metrics.Candidates, configBrief(mr.Config), mr.Timing.Total.Round(msRound))
+}
+
+// configBrief renders a config map as a compact comma-separated list with
+// deterministically ordered keys.
+func configBrief(cfg map[string]string) string {
+	if len(cfg) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + "=" + cfg[k]
+	}
+	return s
+}
 
 // table is a minimal fixed-width text table writer.
 type table struct {

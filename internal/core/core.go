@@ -6,6 +6,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"erfilter/internal/entity"
@@ -46,6 +47,10 @@ type Filter interface {
 // cleaned texts and embeddings so configuration sweeps do not recompute
 // them for every candidate configuration. Use Fresh for timing
 // measurements that must include the preprocessing cost.
+//
+// The caches live behind a mutex so that concurrent grid-search workers
+// may share one Input; WithSeed derives per-repetition inputs that share
+// the caches without mutating the original.
 type Input struct {
 	Task    *entity.Task
 	Setting entity.SchemaSetting
@@ -54,16 +59,25 @@ type Input struct {
 	// Seed drives every stochastic component of a run (LSH, DeepBlocker).
 	Seed uint64
 
+	embDim int
+	caches *inputCaches
+}
+
+// inputCaches holds the lazily computed derived data of an Input. It is
+// shared (by pointer) between an Input and its WithSeed copies, and all
+// access is serialized by mu: the first caller computes, everyone else
+// reads the memoized slices, which are treated as immutable thereafter.
+type inputCaches struct {
+	mu                 sync.Mutex
 	cleaned1, cleaned2 []string
 	embedder           *vector.Embedder
-	embDim             int
 	embCache           map[bool][2][]vector.Vec
 }
 
 // NewInput materializes the schema views of the task.
 func NewInput(task *entity.Task, setting entity.SchemaSetting) *Input {
 	v1, v2 := entity.TaskViews(task, setting)
-	return &Input{Task: task, Setting: setting, V1: v1, V2: v2, embDim: vector.Dim}
+	return &Input{Task: task, Setting: setting, V1: v1, V2: v2, embDim: vector.Dim, caches: &inputCaches{}}
 }
 
 // NewInputDim is NewInput with a custom embedding dimensionality, used by
@@ -82,35 +96,62 @@ func (in *Input) Fresh() *Input {
 	return out
 }
 
+// WithSeed returns a copy of the input with the given seed. The copy
+// shares the task, views and derived-data caches with the receiver, so
+// stochastic repetitions reuse cleaned texts and embeddings; unlike
+// mutating Seed in place, it is safe while other goroutines use the
+// original.
+func (in *Input) WithSeed(seed uint64) *Input {
+	out := *in
+	out.Seed = seed
+	return &out
+}
+
 // Texts returns the per-entity texts of both collections, cleaned
-// (stop-word removal + stemming) or raw.
+// (stop-word removal + stemming) or raw. Safe for concurrent use.
 func (in *Input) Texts(clean bool) (t1, t2 []string) {
 	if !clean {
 		return in.V1.Texts(), in.V2.Texts()
 	}
-	if in.cleaned1 == nil {
-		in.cleaned1 = text.CleanAll(in.V1.Texts())
-		in.cleaned2 = text.CleanAll(in.V2.Texts())
+	c := in.caches
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return in.cleanedLocked()
+}
+
+// cleanedLocked returns the cleaned texts, computing them on first use.
+// Callers must hold caches.mu.
+func (in *Input) cleanedLocked() (t1, t2 []string) {
+	c := in.caches
+	if c.cleaned1 == nil {
+		c.cleaned1 = text.CleanAll(in.V1.Texts())
+		c.cleaned2 = text.CleanAll(in.V2.Texts())
 	}
-	return in.cleaned1, in.cleaned2
+	return c.cleaned1, c.cleaned2
 }
 
 // Embeddings returns the tuple embeddings of both collections over raw or
-// cleaned texts, cached per cleanliness.
+// cleaned texts, cached per cleanliness. Safe for concurrent use.
 func (in *Input) Embeddings(clean bool) (v1, v2 []vector.Vec) {
-	if in.embCache == nil {
-		in.embCache = map[bool][2][]vector.Vec{}
+	c := in.caches
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.embCache == nil {
+		c.embCache = map[bool][2][]vector.Vec{}
 	}
-	if cached, ok := in.embCache[clean]; ok {
+	if cached, ok := c.embCache[clean]; ok {
 		return cached[0], cached[1]
 	}
-	if in.embedder == nil {
-		in.embedder = vector.NewEmbedder(in.embDim)
+	if c.embedder == nil {
+		c.embedder = vector.NewEmbedder(in.embDim)
 	}
-	t1, t2 := in.Texts(clean)
-	e1 := in.embedder.Texts(t1)
-	e2 := in.embedder.Texts(t2)
-	in.embCache[clean] = [2][]vector.Vec{e1, e2}
+	t1, t2 := in.V1.Texts(), in.V2.Texts()
+	if clean {
+		t1, t2 = in.cleanedLocked()
+	}
+	e1 := c.embedder.Texts(t1)
+	e2 := c.embedder.Texts(t2)
+	c.embCache[clean] = [2][]vector.Vec{e1, e2}
 	return e1, e2
 }
 

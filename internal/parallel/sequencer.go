@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"io"
+	"sync"
+)
+
+// Sequencer releases per-index output chunks to an underlying writer in
+// strict index order, regardless of the order in which they are produced.
+// bench.Run uses it so that per-cell progress logs from concurrent workers
+// come out byte-identical to a sequential run: each worker buffers its
+// cell's lines and hands them over with the cell's canonical index; the
+// sequencer writes chunk i only after chunks 0..i-1 have been written.
+type Sequencer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int][]byte
+}
+
+// NewSequencer returns a sequencer writing to w, starting at index 0.
+func NewSequencer(w io.Writer) *Sequencer {
+	return &Sequencer{w: w, pending: map[int][]byte{}}
+}
+
+// Put hands over the complete output chunk of index i. If i is the next
+// index in sequence the chunk is written immediately, along with any
+// buffered successors; otherwise it is buffered. Each index must be put
+// exactly once. Write errors are ignored: the sequencer carries progress
+// logs, and a broken log sink must not fail the computation.
+func (s *Sequencer) Put(i int, chunk []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[i] = chunk
+	for {
+		c, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		if len(c) > 0 {
+			s.w.Write(c)
+		}
+	}
+}

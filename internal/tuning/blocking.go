@@ -7,6 +7,7 @@ import (
 	"erfilter/internal/cleaning"
 	"erfilter/internal/core"
 	"erfilter/internal/metablocking"
+	"erfilter/internal/parallel"
 )
 
 // BlockingSpace is the configuration space of one blocking workflow family
@@ -25,6 +26,9 @@ type BlockingSpace struct {
 	// Cleanings is the comparison cleaning grid (CP + Meta-blocking
 	// combinations).
 	Cleanings []core.ComparisonCleaning
+	// Workers bounds the grid-search worker pool (<=0 = NumCPU,
+	// 1 = sequential). Results are identical at any worker count.
+	Workers int
 }
 
 // CleaningGrid returns Comparison Propagation plus the cross product of
@@ -116,10 +120,47 @@ func BlockingSpaces(full bool) []BlockingSpace {
 // Filtering loop terminates early once the recall upper bound of the
 // cleaned blocks drops below the target, since comparison cleaning can
 // only lose further recall.
+//
+// The search runs on space.Workers goroutines: builders are independent
+// branches, each evaluated by its own tracker, and within a (builder,
+// purge, ratio) line the comparison-cleaning grid fans out too. Only the
+// Block Filtering ladder stays sequential — its early termination depends
+// on the previous ratio's recall. Branch trackers are merged in canonical
+// grid order, so the result is identical at any worker count.
 func TuneBlocking(in *core.Input, space BlockingSpace, target float64) *Result {
-	tr := newTracker(space.Label, target)
-	truth := in.Task.Truth
+	workers := parallel.Workers(space.Workers)
+	// Split the worker budget between the builder branches and the
+	// cleaning grid inside each branch: families with one builder (SBW)
+	// parallelize the inner grid, wide families (SABW) the outer.
+	inner := 1
+	if nb := len(space.Builders); nb < workers {
+		inner = (workers + nb - 1) / nb
+	}
 
+	trackers := make([]*tracker, len(space.Builders))
+	err := parallel.ForEach(workers, len(space.Builders), func(bi int) error {
+		tr := newTracker(space.Label, target)
+		tuneBuilder(tr, in, space, space.Builders[bi], target, inner)
+		trackers[bi] = tr
+		return nil
+	})
+	if err != nil {
+		// The grid evaluation itself is infallible; only a panic inside a
+		// worker lands here. Re-raise it like the sequential loop would.
+		panic(err)
+	}
+
+	final := newTracker(space.Label, target)
+	for _, tr := range trackers {
+		final.merge(tr)
+	}
+	return final.result()
+}
+
+// tuneBuilder walks the block-cleaning and comparison-cleaning grids of a
+// single builder, feeding one tracker.
+func tuneBuilder(tr *tracker, in *core.Input, space BlockingSpace, builder blocking.Builder, target float64, workers int) {
+	truth := in.Task.Truth
 	purgeOptions := []bool{false, true}
 	ratios := space.FilterRatios
 	if space.Proactive {
@@ -127,42 +168,46 @@ func TuneBlocking(in *core.Input, space BlockingSpace, target float64) *Result {
 		ratios = []float64{1}
 	}
 
-	for _, builder := range space.Builders {
-		raw := blocking.Build(in.V1, in.V2, builder)
-		for _, purge := range purgeOptions {
-			base := raw
-			if purge {
-				base = cleaning.Purge(raw)
+	raw := blocking.Build(in.V1, in.V2, builder)
+	for _, purge := range purgeOptions {
+		base := raw
+		if purge {
+			base = cleaning.Purge(raw)
+		}
+		for _, r := range ratios {
+			blocks := base
+			if r < 1 {
+				blocks = cleaning.Filter(base, r)
 			}
-			for _, r := range ratios {
-				blocks := base
-				if r < 1 {
-					blocks = cleaning.Filter(base, r)
+			g := metablocking.BuildGraph(blocks)
+			ub := core.Evaluate(g.Pairs, truth)
+			if ub.PC < target {
+				// Smaller ratios only shrink the blocks further:
+				// stop this grid line, as in the paper.
+				tr.addEvaluated(len(space.Cleanings))
+				tr.offer(ub, workflowFilter(space.Label, builder, purge, r, core.ComparisonCleaning{Propagation: true}), blockConfig(builder, purge, r, core.ComparisonCleaning{Propagation: true}))
+				break
+			}
+			tp := blocks.TotalPlacements()
+			// The cleanings are independent reads of the shared graph:
+			// evaluate them concurrently, then offer in grid order.
+			metrics, err := parallel.Map(workers, len(space.Cleanings), func(ci int) (core.Metrics, error) {
+				cl := space.Cleanings[ci]
+				if cl.Propagation {
+					return ub, nil
 				}
-				g := metablocking.BuildGraph(blocks)
-				ub := core.Evaluate(g.Pairs, truth)
-				if ub.PC < target {
-					// Smaller ratios only shrink the blocks further:
-					// stop this grid line, as in the paper.
-					tr.best.Evaluated += len(space.Cleanings)
-					tr.offer(ub, workflowFilter(space.Label, builder, purge, r, core.ComparisonCleaning{Propagation: true}), blockConfig(builder, purge, r, core.ComparisonCleaning{Propagation: true}))
-					break
-				}
-				tp := blocks.TotalPlacements()
-				for _, cl := range space.Cleanings {
-					var m core.Metrics
-					if cl.Propagation {
-						m = ub
-					} else {
-						pairs := metablocking.Prune(g, cl.Scheme, cl.Algorithm, tp)
-						m = core.Evaluate(pairs, truth)
-					}
-					tr.offer(m, workflowFilter(space.Label, builder, purge, r, cl), blockConfig(builder, purge, r, cl))
-				}
+				pairs := metablocking.Prune(g, cl.Scheme, cl.Algorithm, tp)
+				return core.Evaluate(pairs, truth), nil
+			})
+			if err != nil {
+				panic(err)
+			}
+			for ci, m := range metrics {
+				cl := space.Cleanings[ci]
+				tr.offer(m, workflowFilter(space.Label, builder, purge, r, cl), blockConfig(builder, purge, r, cl))
 			}
 		}
 	}
-	return tr.result()
 }
 
 func workflowFilter(label string, b blocking.Builder, purge bool, r float64, cl core.ComparisonCleaning) *core.BlockingWorkflow {

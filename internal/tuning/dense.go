@@ -7,6 +7,7 @@ import (
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
+	"erfilter/internal/parallel"
 	"erfilter/internal/vector"
 )
 
@@ -34,6 +35,10 @@ type DenseSpace struct {
 	MaxK int
 	// AEHidden/AEEpochs bound the DeepBlocker autoencoder (0 = defaults).
 	AEHidden, AEEpochs int
+
+	// Workers bounds the grid-search worker pool (<=0 = NumCPU,
+	// 1 = sequential). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultDenseSpace returns the Table V grid; full=false thins each axis.
@@ -80,9 +85,8 @@ func averageMetrics(in *core.Input, mk func(seed uint64) core.Filter, reps int) 
 	}
 	var sum core.Metrics
 	for r := 0; r < reps; r++ {
-		run := *in
-		run.Seed = in.Seed + uint64(r)*0x9e37
-		out, err := mk(run.Seed).Run(&run)
+		run := in.WithSeed(in.Seed + uint64(r)*0x9e37)
+		out, err := mk(run.Seed).Run(run)
 		if err != nil {
 			return core.Metrics{}, err
 		}
@@ -99,93 +103,142 @@ func averageMetrics(in *core.Input, mk func(seed uint64) core.Filter, reps int) 
 	}, nil
 }
 
-// TuneMinHash grid-searches MinHash LSH under Problem 1.
+// tuneDenseBranches runs one tracker-feeding closure per independent grid
+// branch on the worker pool and reduces the branch trackers in canonical
+// order. Unlike the sparse helper, branch closures may fail (filters
+// return errors); the error surfaced is the lowest-index one, matching a
+// sequential scan.
+func tuneDenseBranches(workers, n int, method string, target float64, fn func(tr *tracker, bi int) error) (*Result, error) {
+	trackers := make([]*tracker, n)
+	err := parallel.ForEach(workers, n, func(bi int) error {
+		tr := newTracker(method, target)
+		if err := fn(tr, bi); err != nil {
+			return err
+		}
+		trackers[bi] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTrackers(method, target, trackers), nil
+}
+
+// TuneMinHash grid-searches MinHash LSH under Problem 1. Every
+// (CL, bands×rows, k) cell is independent and evaluated concurrently.
 func TuneMinHash(in *core.Input, space DenseSpace, target float64) (*Result, error) {
-	tr := newTracker("MH-LSH", target)
+	type branch struct {
+		clean bool
+		br    [2]int
+		k     int
+	}
+	var branches []branch
 	for _, clean := range space.CleanOptions {
 		for _, br := range space.MHBandRows {
 			for _, k := range space.MHShingles {
-				clean, br, k := clean, br, k
-				m, err := averageMetrics(in, func(seed uint64) core.Filter {
-					return &core.MinHashFilter{Clean: clean, Bands: br[0], Rows: br[1], K: k}
-				}, space.Repetitions)
-				if err != nil {
-					return nil, err
-				}
-				f := &core.MinHashFilter{Clean: clean, Bands: br[0], Rows: br[1], K: k}
-				tr.offer(m, f, map[string]string{
-					"CL": fmtBool(clean), "#bands": fmt.Sprintf("%d", br[0]),
-					"#rows": fmt.Sprintf("%d", br[1]), "k": fmt.Sprintf("%d", k),
-				})
+				branches = append(branches, branch{clean, br, k})
 			}
 		}
 	}
-	return tr.result(), nil
+	return tuneDenseBranches(space.Workers, len(branches), "MH-LSH", target, func(tr *tracker, bi int) error {
+		b := branches[bi]
+		m, err := averageMetrics(in, func(seed uint64) core.Filter {
+			return &core.MinHashFilter{Clean: b.clean, Bands: b.br[0], Rows: b.br[1], K: b.k}
+		}, space.Repetitions)
+		if err != nil {
+			return err
+		}
+		f := &core.MinHashFilter{Clean: b.clean, Bands: b.br[0], Rows: b.br[1], K: b.k}
+		tr.offer(m, f, map[string]string{
+			"CL": fmtBool(b.clean), "#bands": fmt.Sprintf("%d", b.br[0]),
+			"#rows": fmt.Sprintf("%d", b.br[1]), "k": fmt.Sprintf("%d", b.k),
+		})
+		return nil
+	})
 }
 
 // TuneHyperplane grid-searches Hyperplane LSH; for every (CL, tables,
 // hashes) cell the probe count escalates along the ladder until the target
 // recall is reached, mirroring the paper's automatic multi-probe setting.
+// The (CL, tables, hashes) branches fan out; each probe ladder stays
+// sequential because its termination depends on the previous rung.
 func TuneHyperplane(in *core.Input, space DenseSpace, target float64) (*Result, error) {
-	tr := newTracker("HP-LSH", target)
+	type branch struct {
+		clean          bool
+		tables, hashes int
+	}
+	var branches []branch
 	for _, clean := range space.CleanOptions {
 		for _, tables := range space.HPTables {
 			for _, hashes := range space.HPHashes {
-				for _, probes := range space.ProbeLadder {
-					clean, tables, hashes, probes := clean, tables, hashes, probes
-					m, err := averageMetrics(in, func(seed uint64) core.Filter {
-						return &core.HyperplaneFilter{Clean: clean, Tables: tables, Hashes: hashes, Probes: probes}
-					}, space.Repetitions)
-					if err != nil {
-						return nil, err
-					}
-					f := &core.HyperplaneFilter{Clean: clean, Tables: tables, Hashes: hashes, Probes: probes}
-					tr.offer(m, f, map[string]string{
-						"CL": fmtBool(clean), "#tables": fmt.Sprintf("%d", tables),
-						"#hashes": fmt.Sprintf("%d", hashes), "#probes": fmt.Sprintf("%d", probes),
-					})
-					if m.PC >= target {
-						break
-					}
-				}
+				branches = append(branches, branch{clean, tables, hashes})
 			}
 		}
 	}
-	return tr.result(), nil
+	return tuneDenseBranches(space.Workers, len(branches), "HP-LSH", target, func(tr *tracker, bi int) error {
+		b := branches[bi]
+		for _, probes := range space.ProbeLadder {
+			probes := probes
+			m, err := averageMetrics(in, func(seed uint64) core.Filter {
+				return &core.HyperplaneFilter{Clean: b.clean, Tables: b.tables, Hashes: b.hashes, Probes: probes}
+			}, space.Repetitions)
+			if err != nil {
+				return err
+			}
+			f := &core.HyperplaneFilter{Clean: b.clean, Tables: b.tables, Hashes: b.hashes, Probes: probes}
+			tr.offer(m, f, map[string]string{
+				"CL": fmtBool(b.clean), "#tables": fmt.Sprintf("%d", b.tables),
+				"#hashes": fmt.Sprintf("%d", b.hashes), "#probes": fmt.Sprintf("%d", probes),
+			})
+			if m.PC >= target {
+				break
+			}
+		}
+		return nil
+	})
 }
 
 // TuneCrossPolytope grid-searches Cross-Polytope LSH with the same
-// probe-escalation rule.
+// probe-escalation rule; (CL, tables, hashes, last CP dim) branches fan
+// out.
 func TuneCrossPolytope(in *core.Input, space DenseSpace, target float64) (*Result, error) {
-	tr := newTracker("CP-LSH", target)
+	type branch struct {
+		clean                   bool
+		tables, hashes, lastDim int
+	}
+	var branches []branch
 	for _, clean := range space.CleanOptions {
 		for _, tables := range space.CPTables {
 			for _, hashes := range space.CPHashes {
 				for _, lastDim := range space.CPLastDims {
-					for _, probes := range space.ProbeLadder {
-						clean, tables, hashes, lastDim, probes := clean, tables, hashes, lastDim, probes
-						m, err := averageMetrics(in, func(seed uint64) core.Filter {
-							return &core.CrossPolytopeFilter{Clean: clean, Tables: tables, Hashes: hashes, LastCPDim: lastDim, Probes: probes}
-						}, space.Repetitions)
-						if err != nil {
-							return nil, err
-						}
-						f := &core.CrossPolytopeFilter{Clean: clean, Tables: tables, Hashes: hashes, LastCPDim: lastDim, Probes: probes}
-						tr.offer(m, f, map[string]string{
-							"CL": fmtBool(clean), "#tables": fmt.Sprintf("%d", tables),
-							"#hashes": fmt.Sprintf("%d", hashes),
-							"cp dim":  fmt.Sprintf("%d", lastDim),
-							"#probes": fmt.Sprintf("%d", probes),
-						})
-						if m.PC >= target {
-							break
-						}
-					}
+					branches = append(branches, branch{clean, tables, hashes, lastDim})
 				}
 			}
 		}
 	}
-	return tr.result(), nil
+	return tuneDenseBranches(space.Workers, len(branches), "CP-LSH", target, func(tr *tracker, bi int) error {
+		b := branches[bi]
+		for _, probes := range space.ProbeLadder {
+			probes := probes
+			m, err := averageMetrics(in, func(seed uint64) core.Filter {
+				return &core.CrossPolytopeFilter{Clean: b.clean, Tables: b.tables, Hashes: b.hashes, LastCPDim: b.lastDim, Probes: probes}
+			}, space.Repetitions)
+			if err != nil {
+				return err
+			}
+			f := &core.CrossPolytopeFilter{Clean: b.clean, Tables: b.tables, Hashes: b.hashes, LastCPDim: b.lastDim, Probes: probes}
+			tr.offer(m, f, map[string]string{
+				"CL": fmtBool(b.clean), "#tables": fmt.Sprintf("%d", b.tables),
+				"#hashes": fmt.Sprintf("%d", b.hashes),
+				"cp dim":  fmt.Sprintf("%d", b.lastDim),
+				"#probes": fmt.Sprintf("%d", probes),
+			})
+			if m.PC >= target {
+				break
+			}
+		}
+		return nil
+	})
 }
 
 // kGrid returns the paper's cardinality-threshold grid: [1,100] step 1,
@@ -251,79 +304,97 @@ func sweepCardinality(
 	}
 }
 
-// TuneFlatKNN grid-searches the FAISS analog (CL × RVS × K).
+// TuneFlatKNN grid-searches the FAISS analog (CL × RVS × K); the four
+// (CL, RVS) branches fan out, the ascending K sweep early-terminates
+// inside each.
 func TuneFlatKNN(in *core.Input, space DenseSpace, target float64) (*Result, error) {
-	tr := newTracker("FAISS", target)
+	type branch struct{ clean, reverse bool }
+	var branches []branch
 	for _, clean := range space.CleanOptions {
-		v1, v2 := in.Embeddings(clean)
 		for _, reverse := range []bool{false, true} {
-			indexed, queries := v1, v2
-			if reverse {
-				indexed, queries = v2, v1
-			}
-			idx := knn.NewFlat(indexed, knn.L2Squared)
-			maxK := space.MaxK
-			if maxK > len(indexed) {
-				maxK = len(indexed)
-			}
-			clean, reverse := clean, reverse
-			sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
-				func(k int) core.Filter {
-					return &core.FlatKNNFilter{Clean: clean, K: k, Reverse: reverse}
-				},
-				func(k int) map[string]string {
-					return map[string]string{
-						"CL": fmtBool(clean), "RVS": fmtBool(reverse), "K": fmt.Sprintf("%d", k),
-					}
-				})
+			branches = append(branches, branch{clean, reverse})
 		}
 	}
-	return tr.result(), nil
+	return tuneDenseBranches(space.Workers, len(branches), "FAISS", target, func(tr *tracker, bi int) error {
+		b := branches[bi]
+		v1, v2 := in.Embeddings(b.clean)
+		indexed, queries := v1, v2
+		if b.reverse {
+			indexed, queries = v2, v1
+		}
+		idx := knn.NewFlat(indexed, knn.L2Squared)
+		maxK := space.MaxK
+		if maxK > len(indexed) {
+			maxK = len(indexed)
+		}
+		clean, reverse := b.clean, b.reverse
+		sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
+			func(k int) core.Filter {
+				return &core.FlatKNNFilter{Clean: clean, K: k, Reverse: reverse}
+			},
+			func(k int) map[string]string {
+				return map[string]string{
+					"CL": fmtBool(clean), "RVS": fmtBool(reverse), "K": fmt.Sprintf("%d", k),
+				}
+			})
+		return nil
+	})
 }
 
 // TunePartitioned grid-searches the SCANN analog
-// (CL × RVS × {BF,AH} × {DP,L2²} × K).
+// (CL × RVS × {BF,AH} × {DP,L2²} × K) over 16 independent branches.
 func TunePartitioned(in *core.Input, space DenseSpace, target float64) (*Result, error) {
-	tr := newTracker("SCANN", target)
+	type branch struct {
+		clean, reverse bool
+		scoring        knn.Scoring
+		metric         knn.Metric
+	}
+	var branches []branch
 	for _, clean := range space.CleanOptions {
-		v1, v2 := in.Embeddings(clean)
 		for _, reverse := range []bool{false, true} {
-			indexed, queries := v1, v2
-			if reverse {
-				indexed, queries = v2, v1
-			}
 			for _, scoring := range []knn.Scoring{knn.BruteForce, knn.AsymmetricHashing} {
 				for _, metric := range []knn.Metric{knn.DotProduct, knn.L2Squared} {
-					idx := knn.NewPartitioned(indexed, knn.PartitionedConfig{
-						Metric: metric, Scoring: scoring, Seed: in.Seed,
-					})
-					maxK := space.MaxK
-					if maxK > len(indexed) {
-						maxK = len(indexed)
-					}
-					clean, reverse, scoring, metric := clean, reverse, scoring, metric
-					sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
-						func(k int) core.Filter {
-							return &core.PartitionedKNNFilter{Clean: clean, K: k, Reverse: reverse, Scoring: scoring, Metric: metric}
-						},
-						func(k int) map[string]string {
-							return map[string]string{
-								"CL": fmtBool(clean), "RVS": fmtBool(reverse),
-								"index": scoring.String(), "similarity": metric.String(),
-								"K": fmt.Sprintf("%d", k),
-							}
-						})
+					branches = append(branches, branch{clean, reverse, scoring, metric})
 				}
 			}
 		}
 	}
-	return tr.result(), nil
+	return tuneDenseBranches(space.Workers, len(branches), "SCANN", target, func(tr *tracker, bi int) error {
+		b := branches[bi]
+		v1, v2 := in.Embeddings(b.clean)
+		indexed, queries := v1, v2
+		if b.reverse {
+			indexed, queries = v2, v1
+		}
+		idx := knn.NewPartitioned(indexed, knn.PartitionedConfig{
+			Metric: b.metric, Scoring: b.scoring, Seed: in.Seed,
+		})
+		maxK := space.MaxK
+		if maxK > len(indexed) {
+			maxK = len(indexed)
+		}
+		clean, reverse, scoring, metric := b.clean, b.reverse, b.scoring, b.metric
+		sweepCardinality(tr, in, target, idx, queries, reverse, maxK,
+			func(k int) core.Filter {
+				return &core.PartitionedKNNFilter{Clean: clean, K: k, Reverse: reverse, Scoring: scoring, Metric: metric}
+			},
+			func(k int) map[string]string {
+				return map[string]string{
+					"CL": fmtBool(clean), "RVS": fmtBool(reverse),
+					"index": scoring.String(), "similarity": metric.String(),
+					"K": fmt.Sprintf("%d", k),
+				}
+			})
+		return nil
+	})
 }
 
 // TuneDeepBlocker grid-searches the DeepBlocker analog (CL × RVS × K),
 // averaging over the repetitions because training is stochastic. The
 // autoencoder is trained once per (CL, seed) and shared across the RVS and
-// K axes.
+// K axes; the (CL, seed) training branches fan out, and their per-cell
+// sums are reduced in canonical branch order so the floating-point
+// accumulation matches the sequential pass bit for bit.
 func TuneDeepBlocker(in *core.Input, space DenseSpace, target float64) (*Result, error) {
 	reps := space.Repetitions
 	if reps < 1 {
@@ -334,74 +405,107 @@ func TuneDeepBlocker(in *core.Input, space DenseSpace, target float64) (*Result,
 		cands, match int
 	}
 	truth := in.Task.Truth
-
-	best := map[string]*cell{} // key: clean/reverse/k
 	keyOf := func(clean, reverse bool, k int) string {
 		return fmt.Sprintf("%v/%v/%d", clean, reverse, k)
 	}
-
 	maxK := space.MaxK
+
+	type branch struct {
+		clean bool
+		rep   int
+	}
+	var branches []branch
 	for _, clean := range space.CleanOptions {
-		v1, v2 := in.Embeddings(clean)
 		for r := 0; r < reps; r++ {
-			seed := in.Seed + uint64(r)*0x51ed
-			training := make([]vector.Vec, 0, len(v1)+len(v2))
-			training = append(training, v1...)
-			training = append(training, v2...)
-			ae := trainAE(training, space, seed)
-			e1 := ae.EncodeAll(v1)
-			e2 := ae.EncodeAll(v2)
-			for _, reverse := range []bool{false, true} {
-				indexed, queries := e1, e2
-				if reverse {
-					indexed, queries = e2, e1
-				}
-				idx := knn.NewFlat(indexed, knn.L2Squared)
-				top := maxK
-				if top > len(indexed) {
-					top = len(indexed)
-				}
-				candAt := make([]int, top)
-				matchAt := make([]int, top)
-				for qi, q := range queries {
-					for rank, res := range idx.Search(q, top) {
-						candAt[rank]++
-						p := entity.Pair{Left: res.ID, Right: int32(qi)}
-						if reverse {
-							p = entity.Pair{Left: int32(qi), Right: res.ID}
-						}
-						if truth.Contains(p) {
-							matchAt[rank]++
-						}
+			branches = append(branches, branch{clean, r})
+		}
+	}
+
+	// Each branch trains one autoencoder and sweeps both directions,
+	// contributing one repetition's counts per (CL, RVS, K) cell.
+	partials, err := parallel.Map(space.Workers, len(branches), func(bi int) (map[string]*cell, error) {
+		b := branches[bi]
+		part := map[string]*cell{}
+		v1, v2 := in.Embeddings(b.clean)
+		seed := in.Seed + uint64(b.rep)*0x51ed
+		training := make([]vector.Vec, 0, len(v1)+len(v2))
+		training = append(training, v1...)
+		training = append(training, v2...)
+		ae := trainAE(training, space, seed)
+		e1 := ae.EncodeAll(v1)
+		e2 := ae.EncodeAll(v2)
+		for _, reverse := range []bool{false, true} {
+			indexed, queries := e1, e2
+			if reverse {
+				indexed, queries = e2, e1
+			}
+			idx := knn.NewFlat(indexed, knn.L2Squared)
+			top := maxK
+			if top > len(indexed) {
+				top = len(indexed)
+			}
+			candAt := make([]int, top)
+			matchAt := make([]int, top)
+			for qi, q := range queries {
+				for rank, res := range idx.Search(q, top) {
+					candAt[rank]++
+					p := entity.Pair{Left: res.ID, Right: int32(qi)}
+					if reverse {
+						p = entity.Pair{Left: int32(qi), Right: res.ID}
 					}
-				}
-				cands, matches := 0, 0
-				next := 0
-				grid := kGrid(top)
-				for k := 1; k <= top; k++ {
-					cands += candAt[k-1]
-					matches += matchAt[k-1]
-					if next < len(grid) && grid[next] == k {
-						next++
-						c := best[keyOf(clean, reverse, k)]
-						if c == nil {
-							c = &cell{}
-							best[keyOf(clean, reverse, k)] = c
-						}
-						m := metricsFromCounts(cands, matches, truth.Size())
-						c.pcSum += m.PC
-						c.pqSum += m.PQ
-						c.cands += m.Candidates
-						c.match += m.Matches
-						// Stop this repetition's sweep a little past the
-						// target to bound work while keeping the averaged
-						// cells complete near the decision boundary.
-						if m.PC >= math.Min(1, target+0.05) {
-							break
-						}
+					if truth.Contains(p) {
+						matchAt[rank]++
 					}
 				}
 			}
+			cands, matches := 0, 0
+			next := 0
+			grid := kGrid(top)
+			for k := 1; k <= top; k++ {
+				cands += candAt[k-1]
+				matches += matchAt[k-1]
+				if next < len(grid) && grid[next] == k {
+					next++
+					c := part[keyOf(b.clean, reverse, k)]
+					if c == nil {
+						c = &cell{}
+						part[keyOf(b.clean, reverse, k)] = c
+					}
+					m := metricsFromCounts(cands, matches, truth.Size())
+					c.pcSum += m.PC
+					c.pqSum += m.PQ
+					c.cands += m.Candidates
+					c.match += m.Matches
+					// Stop this repetition's sweep a little past the
+					// target to bound work while keeping the averaged
+					// cells complete near the decision boundary.
+					if m.PC >= math.Min(1, target+0.05) {
+						break
+					}
+				}
+			}
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce the per-branch sums in branch (clean, repetition) order:
+	// each key receives its repetitions' contributions in the same order
+	// as the sequential loop, keeping the float sums identical.
+	best := map[string]*cell{}
+	for _, part := range partials {
+		for key, pc := range part {
+			c := best[key]
+			if c == nil {
+				c = &cell{}
+				best[key] = c
+			}
+			c.pcSum += pc.pcSum
+			c.pqSum += pc.pqSum
+			c.cands += pc.cands
+			c.match += pc.match
 		}
 	}
 

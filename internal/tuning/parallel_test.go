@@ -1,0 +1,302 @@
+package tuning
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"erfilter/internal/core"
+)
+
+// denseTestSpace returns a thinned dense space that keeps the
+// determinism sweeps fast.
+func denseTestSpace(workers int) DenseSpace {
+	s := DefaultDenseSpace(false)
+	s.Repetitions = 1
+	s.HPTables = []int{4, 8}
+	s.HPHashes = []int{6, 10}
+	s.CPTables = []int{4}
+	s.CPHashes = []int{1, 2}
+	s.CPLastDims = []int{16, 64}
+	s.MHBandRows = [][2]int{{16, 8}, {32, 8}, {64, 4}}
+	s.MHShingles = []int{2, 3}
+	s.MaxK = 60
+	s.AEHidden = 8
+	s.AEEpochs = 1
+	s.Workers = workers
+	return s
+}
+
+// requireSameResult asserts two tuning results are indistinguishable:
+// same winning configuration, filter, metrics, satisfaction and
+// evaluation count.
+func requireSameResult(t *testing.T, name string, seq, par *Result) {
+	t.Helper()
+	if seq.Method != par.Method {
+		t.Errorf("%s: method %q != %q", name, seq.Method, par.Method)
+	}
+	if !reflect.DeepEqual(seq.Config, par.Config) {
+		t.Errorf("%s: config diverged\n  workers=1: %v\n  workers=4: %v", name, seq.Config, par.Config)
+	}
+	if !reflect.DeepEqual(seq.Filter, par.Filter) {
+		t.Errorf("%s: filter diverged\n  workers=1: %#v\n  workers=4: %#v", name, seq.Filter, par.Filter)
+	}
+	if seq.Metrics != par.Metrics {
+		t.Errorf("%s: metrics diverged\n  workers=1: %+v\n  workers=4: %+v", name, seq.Metrics, par.Metrics)
+	}
+	if seq.Satisfied != par.Satisfied {
+		t.Errorf("%s: satisfied %v != %v", name, seq.Satisfied, par.Satisfied)
+	}
+	if seq.Evaluated != par.Evaluated {
+		t.Errorf("%s: evaluated %d != %d", name, seq.Evaluated, par.Evaluated)
+	}
+}
+
+// TestTunersDeterministicAcrossWorkerCounts runs every tuner once on the
+// sequential path (Workers=1) and once on a 4-worker pool over identical
+// fresh inputs and requires identical results: the parallel grid search
+// must be a pure performance optimization.
+func TestTunersDeterministicAcrossWorkerCounts(t *testing.T) {
+	type variant struct {
+		name string
+		run  func(in *core.Input, workers int) (*Result, error)
+	}
+	variants := []variant{
+		{"SBW", func(in *core.Input, w int) (*Result, error) {
+			space := BlockingSpaces(false)[0]
+			space.Workers = w
+			return TuneBlocking(in, space, DefaultTarget), nil
+		}},
+		{"QBW", func(in *core.Input, w int) (*Result, error) {
+			space := BlockingSpaces(false)[1]
+			space.Workers = w
+			return TuneBlocking(in, space, DefaultTarget), nil
+		}},
+		{"SABW", func(in *core.Input, w int) (*Result, error) {
+			space := BlockingSpaces(false)[3]
+			space.Workers = w
+			return TuneBlocking(in, space, DefaultTarget), nil
+		}},
+		{"SBW-stepwise", func(in *core.Input, w int) (*Result, error) {
+			space := BlockingSpaces(false)[0]
+			space.Workers = w
+			return TuneBlockingStepwise(in, space, DefaultTarget), nil
+		}},
+		{"eps-Join", func(in *core.Input, w int) (*Result, error) {
+			space := DefaultSparseSpace(false)
+			space.Workers = w
+			return TuneEpsJoin(in, space, DefaultTarget), nil
+		}},
+		{"kNNJ", func(in *core.Input, w int) (*Result, error) {
+			space := DefaultSparseSpace(false)
+			space.Workers = w
+			return TuneKNNJoin(in, space, DefaultTarget), nil
+		}},
+		{"MH-LSH", func(in *core.Input, w int) (*Result, error) {
+			return TuneMinHash(in, denseTestSpace(w), DefaultTarget)
+		}},
+		{"HP-LSH", func(in *core.Input, w int) (*Result, error) {
+			return TuneHyperplane(in, denseTestSpace(w), DefaultTarget)
+		}},
+		{"CP-LSH", func(in *core.Input, w int) (*Result, error) {
+			return TuneCrossPolytope(in, denseTestSpace(w), DefaultTarget)
+		}},
+		{"FAISS", func(in *core.Input, w int) (*Result, error) {
+			return TuneFlatKNN(in, denseTestSpace(w), DefaultTarget)
+		}},
+		{"SCANN", func(in *core.Input, w int) (*Result, error) {
+			return TunePartitioned(in, denseTestSpace(w), DefaultTarget)
+		}},
+		{"DeepBlocker", func(in *core.Input, w int) (*Result, error) {
+			return TuneDeepBlocker(in, denseTestSpace(w), DefaultTarget)
+		}},
+	}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := v.run(testInput(t), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := v.run(testInput(t), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, v.name, seq, par)
+		})
+	}
+}
+
+// TestConcurrentTunersSharedInput drives several parallel tuners over ONE
+// shared core.Input at the same time, hammering the lazily computed
+// text/embedding caches from many goroutines. Run under -race (the
+// Makefile check target does) this is the regression test for the Input
+// cache synchronization.
+func TestConcurrentTunersSharedInput(t *testing.T) {
+	in := testInput(t)
+	var wg sync.WaitGroup
+	launch := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	sparse := DefaultSparseSpace(false)
+	sparse.Workers = 4
+	blockingSpace := BlockingSpaces(false)[0]
+	blockingSpace.Workers = 4
+	dense := denseTestSpace(4)
+
+	launch(func() { TuneBlocking(in, blockingSpace, DefaultTarget) })
+	launch(func() { TuneEpsJoin(in, sparse, DefaultTarget) })
+	launch(func() { TuneKNNJoin(in, sparse, DefaultTarget) })
+	launch(func() {
+		if _, err := TuneMinHash(in, dense, DefaultTarget); err != nil {
+			t.Error(err)
+		}
+	})
+	launch(func() {
+		if _, err := TuneFlatKNN(in, dense, DefaultTarget); err != nil {
+			t.Error(err)
+		}
+	})
+	launch(func() {
+		if _, err := TuneDeepBlocker(in, dense, DefaultTarget); err != nil {
+			t.Error(err)
+		}
+	})
+	wg.Wait()
+}
+
+// refBest is an independent restatement of the Problem-1 selection rule:
+// prefer satisfied over unsatisfied; among satisfied maximize PQ; among
+// unsatisfied maximize (PC, then PQ); on exact ties keep the earliest
+// offer. It returns the index of the expected winner.
+func refBest(ms []core.Metrics, target float64) int {
+	best := -1
+	for i, m := range ms {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := ms[best]
+		si, sb := m.PC >= target, b.PC >= target
+		switch {
+		case si && !sb:
+			best = i
+		case si == sb && si && m.PQ > b.PQ:
+			best = i
+		case si == sb && !si && (m.PC > b.PC || (m.PC == b.PC && m.PQ > b.PQ)):
+			best = i
+		}
+	}
+	return best
+}
+
+// TestTrackerOfferProperty is the property-style test of the satellite
+// task: over many random offer sequences drawn from a coarse value grid
+// (to force exact ties), the tracker must (1) pick the same winner as the
+// reference rule, with ties broken toward the earliest offer —
+// satisfied-beats-unsatisfied, PQ tie-break among satisfied, (PC, PQ)
+// fallback among unsatisfied — (2) count every offer in Evaluated
+// (accumulated, never overwritten by the winning copy), and (3) produce
+// the identical result when the sequence is split into chunks tracked
+// independently and merged in order, which is exactly the concurrent
+// reduction used by the parallel tuners.
+//
+// Note: the pre-existing offer implementation passed (2) as well — the
+// suspected "Evaluated copied rather than overwritten" bug did not
+// reproduce; this test pins the behavior so the merge path cannot
+// reintroduce it.
+func TestTrackerOfferProperty(t *testing.T) {
+	const target = 0.9
+	vals := []float64{0, 0.25, 0.5, 0.85, 0.9, 0.95, 1}
+	rng := rand.New(rand.NewSource(42))
+
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(40)
+		ms := make([]core.Metrics, n)
+		cfgs := make([]map[string]string, n)
+		for i := range ms {
+			ms[i] = core.Metrics{
+				PC: vals[rng.Intn(len(vals))],
+				PQ: vals[rng.Intn(len(vals))],
+			}
+			cfgs[i] = map[string]string{"i": string(rune('A' + i))}
+		}
+
+		// Sequential tracker.
+		seq := newTracker("prop", target)
+		for i := range ms {
+			seq.offer(ms[i], nil, cfgs[i])
+		}
+		got := seq.result()
+
+		// (1) Reference winner.
+		want := refBest(ms, target)
+		if !reflect.DeepEqual(got.Config, cfgs[want]) {
+			t.Fatalf("trial %d: winner %v, want offer %d (%v)\nsequence: %+v",
+				trial, got.Config, want, cfgs[want], ms)
+		}
+		if got.Metrics != ms[want] {
+			t.Fatalf("trial %d: winner metrics %+v, want %+v", trial, got.Metrics, ms[want])
+		}
+		if got.Satisfied != (ms[want].PC >= target) {
+			t.Fatalf("trial %d: satisfied = %v", trial, got.Satisfied)
+		}
+
+		// (2) Evaluated accumulates across every offer.
+		if got.Evaluated != n {
+			t.Fatalf("trial %d: Evaluated = %d, want %d", trial, got.Evaluated, n)
+		}
+
+		// (3) Chunked trackers merged in canonical order reproduce the
+		// sequential scan exactly.
+		var chunked []*tracker
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			tr := newTracker("prop", target)
+			for i := lo; i < hi; i++ {
+				tr.offer(ms[i], nil, cfgs[i])
+			}
+			chunked = append(chunked, tr)
+			lo = hi
+		}
+		merged := newTracker("prop", target)
+		for _, tr := range chunked {
+			merged.merge(tr)
+		}
+		mr := merged.result()
+		if !reflect.DeepEqual(mr.Config, got.Config) || mr.Metrics != got.Metrics ||
+			mr.Satisfied != got.Satisfied || mr.Evaluated != got.Evaluated {
+			t.Fatalf("trial %d: merged result diverged from sequential\n  sequential: %+v\n  merged: %+v\nsequence: %+v",
+				trial, got, mr, ms)
+		}
+	}
+}
+
+// TestTrackerMergeEmptyBranches checks that branches which offered
+// nothing (fully early-terminated grid lines) merge as pure Evaluated
+// counts without disturbing the winner.
+func TestTrackerMergeEmptyBranches(t *testing.T) {
+	a := newTracker("x", 0.9)
+	a.offer(core.Metrics{PC: 0.95, PQ: 0.4}, nil, map[string]string{"a": "1"})
+
+	empty := newTracker("x", 0.9)
+	empty.addEvaluated(7)
+
+	final := newTracker("x", 0.9)
+	final.merge(empty)
+	final.merge(a)
+	r := final.result()
+	if r.Config["a"] != "1" || !r.Satisfied {
+		t.Fatalf("winner lost through empty merge: %+v", r)
+	}
+	if r.Evaluated != 8 {
+		t.Fatalf("Evaluated = %d, want 8", r.Evaluated)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
+	"erfilter/internal/parallel"
 	"erfilter/internal/sparse"
 	"erfilter/internal/text"
 )
@@ -20,6 +21,9 @@ type SparseSpace struct {
 	MaxK int
 	// ThresholdStep is the ε-Join grid step (0.01 in the paper).
 	ThresholdStep float64
+	// Workers bounds the grid-search worker pool (<=0 = NumCPU,
+	// 1 = sequential). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultSparseSpace returns the Table IV grid; full=false thins the
@@ -49,7 +53,6 @@ func DefaultSparseSpace(full bool) SparseSpace {
 // winning threshold is the largest grid value whose PC still reaches the
 // target (descending thresholds only add candidates, lowering PQ).
 func TuneEpsJoin(in *core.Input, space SparseSpace, target float64) *Result {
-	tr := newTracker("eps-join", target)
 	truth := in.Task.Truth
 	step := space.ThresholdStep
 	if step <= 0 {
@@ -57,58 +60,110 @@ func TuneEpsJoin(in *core.Input, space SparseSpace, target float64) *Result {
 	}
 	bins := int(math.Round(1/step)) + 1
 
-	for _, clean := range space.CleanOptions {
+	// Every (CL, RM) pair is an independent branch sharing one corpus and
+	// index; the measure loop and threshold descent stay inside the
+	// branch (the descent early-terminates on the target).
+	branches := sparseBranches(space, false)
+	trackers := tuneBranches(space.Workers, len(branches), "eps-join", target, func(tr *tracker, bi int) {
+		clean, model := branches[bi].clean, branches[bi].model
 		t1, t2 := in.Texts(clean)
-		for _, model := range space.Models {
-			corpus := sparse.BuildCorpus(t1, t2, model)
-			idx := sparse.NewIndex(corpus.Sets1, corpus.NumTokens)
-			for _, measure := range space.Measures {
-				cand := make([]int, bins)
-				match := make([]int, bins)
-				for e2, q := range corpus.Sets2 {
-					qs := len(q)
-					idx.Overlaps(q, func(e1 int32, overlap int) {
-						sim := measure.Sim(overlap, qs, idx.Size(e1))
-						if sim <= 0 {
-							return
-						}
-						b := int(sim / step)
-						if b >= bins {
-							b = bins - 1
-						}
-						cand[b]++
-						if truth.Contains(pair(e1, int32(e2))) {
-							match[b]++
-						}
-					})
-				}
-				// Suffix sums: counts of pairs with sim >= b*step.
-				for b := bins - 2; b >= 0; b-- {
-					cand[b] += cand[b+1]
-					match[b] += match[b+1]
-				}
-				// Descend thresholds from 1.0; stop at the first (largest)
-				// threshold reaching the target.
-				offered := false
-				for b := bins - 1; b >= 0; b-- {
-					m := metricsFromCounts(cand[b], match[b], truth.Size())
-					t := float64(b) * step
-					f := &core.EpsJoinFilter{Clean: clean, Model: model, Measure: measure, Threshold: t}
-					cfg := map[string]string{
-						"CL": fmtBool(clean), "RM": model.String(),
-						"SM": measure.String(), "t": fmt.Sprintf("%.2f", t),
+		corpus := sparse.BuildCorpus(t1, t2, model)
+		idx := sparse.NewIndex(corpus.Sets1, corpus.NumTokens)
+		for _, measure := range space.Measures {
+			cand := make([]int, bins)
+			match := make([]int, bins)
+			for e2, q := range corpus.Sets2 {
+				qs := len(q)
+				idx.Overlaps(q, func(e1 int32, overlap int) {
+					sim := measure.Sim(overlap, qs, idx.Size(e1))
+					if sim <= 0 {
+						return
 					}
-					tr.offer(m, f, cfg)
-					if m.PC >= target {
-						offered = true
-						break
+					b := int(sim / step)
+					if b >= bins {
+						b = bins - 1
 					}
+					cand[b]++
+					if truth.Contains(pair(e1, int32(e2))) {
+						match[b]++
+					}
+				})
+			}
+			// Suffix sums: counts of pairs with sim >= b*step.
+			for b := bins - 2; b >= 0; b-- {
+				cand[b] += cand[b+1]
+				match[b] += match[b+1]
+			}
+			// Descend thresholds from 1.0; stop at the first (largest)
+			// threshold reaching the target.
+			for b := bins - 1; b >= 0; b-- {
+				m := metricsFromCounts(cand[b], match[b], truth.Size())
+				t := float64(b) * step
+				f := &core.EpsJoinFilter{Clean: clean, Model: model, Measure: measure, Threshold: t}
+				cfg := map[string]string{
+					"CL": fmtBool(clean), "RM": model.String(),
+					"SM": measure.String(), "t": fmt.Sprintf("%.2f", t),
 				}
-				_ = offered
+				tr.offer(m, f, cfg)
+				if m.PC >= target {
+					break
+				}
+			}
+		}
+	})
+	return mergeTrackers("eps-join", target, trackers)
+}
+
+// sparseBranch is one independent (CL, RVS, RM) grid branch of the sparse
+// tuners.
+type sparseBranch struct {
+	clean, reverse bool
+	model          text.Model
+}
+
+// sparseBranches enumerates the independent branches of a sparse space in
+// canonical grid order; the RVS axis participates only for the kNN-Join.
+func sparseBranches(space SparseSpace, withReverse bool) []sparseBranch {
+	reverses := []bool{false}
+	if withReverse {
+		reverses = []bool{false, true}
+	}
+	var out []sparseBranch
+	for _, clean := range space.CleanOptions {
+		for _, reverse := range reverses {
+			for _, model := range space.Models {
+				out = append(out, sparseBranch{clean: clean, reverse: reverse, model: model})
 			}
 		}
 	}
-	return tr.result()
+	return out
+}
+
+// tuneBranches runs one tracker-feeding closure per branch on the worker
+// pool and returns the branch trackers in canonical order.
+func tuneBranches(workers, n int, method string, target float64, fn func(tr *tracker, bi int)) []*tracker {
+	trackers := make([]*tracker, n)
+	err := parallel.ForEach(workers, n, func(bi int) error {
+		tr := newTracker(method, target)
+		fn(tr, bi)
+		trackers[bi] = tr
+		return nil
+	})
+	if err != nil {
+		// Branch closures are infallible; only a recovered panic lands
+		// here. Re-raise it like the sequential loop would.
+		panic(err)
+	}
+	return trackers
+}
+
+// mergeTrackers reduces branch trackers in canonical order.
+func mergeTrackers(method string, target float64, trackers []*tracker) *Result {
+	final := newTracker(method, target)
+	for _, tr := range trackers {
+		final.merge(tr)
+	}
+	return final.result()
 }
 
 // TuneKNNJoin grid-searches the kNN-Join. For every (CL, RVS, SM, RM) cell
@@ -117,68 +172,67 @@ func TuneEpsJoin(in *core.Input, space SparseSpace, target float64) *Result {
 // the paper, terminates at the first K reaching the target recall (larger
 // K only adds worse-ranked candidates).
 func TuneKNNJoin(in *core.Input, space SparseSpace, target float64) *Result {
-	tr := newTracker("kNN-Join", target)
 	truth := in.Task.Truth
 	maxK := space.MaxK
 	if maxK <= 0 {
 		maxK = 100
 	}
 
-	for _, clean := range space.CleanOptions {
+	// Every (CL, RVS, RM) triple is an independent branch; the ascending
+	// K sweep early-terminates inside its measure loop.
+	branches := sparseBranches(space, true)
+	trackers := tuneBranches(space.Workers, len(branches), "kNN-Join", target, func(tr *tracker, bi int) {
+		clean, reverse, model := branches[bi].clean, branches[bi].reverse, branches[bi].model
 		t1, t2 := in.Texts(clean)
-		for _, reverse := range []bool{false, true} {
-			for _, model := range space.Models {
-				corpus := sparse.BuildCorpus(t1, t2, model)
-				indexSets, querySets := corpus.Sets1, corpus.Sets2
-				if reverse {
-					indexSets, querySets = corpus.Sets2, corpus.Sets1
-				}
-				idx := sparse.NewIndex(indexSets, corpus.NumTokens)
-				for _, measure := range space.Measures {
-					// candAt[k]/matchAt[k]: pairs added when the per-query
-					// distinct-rank budget grows from k to k+1.
-					candAt := make([]int, maxK)
-					matchAt := make([]int, maxK)
-					for qi, q := range querySets {
-						ns := idx.KNNQuery(q, measure, maxK)
-						rank := -1
-						last := math.Inf(1)
-						for _, n := range ns {
-							if n.Sim != last {
-								rank++
-								last = n.Sim
-							}
-							candAt[rank]++
-							p := pair(n.Entity, int32(qi))
-							if reverse {
-								p = pair(int32(qi), n.Entity)
-							}
-							if truth.Contains(p) {
-								matchAt[rank]++
-							}
-						}
+		corpus := sparse.BuildCorpus(t1, t2, model)
+		indexSets, querySets := corpus.Sets1, corpus.Sets2
+		if reverse {
+			indexSets, querySets = corpus.Sets2, corpus.Sets1
+		}
+		idx := sparse.NewIndex(indexSets, corpus.NumTokens)
+		for _, measure := range space.Measures {
+			// candAt[k]/matchAt[k]: pairs added when the per-query
+			// distinct-rank budget grows from k to k+1.
+			candAt := make([]int, maxK)
+			matchAt := make([]int, maxK)
+			for qi, q := range querySets {
+				ns := idx.KNNQuery(q, measure, maxK)
+				rank := -1
+				last := math.Inf(1)
+				for _, n := range ns {
+					if n.Sim != last {
+						rank++
+						last = n.Sim
 					}
-					cands, matches := 0, 0
-					for k := 1; k <= maxK; k++ {
-						cands += candAt[k-1]
-						matches += matchAt[k-1]
-						m := metricsFromCounts(cands, matches, truth.Size())
-						f := &core.KNNJoinFilter{Clean: clean, Model: model, Measure: measure, K: k, Reverse: reverse}
-						cfg := map[string]string{
-							"CL": fmtBool(clean), "RVS": fmtBool(reverse),
-							"RM": model.String(), "SM": measure.String(),
-							"K": fmt.Sprintf("%d", k),
-						}
-						tr.offer(m, f, cfg)
-						if m.PC >= target {
-							break
-						}
+					candAt[rank]++
+					p := pair(n.Entity, int32(qi))
+					if reverse {
+						p = pair(int32(qi), n.Entity)
+					}
+					if truth.Contains(p) {
+						matchAt[rank]++
 					}
 				}
 			}
+			cands, matches := 0, 0
+			for k := 1; k <= maxK; k++ {
+				cands += candAt[k-1]
+				matches += matchAt[k-1]
+				m := metricsFromCounts(cands, matches, truth.Size())
+				f := &core.KNNJoinFilter{Clean: clean, Model: model, Measure: measure, K: k, Reverse: reverse}
+				cfg := map[string]string{
+					"CL": fmtBool(clean), "RVS": fmtBool(reverse),
+					"RM": model.String(), "SM": measure.String(),
+					"K": fmt.Sprintf("%d", k),
+				}
+				tr.offer(m, f, cfg)
+				if m.PC >= target {
+					break
+				}
+			}
 		}
-	}
-	return tr.result()
+	})
+	return mergeTrackers("kNN-Join", target, trackers)
 }
 
 func metricsFromCounts(cands, matches, truthSize int) core.Metrics {

@@ -5,6 +5,7 @@ import (
 	"erfilter/internal/cleaning"
 	"erfilter/internal/core"
 	"erfilter/internal/metablocking"
+	"erfilter/internal/parallel"
 )
 
 // TuneBlockingStepwise implements the *step-by-step* configuration
@@ -38,17 +39,29 @@ func TuneBlockingStepwise(in *core.Input, space BlockingSpace, target float64) *
 		}
 	}
 
-	// Step 1: pick the builder in isolation.
+	// Step 1: pick the builder in isolation. The builder evaluations are
+	// independent, so they fan out on the worker pool; the winner is
+	// selected by scanning the results in canonical grid order, exactly
+	// like the sequential loop.
+	type builderEval struct {
+		blocks *blocking.Collection
+		m      core.Metrics
+	}
+	evals, perr := parallel.Map(space.Workers, len(space.Builders), func(i int) (builderEval, error) {
+		blocks := blocking.Build(in.V1, in.V2, space.Builders[i])
+		return builderEval{blocks: blocks, m: core.Evaluate(metablocking.Propagate(blocks), truth)}, nil
+	})
+	if perr != nil {
+		panic(perr) // only a recovered worker panic can land here
+	}
 	var bestBuilder blocking.Builder
 	var bestBlocks *blocking.Collection
 	var bestM core.Metrics
 	have := false
-	for _, b := range space.Builders {
-		blocks := blocking.Build(in.V1, in.V2, b)
-		m := core.Evaluate(metablocking.Propagate(blocks), truth)
+	for i, ev := range evals {
 		evaluated++
-		if better(m, bestM, have) {
-			bestBuilder, bestBlocks, bestM, have = b, blocks, m, true
+		if better(ev.m, bestM, have) {
+			bestBuilder, bestBlocks, bestM, have = space.Builders[i], ev.blocks, ev.m, true
 		}
 	}
 	if !have {
@@ -87,18 +100,25 @@ func TuneBlockingStepwise(in *core.Input, space BlockingSpace, target float64) *
 		}
 	}
 
-	// Step 3: tune comparison cleaning on the frozen blocks.
+	// Step 3: tune comparison cleaning on the frozen blocks. The
+	// cleanings are independent reads of the shared graph: evaluate them
+	// concurrently, then offer in grid order.
 	tr := newTracker(space.Label+"-stepwise", target)
 	g := metablocking.BuildGraph(cleanedBlocks)
 	ub := core.Evaluate(g.Pairs, truth)
 	tp := cleanedBlocks.TotalPlacements()
-	for _, cl := range space.Cleanings {
-		var m core.Metrics
+	metrics, perr2 := parallel.Map(space.Workers, len(space.Cleanings), func(ci int) (core.Metrics, error) {
+		cl := space.Cleanings[ci]
 		if cl.Propagation {
-			m = ub
-		} else {
-			m = core.Evaluate(metablocking.Prune(g, cl.Scheme, cl.Algorithm, tp), truth)
+			return ub, nil
 		}
+		return core.Evaluate(metablocking.Prune(g, cl.Scheme, cl.Algorithm, tp), truth), nil
+	})
+	if perr2 != nil {
+		panic(perr2)
+	}
+	for ci, m := range metrics {
+		cl := space.Cleanings[ci]
 		tr.offer(m, workflowFilter(space.Label, bestBuilder, bestPurge, bestRatio, cl),
 			blockConfig(bestBuilder, bestPurge, bestRatio, cl))
 	}

@@ -53,9 +53,13 @@ func (r *Result) ConfigString() string {
 }
 
 // tracker accumulates the best configuration under Problem 1 semantics.
+// A tracker is not safe for concurrent use; parallel grid searches give
+// every independent branch its own tracker and merge them afterwards in
+// canonical branch order (see merge).
 type tracker struct {
-	target float64
-	best   Result
+	target  float64
+	best    Result
+	offered bool
 }
 
 func newTracker(method string, target float64) *tracker {
@@ -65,9 +69,20 @@ func newTracker(method string, target float64) *tracker {
 // offer considers one evaluated configuration.
 func (t *tracker) offer(m core.Metrics, f core.Filter, config map[string]string) {
 	t.best.Evaluated++
+	t.consider(m, f, config)
+}
+
+// consider applies the Problem-1 comparison without counting an
+// evaluation. All comparisons are strict, so on ties the incumbent — the
+// configuration offered first in canonical grid order — wins; this is
+// what makes the parallel reduction reproduce the sequential scan
+// exactly.
+func (t *tracker) consider(m core.Metrics, f core.Filter, config map[string]string) {
 	satisfies := m.PC >= t.target
 	better := false
 	switch {
+	case !t.offered:
+		better = true
 	case satisfies && !t.best.Satisfied:
 		better = true
 	case satisfies && t.best.Satisfied:
@@ -79,6 +94,7 @@ func (t *tracker) offer(m core.Metrics, f core.Filter, config map[string]string)
 			(m.PC == t.best.Metrics.PC && m.PQ > t.best.Metrics.PQ)
 	}
 	if better {
+		t.offered = true
 		evaluated := t.best.Evaluated
 		t.best = Result{
 			Method:    t.best.Method,
@@ -89,6 +105,24 @@ func (t *tracker) offer(m core.Metrics, f core.Filter, config map[string]string)
 			Evaluated: evaluated,
 		}
 	}
+}
+
+// addEvaluated counts configurations that were covered without an
+// explicit evaluation (early-terminated grid suffixes).
+func (t *tracker) addEvaluated(n int) { t.best.Evaluated += n }
+
+// merge folds a branch tracker into the receiver: evaluation counts
+// accumulate and the branch's winner competes under the same Problem-1
+// comparison. Merging branch trackers in canonical branch order yields
+// exactly the result of the sequential scan, because each branch winner
+// is the first optimum within its branch and consider breaks ties in
+// favor of the earlier (lower-index) branch.
+func (t *tracker) merge(o *tracker) {
+	t.best.Evaluated += o.best.Evaluated
+	if !o.offered {
+		return
+	}
+	t.consider(o.best.Metrics, o.best.Filter, o.best.Config)
 }
 
 func (t *tracker) result() *Result {
