@@ -1,10 +1,11 @@
 GO ?= go
 
-# Packages whose tests exercise the worker pool and the shared caches;
-# these run a second time under the race detector.
-RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core
+# Packages whose tests exercise the worker pool, the shared caches or the
+# online serving path; these run a second time under the race detector.
+RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
+	./internal/sparse ./internal/knn ./internal/online
 
-.PHONY: check vet build test race bench-tune
+.PHONY: check vet build test race bench-tune bench-serve
 
 ## check: the full verification gate (vet, build, tests, race tests)
 check: vet build test race
@@ -25,3 +26,7 @@ race:
 ## bench-tune: sequential vs parallel grid-search benchmark pair
 bench-tune:
 	$(GO) test -run '^$$' -bench 'BenchmarkTune(Sequential|Parallel)$$' -benchtime 10x -count 3 .
+
+## bench-serve: online resolver under mixed read/write load
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe(Query|Insert)' -benchtime 200x -count 3 ./internal/online

@@ -44,6 +44,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -workers must be >= 0 (0 selects all CPUs), got %d\n", *workers)
+		os.Exit(2)
+	}
 	opts := bench.Options{
 		Scale:       *scale,
 		FullGrids:   *full,

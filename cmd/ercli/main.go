@@ -63,6 +63,9 @@ func run(e1Path, e2Path, truthPath, method, schema, attribute string,
 	k int, threshold float64, modelName string, clean, tune bool,
 	target float64, workers int, verify string, quiet bool) error {
 
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 selects all CPUs), got %d", workers)
+	}
 	task, err := loadTask(e1Path, e2Path, truthPath, attribute)
 	if err != nil {
 		return err

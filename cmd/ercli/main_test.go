@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"erfilter/internal/core"
@@ -135,6 +136,17 @@ func TestRunEndToEnd(t *testing.T) {
 	// Tuning without truth must fail.
 	if err := run(e1, e2, "", "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, 0, "", true); err == nil {
 		t.Fatal("tune without truth should fail")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
+	err := run(e1, e2, truth, "knnj", "agnostic", "", 2, 0.4, "C3G", true, true, 0.9, -1, "", true)
+	if err == nil {
+		t.Fatal("negative -workers must be rejected")
+	}
+	if !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("error should name the flag: %v", err)
 	}
 }
 

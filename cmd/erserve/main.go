@@ -1,0 +1,494 @@
+// Command erserve is the online resolution daemon: it keeps one tuned
+// filtering configuration resident as an incrementally-updatable index
+// and answers top-candidate queries over HTTP while entities are
+// inserted and deleted, isolating readers from writers through
+// epoch-swapped immutable snapshots.
+//
+//	erserve -bulk shopA.csv -method knnj -k 3 -addr :8654
+//	erserve -bulk a.csv -tune b.csv -truth gt.csv -method knnj   # serve the tuned optimum
+//	erserve -load resolver.snap                                  # resume from a snapshot
+//
+// Endpoints (JSON unless noted):
+//
+//	POST   /query         {"attrs":{...}|"text":"...","k":N,"eps":X} → top candidates
+//	POST   /entities      {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
+//	GET    /entities/{id} → stored attributes
+//	DELETE /entities/{id} → tombstone + re-publish
+//	GET    /snapshot      → binary snapshot stream (resumable with -load)
+//	GET    /stats         → resolver + per-endpoint latency/throughput counters
+//	GET    /healthz       → ok
+//
+// The daemon shuts down gracefully on SIGTERM/SIGINT, draining in-flight
+// requests and, when -save is given, writing a final snapshot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+	"erfilter/internal/online"
+	"erfilter/internal/text"
+	"erfilter/internal/tuning"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8654", "listen address")
+		load      = flag.String("load", "", "resume from a snapshot file (overrides config flags)")
+		bulk      = flag.String("bulk", "", "CSV file of entities to bulk-insert on startup")
+		method    = flag.String("method", "knnj", "filter: knnj, epsjoin, flat")
+		schema    = flag.String("schema", "agnostic", "schema setting: agnostic or based")
+		attribute = flag.String("attribute", "", "attribute for -schema based")
+		modelName = flag.String("model", "C3G", "representation model for sparse methods (T1G..C5GM)")
+		clean     = flag.Bool("clean", true, "apply stop-word removal and stemming")
+		k         = flag.Int("k", 3, "cardinality threshold for knnj/flat")
+		threshold = flag.Float64("t", 0.4, "similarity threshold for epsjoin")
+		tuneCSV   = flag.String("tune", "", "second-collection CSV: tune the method against it before serving (requires -bulk and -truth)")
+		truthCSV  = flag.String("truth", "", "groundtruth CSV of (bulk,tune) index pairs for -tune")
+		target    = flag.Float64("target", tuning.DefaultTarget, "recall target for -tune")
+		workers   = flag.Int("workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU)")
+		save      = flag.String("save", "", "write a snapshot to this file on graceful shutdown")
+	)
+	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if err := run(*addr, *load, *bulk, *method, *schema, *attribute, *modelName,
+		*clean, *k, *threshold, *tuneCSV, *truthCSV, *target, *workers, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, load, bulk, method, schema, attribute, modelName string,
+	clean bool, k int, threshold float64, tuneCSV, truthCSV string,
+	target float64, workers int, save string) error {
+
+	res, err := buildResolver(load, bulk, method, schema, attribute, modelName,
+		clean, k, threshold, tuneCSV, truthCSV, target, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s\n",
+		res.Config().Describe(), res.Len(), addr)
+
+	srv := &http.Server{Addr: addr, Handler: newServer(res).handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "erserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if save != "" {
+		if err := saveSnapshot(res, save); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "erserve: snapshot saved to %s\n", save)
+	}
+	return nil
+}
+
+func buildResolver(load, bulk, method, schema, attribute, modelName string,
+	clean bool, k int, threshold float64, tuneCSV, truthCSV string,
+	target float64, workers int) (*online.Resolver, error) {
+
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return online.Load(f)
+	}
+
+	setting := entity.SchemaAgnostic
+	if schema == "based" {
+		setting = entity.SchemaBased
+	}
+	var ds *entity.Dataset
+	if bulk != "" {
+		var err error
+		ds, err = readCSVFile(bulk, "bulk")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var cfg online.Config
+	if tuneCSV != "" {
+		if ds == nil || truthCSV == "" {
+			return nil, fmt.Errorf("-tune requires -bulk and -truth")
+		}
+		var err error
+		cfg, err = tuneConfig(ds, tuneCSV, truthCSV, method, setting, attribute, target, workers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m, err := online.ParseMethod(method)
+		if err != nil {
+			return nil, err
+		}
+		model, err := text.ParseModel(modelName)
+		if err != nil {
+			return nil, err
+		}
+		cfg = online.Config{
+			Method: m, Setting: setting, BestAttribute: attribute,
+			Clean: clean, Model: model, K: k, Threshold: threshold,
+		}
+	}
+
+	res := online.NewResolver(cfg)
+	if ds != nil {
+		res.InsertDataset(ds)
+	}
+	return res, nil
+}
+
+// tuneConfig runs the Problem-1 grid search for the method over the
+// (bulk, tune) collection pair and promotes the winning configuration
+// into a serving config.
+func tuneConfig(e1 *entity.Dataset, tuneCSV, truthCSV, method string,
+	setting entity.SchemaSetting, attribute string, target float64, workers int) (online.Config, error) {
+
+	e2, err := readCSVFile(tuneCSV, "tune")
+	if err != nil {
+		return online.Config{}, err
+	}
+	tf, err := os.Open(truthCSV)
+	if err != nil {
+		return online.Config{}, err
+	}
+	truth, err := entity.ReadGroundTruthCSV(tf, e1.Len(), e2.Len())
+	tf.Close()
+	if err != nil {
+		return online.Config{}, err
+	}
+	if truth.Size() == 0 {
+		return online.Config{}, fmt.Errorf("-tune requires a non-empty groundtruth")
+	}
+	task := &entity.Task{Name: "erserve", E1: e1, E2: e2, Truth: truth}
+	if attribute != "" {
+		task.BestAttribute = attribute
+	} else {
+		task.BestAttribute = entity.BestAttribute(task)
+	}
+	in := core.NewInput(task, setting)
+
+	var r *tuning.Result
+	switch method {
+	case "knnj":
+		space := tuning.DefaultSparseSpace(false)
+		space.Workers = workers
+		r = tuning.TuneKNNJoin(in, space, target)
+	case "epsjoin":
+		space := tuning.DefaultSparseSpace(false)
+		space.Workers = workers
+		r = tuning.TuneEpsJoin(in, space, target)
+	case "flat", "faiss":
+		space := tuning.DefaultDenseSpace(false)
+		space.Workers = workers
+		r, err = tuning.TuneFlatKNN(in, space, target)
+		if err != nil {
+			return online.Config{}, err
+		}
+	default:
+		return online.Config{}, fmt.Errorf("method %q does not support -tune", method)
+	}
+	fmt.Fprintf(os.Stderr, "erserve: tuned %s: PC=%.3f PQ=%.3f config{%s}\n",
+		r.Method, r.Metrics.PC, r.Metrics.PQ, r.ConfigString())
+	return online.FromTuning(r, setting, task.BestAttribute)
+}
+
+func readCSVFile(path, name string) (*entity.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return entity.ReadCSV(name, f)
+}
+
+func saveSnapshot(res *online.Resolver, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// server wires the resolver to the HTTP mux with per-endpoint counters.
+type server struct {
+	res   *online.Resolver
+	start time.Time
+	eps   map[string]*endpointStats
+}
+
+// endpointStats are the latency/throughput counters of one endpoint.
+type endpointStats struct {
+	count, errors, totalNS, maxNS atomic.Int64
+}
+
+func (e *endpointStats) observe(d time.Duration, failed bool) {
+	e.count.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	e.totalNS.Add(ns)
+	for {
+		max := e.maxNS.Load()
+		if ns <= max || e.maxNS.CompareAndSwap(max, ns) {
+			return
+		}
+	}
+}
+
+func newServer(res *online.Resolver) *server {
+	return &server{res: res, start: time.Now(), eps: map[string]*endpointStats{}}
+}
+
+// statusWriter records the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	st := &endpointStats{}
+	s.eps[name] = st
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		st.observe(time.Since(begin), sw.status >= 400)
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.wrap("query", s.handleQuery))
+	mux.HandleFunc("POST /entities", s.wrap("insert", s.handleInsert))
+	mux.HandleFunc("GET /entities/{id}", s.wrap("get", s.handleGet))
+	mux.HandleFunc("DELETE /entities/{id}", s.wrap("delete", s.handleDelete))
+	mux.HandleFunc("GET /snapshot", s.wrap("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// entityPayload is the attribute form shared by inserts and queries.
+type entityPayload struct {
+	Attrs map[string]string `json:"attrs"`
+	Text  string            `json:"text"`
+}
+
+// attrs converts the payload to a deterministic attribute list. A bare
+// "text" value becomes a single attribute named after the resolver's
+// best attribute, so it works under both schema settings.
+func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
+	if len(p.Attrs) == 0 && p.Text == "" {
+		return nil, errors.New(`payload needs "attrs" or "text"`)
+	}
+	attrs := online.AttrsFromMap(p.Attrs)
+	if p.Text != "" {
+		name := cfg.BestAttribute
+		if name == "" {
+			name = "text"
+		}
+		attrs = append(attrs, entity.Attribute{Name: name, Value: p.Text})
+	}
+	return attrs, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		entityPayload
+		K   int     `json:"k"`
+		Eps float64 `json:"eps"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	attrs, err := req.attrs(s.res.Config())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.res.Snapshot()
+	cands := snap.Query(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	type cand struct {
+		ID    int64   `json:"id"`
+		Score float64 `json:"score"`
+	}
+	out := struct {
+		Epoch      uint64 `json:"epoch"`
+		Entities   int    `json:"entities"`
+		Candidates []cand `json:"candidates"`
+	}{Epoch: snap.Epoch(), Entities: snap.Len(), Candidates: make([]cand, len(cands))}
+	for i, c := range cands {
+		out.Candidates[i] = cand{ID: c.ID, Score: c.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		entityPayload
+		Entities []entityPayload `json:"entities"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg := s.res.Config()
+	var batch [][]entity.Attribute
+	add := func(p *entityPayload) error {
+		attrs, err := p.attrs(cfg)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, attrs)
+		return nil
+	}
+	if len(req.Entities) > 0 {
+		for i := range req.Entities {
+			if err := add(&req.Entities[i]); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("entity %d: %w", i, err))
+				return
+			}
+		}
+	} else if err := add(&req.entityPayload); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids := s.res.InsertBatch(batch)
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "epoch": s.res.Snapshot().Epoch()})
+}
+
+func pathID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	attrs, ok := s.res.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("entity %d not resident", id))
+		return
+	}
+	type attr struct {
+		Name  string `json:"name"`
+		Value string `json:"value"`
+	}
+	out := struct {
+		ID    int64  `json:"id"`
+		Attrs []attr `json:"attrs"`
+	}{ID: id, Attrs: make([]attr, len(attrs))}
+	for i, a := range attrs {
+		out.Attrs[i] = attr{Name: a.Name, Value: a.Value}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	if !s.res.Delete(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("entity %d not resident", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "epoch": s.res.Snapshot().Epoch()})
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.res.Save(w); err != nil {
+		// Headers are already sent; the truncated stream fails the
+		// client-side magic/length checks.
+		fmt.Fprintln(os.Stderr, "erserve: streaming snapshot:", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
+	type ep struct {
+		Count     int64   `json:"count"`
+		Errors    int64   `json:"errors"`
+		MeanUS    float64 `json:"mean_us"`
+		MaxUS     float64 `json:"max_us"`
+		PerSecond float64 `json:"per_second"`
+	}
+	eps := map[string]ep{}
+	for name, st := range s.eps {
+		n := st.count.Load()
+		e := ep{Count: n, Errors: st.errors.Load(), MaxUS: float64(st.maxNS.Load()) / 1e3}
+		if n > 0 {
+			e.MeanUS = float64(st.totalNS.Load()) / float64(n) / 1e3
+			e.PerSecond = float64(n) / uptime.Seconds()
+		}
+		eps[name] = e
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"resolver":  s.res.Stats(),
+		"endpoints": eps,
+		"uptime_s":  uptime.Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

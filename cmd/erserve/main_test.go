@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"erfilter/internal/datagen"
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/online"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *online.Resolver) {
+	t.Helper()
+	c3g, _ := text.ParseModel("C3G")
+	res := online.NewResolver(online.Config{
+		Method: online.KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 3, Clean: true,
+	})
+	ts := httptest.NewServer(newServer(res).handler())
+	t.Cleanup(ts.Close)
+	return ts, res
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Insert a batch, then one more entity.
+	var ins struct {
+		IDs   []int64 `json:"ids"`
+		Epoch uint64  `json:"epoch"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
+		"entities": []map[string]any{
+			{"attrs": map[string]string{"name": "canon powershot a540", "price": "199"}},
+			{"attrs": map[string]string{"name": "nikon coolpix p100", "price": "299"}},
+			{"text": "sony cybershot dsc w55"},
+		},
+	}, &ins)
+	if code != http.StatusOK || len(ins.IDs) != 3 {
+		t.Fatalf("batch insert: code=%d ids=%v", code, ins.IDs)
+	}
+	var one struct {
+		IDs []int64 `json:"ids"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
+		"attrs": map[string]string{"name": "apple ipod nano"},
+	}, &one); code != http.StatusOK || len(one.IDs) != 1 || one.IDs[0] != 3 {
+		t.Fatalf("single insert: code=%d ids=%v", code, one.IDs)
+	}
+
+	// Query finds the canon entity first.
+	var q struct {
+		Epoch      uint64 `json:"epoch"`
+		Entities   int    `json:"entities"`
+		Candidates []struct {
+			ID    int64   `json:"id"`
+			Score float64 `json:"score"`
+		} `json:"candidates"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
+		"attrs": map[string]string{"name": "canon power shot a540"}, "k": 2,
+	}, &q); code != http.StatusOK {
+		t.Fatalf("query code=%d", code)
+	}
+	if q.Entities != 4 || len(q.Candidates) == 0 || q.Candidates[0].ID != ins.IDs[0] {
+		t.Fatalf("query result: %+v", q)
+	}
+
+	// Get echoes stored attributes.
+	var got struct {
+		ID    int64 `json:"id"`
+		Attrs []struct{ Name, Value string }
+	}
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, &got); code != http.StatusOK {
+		t.Fatalf("get code=%d", code)
+	}
+	if len(got.Attrs) != 2 || got.Attrs[0].Name != "name" {
+		t.Fatalf("get attrs: %+v", got)
+	}
+
+	// Delete, then the entity is gone from queries and GETs.
+	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusOK {
+		t.Fatalf("delete code=%d", code)
+	}
+	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete code=%d", code)
+	}
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete code=%d", code)
+	}
+	q.Candidates = nil
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "canon powershot a540"}, &q)
+	for _, c := range q.Candidates {
+		if c.ID == ins.IDs[0] {
+			t.Fatalf("deleted entity still served: %+v", q)
+		}
+	}
+
+	// Bad requests are 4xx, not 5xx.
+	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty query code=%d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/entities/notanumber", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id code=%d", code)
+	}
+
+	// Healthz and stats.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	var stats struct {
+		Resolver  online.Stats `json:"resolver"`
+		Endpoints map[string]struct {
+			Count  int64 `json:"count"`
+			Errors int64 `json:"errors"`
+		} `json:"endpoints"`
+		UptimeS float64 `json:"uptime_s"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats code=%d", code)
+	}
+	if stats.Resolver.Entities != 3 || stats.Resolver.Inserts != 4 || stats.Resolver.Deletes != 1 {
+		t.Fatalf("resolver stats: %+v", stats.Resolver)
+	}
+	if stats.Endpoints["query"].Count < 2 || stats.Endpoints["insert"].Count != 2 {
+		t.Fatalf("endpoint counters: %+v", stats.Endpoints)
+	}
+	if stats.Endpoints["delete"].Errors != 1 {
+		t.Fatalf("delete error counter: %+v", stats.Endpoints)
+	}
+}
+
+// TestServerSnapshotStream round-trips the resolver through the
+// GET /snapshot endpoint and checks the loaded replica answers queries
+// identically.
+func TestServerSnapshotStream(t *testing.T) {
+	ts, res := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		res.Insert([]entity.Attribute{{Name: "name", Value: fmt.Sprintf("entity number %d canon", i)}})
+	}
+	res.Delete(4)
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	replica, err := online.Load(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []entity.Attribute{{Name: "name", Value: "canon entity number 7"}}
+	a := res.Query(q, online.QueryOptions{K: 5})
+	b := replica.Query(q, online.QueryOptions{K: 5})
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("replica answers differ: %s vs %s", ja, jb)
+	}
+}
+
+func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
+	t.Helper()
+	dir := t.TempDir()
+	task := datagen.Generate(datagen.QuickSpec(20, 40, 12, 5))
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	e1 = write("e1.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E1) })
+	e2 = write("e2.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E2) })
+	truth = write("truth.csv", func(f *os.File) error {
+		for _, p := range task.Truth.Pairs() {
+			if _, err := fmt.Fprintf(f, "%d,%d\n", p.Left, p.Right); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return e1, e2, truth
+}
+
+// TestBuildResolverPaths covers the startup paths: bulk CSV load, tuned
+// startup, and snapshot resume.
+func TestBuildResolverPaths(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
+
+	res, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, "", "", 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 20 {
+		t.Fatalf("bulk load: %d entities", res.Len())
+	}
+
+	tuned, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, e2, truth, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Len() != 20 {
+		t.Fatalf("tuned load: %d entities", tuned.Len())
+	}
+	if !strings.Contains(tuned.Config().Describe(), "method=knnj") {
+		t.Fatalf("tuned config: %s", tuned.Config().Describe())
+	}
+
+	snapPath := filepath.Join(t.TempDir(), "resolver.snap")
+	if err := saveSnapshot(res, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := buildResolver(snapPath, "", "", "", "", "", false, 0, 0, "", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != res.Len() {
+		t.Fatalf("resumed %d entities, want %d", resumed.Len(), res.Len())
+	}
+
+	if _, err := buildResolver("", e1, "pbw", "agnostic", "", "C3G", true, 3, 0.4, "", "", 0.9, 1); err == nil {
+		t.Fatal("unservable method must error")
+	}
+	if _, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, e2, "", 0.9, 1); err == nil {
+		t.Fatal("-tune without -truth must error")
+	}
+}
+
+// TestTunedFlatStartup exercises the dense tuning path end to end.
+func TestTunedFlatStartup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense tuning is slow")
+	}
+	e1, e2, truth := writeTaskCSVs(t)
+	res, err := buildResolver("", e1, "flat", "agnostic", "", "C3G", true, 3, 0.4, e2, truth, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config().Method != online.FlatKNN {
+		t.Fatalf("config: %s", res.Config().Describe())
+	}
+	if res.Config().Metric != knn.L2Squared {
+		t.Fatalf("metric: %v", res.Config().Metric)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // ReadCSV loads a dataset from CSV: the first row holds attribute names,
@@ -17,6 +18,11 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("entity: reading CSV header: %w", err)
+	}
+	// Real-world exports (Excel, some DBMS dumps) prefix the file with a
+	// UTF-8 BOM, which would otherwise corrupt the first attribute name.
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
 	}
 	var profiles []Profile
 	for {

@@ -52,6 +52,97 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTripEdgeCases pins the ingest behaviors the erserve
+// bulk-load path relies on: quoted fields containing commas, newlines and
+// quotes survive a write/read round-trip, missing values become absent
+// attributes, and ragged rows neither crash nor invent attributes.
+func TestCSVRoundTripEdgeCases(t *testing.T) {
+	orig := New("edge", []Profile{
+		{Attrs: []Attribute{
+			{Name: "name", Value: `canon, powershot "a540"`},
+			{Name: "desc", Value: "line one\nline two, with comma"},
+		}},
+		{Attrs: []Attribute{
+			{Name: "desc", Value: "only a description"},
+		}},
+		{Attrs: []Attribute{
+			{Name: "name", Value: "  leading and trailing  "},
+			{Name: "desc", Value: ","},
+		}},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("edge", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round-trip length %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Profiles {
+		for _, name := range []string{"name", "desc"} {
+			if w, g := orig.Profiles[i].Value(name), got.Profiles[i].Value(name); w != g {
+				t.Fatalf("profile %d %s: %q != %q", i, name, g, w)
+			}
+		}
+	}
+	// The missing value stayed an absent attribute, not an empty one.
+	for _, a := range got.Profiles[1].Attrs {
+		if a.Name == "name" {
+			t.Fatalf("missing cell materialized as %+v", a)
+		}
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	// Short row: trailing attributes absent. Long row: extra cells have no
+	// attribute name and are dropped.
+	in := "name,price\nshort\nlong,12,extra,cells\n"
+	d, err := ReadCSV("ragged", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if got := d.Profiles[0].Value("price"); got != "" {
+		t.Fatalf("short row price = %q", got)
+	}
+	if got := d.Profiles[1].Value("price"); got != "12" {
+		t.Fatalf("long row price = %q", got)
+	}
+	if n := len(d.Profiles[1].Attrs); n != 2 {
+		t.Fatalf("long row grew %d attributes", n)
+	}
+}
+
+func TestReadCSVQuotedNewlineDirect(t *testing.T) {
+	in := "name,desc\n\"a, b\",\"first\nsecond\"\n"
+	d, err := ReadCSV("q", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Profiles[0].Value("name"); got != "a, b" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := d.Profiles[0].Value("desc"); got != "first\nsecond" {
+		t.Fatalf("desc = %q", got)
+	}
+}
+
+func TestReadCSVStripsBOM(t *testing.T) {
+	in := "\ufeffname,price\ncanon,199\n"
+	d, err := ReadCSV("bom", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Profiles[0].Value("name"); got != "canon" {
+		t.Fatalf("BOM leaked into header: attrs = %+v", d.Profiles[0].Attrs)
+	}
+}
+
 func TestReadGroundTruthCSV(t *testing.T) {
 	in := "id1,id2\n0,1\n2,0\n"
 	g, err := ReadGroundTruthCSV(strings.NewReader(in), 3, 2)

@@ -84,7 +84,10 @@ func (f *Flat) Search(q vector.Vec, k int) []Result {
 	return h.sorted()
 }
 
-// topK keeps the k smallest-score results seen so far in a max-heap.
+// topK keeps the k lexicographically smallest (score, id) results seen so
+// far in a max-heap. Breaking score ties by id makes the selected set — not
+// just its sorted order — independent of scan order and heap layout, so a
+// Flat search is a pure function of the indexed set.
 type topK struct {
 	k     int
 	items []Result
@@ -92,8 +95,13 @@ type topK struct {
 
 func newTopK(k int) *topK { return &topK{k: k} }
 
-func (h *topK) Len() int           { return len(h.items) }
-func (h *topK) Less(i, j int) bool { return h.items[i].Score > h.items[j].Score }
+func (h *topK) Len() int { return len(h.items) }
+func (h *topK) Less(i, j int) bool {
+	if h.items[i].Score != h.items[j].Score {
+		return h.items[i].Score > h.items[j].Score
+	}
+	return h.items[i].ID > h.items[j].ID
+}
 func (h *topK) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *topK) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
 func (h *topK) Pop() interface{} {
@@ -104,13 +112,15 @@ func (h *topK) Pop() interface{} {
 	return x
 }
 
-// offer inserts the candidate if it beats the current k-th best.
+// offer inserts the candidate if it beats the current k-th best under the
+// (score, id) order.
 func (h *topK) offer(id int32, score float64) {
 	if len(h.items) < h.k {
 		heap.Push(h, Result{ID: id, Score: score})
 		return
 	}
-	if score < h.items[0].Score {
+	worst := h.items[0]
+	if score < worst.Score || (score == worst.Score && id < worst.ID) {
 		h.items[0] = Result{ID: id, Score: score}
 		heap.Fix(h, 0)
 	}

@@ -1,0 +1,104 @@
+package online
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+var benchWords = []string{
+	"canon", "nikon", "sony", "olympus", "panasonic", "powershot",
+	"coolpix", "cybershot", "digital", "camera", "compact", "zoom",
+	"lens", "black", "silver", "battery", "charger", "kit", "mp", "hd",
+}
+
+func benchAttrs(i int) []entity.Attribute {
+	w := func(j int) string { return benchWords[(i*7+j*13)%len(benchWords)] }
+	return attrsText(fmt.Sprintf("%s %s %s %d %s %s", w(0), w(1), w(2), i%97, w(3), w(4)))
+}
+
+func benchResolver(cfg Config, n int) *Resolver {
+	r := NewResolver(cfg)
+	batch := make([][]entity.Attribute, n)
+	for i := range batch {
+		batch[i] = benchAttrs(i)
+	}
+	r.InsertBatch(batch)
+	return r
+}
+
+// BenchmarkServeQuery is the load-generator benchmark of the serving
+// path: parallel readers issue top-k queries against the published
+// snapshot while one writer goroutine sustains a mixed insert/delete
+// stream (one mutation batch per ~8 queries), mimicking an online
+// resolver under combined traffic. Reported time is per query.
+func BenchmarkServeQuery(b *testing.B) {
+	c3g, _ := text.ParseModel("C3G")
+	configs := map[string]Config{
+		"knnj-C3G":  {Method: KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 10},
+		"eps-C3G":   {Method: EpsJoin, Model: c3g, Measure: sparse.Jaccard, Threshold: 0.5},
+		"flat-d300": {Method: FlatKNN, K: 10, Metric: knn.L2Squared},
+	}
+	for name, cfg := range configs {
+		b.Run(name, func(b *testing.B) {
+			const preload = 2000
+			r := benchResolver(cfg, preload)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			var qn atomic.Int64
+			go func() {
+				defer close(done)
+				next := preload
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Pace writes off the query counter so the mix stays
+					// roughly 8 reads : 1 write at any parallelism.
+					if qn.Load() < int64(i*8) {
+						continue
+					}
+					id := r.Insert(benchAttrs(next))
+					next++
+					if i%2 == 0 {
+						r.Delete(id - int64(preload/2))
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := benchAttrs(i * 31)
+					r.Query(q, QueryOptions{})
+					qn.Add(1)
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}
+
+// BenchmarkServeInsert measures the write path alone: one entity insert
+// including the epoch publish (freeze + pointer swap).
+func BenchmarkServeInsert(b *testing.B) {
+	c3g, _ := text.ParseModel("C3G")
+	cfg := Config{Method: KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 10}
+	r := benchResolver(cfg, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Insert(benchAttrs(2000 + i))
+	}
+}

@@ -1,0 +1,187 @@
+// Package online turns the batch-built, throwaway filters of the
+// benchmark into a long-lived serving subsystem: incremental indexes that
+// accept entities as they arrive, a Resolver answering top-candidate
+// queries under one tuned configuration, reader/writer isolation through
+// epoch-swapped immutable snapshots (an RCU-style atomic pointer swap —
+// the query hot path takes no locks), and a pure-stdlib binary snapshot
+// format so a populated resolver survives restarts.
+package online
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"erfilter/internal/core"
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+	"erfilter/internal/tuning"
+	"erfilter/internal/vector"
+)
+
+// Method selects the filtering family a Resolver serves.
+type Method uint8
+
+const (
+	// KNNJoin serves the sparse kNN-Join: per query, the k sets with the
+	// highest distinct similarity values (Table IV semantics).
+	KNNJoin Method = iota
+	// EpsJoin serves the sparse ε-Join: all sets with similarity ≥ t.
+	EpsJoin
+	// FlatKNN serves the dense exact kNN over tuple embeddings (the
+	// FAISS-Flat configuration the paper settles on).
+	FlatKNN
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case KNNJoin:
+		return "knnj"
+	case EpsJoin:
+		return "epsjoin"
+	case FlatKNN:
+		return "flat"
+	}
+	return "unknown"
+}
+
+// ParseMethod converts a method name used by cmd flags and the snapshot
+// format to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "knnj", "knn-join", "knnjoin":
+		return KNNJoin, nil
+	case "epsjoin", "eps-join", "eps":
+		return EpsJoin, nil
+	case "flat", "faiss", "flatknn":
+		return FlatKNN, nil
+	}
+	return 0, fmt.Errorf("online: unknown method %q", s)
+}
+
+// Config is one tuned filter configuration held resident by a Resolver.
+// It mirrors the parameters of the corresponding core filters (Tables IV
+// and V) plus the schema setting that turns an entity's attributes into
+// its indexed text.
+type Config struct {
+	Method Method
+	// Setting selects schema-agnostic (all values) or schema-based (one
+	// attribute) text assembly; BestAttribute names the attribute for the
+	// latter.
+	Setting       entity.SchemaSetting
+	BestAttribute string
+	// Clean applies stop-word removal and stemming (CL).
+	Clean bool
+	// Model is the representation model (RM) of the sparse methods.
+	Model text.Model
+	// Measure is the similarity measure (SM) of the sparse methods.
+	Measure sparse.Measure
+	// K is the cardinality threshold of KNNJoin and FlatKNN.
+	K int
+	// Threshold is the similarity threshold t of EpsJoin.
+	Threshold float64
+	// Metric ranks FlatKNN results (the paper's configuration uses
+	// squared Euclidean distance over normalized embeddings).
+	Metric knn.Metric
+	// Dim is the embedding dimensionality of FlatKNN (0 = vector.Dim).
+	Dim int
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.K <= 0 {
+		c.K = 1
+	}
+	if c.Dim <= 0 {
+		c.Dim = vector.Dim
+	}
+	return c
+}
+
+// Describe renders the configuration deterministically for logs and the
+// /stats endpoint.
+func (c Config) Describe() string {
+	parts := []string{"method=" + c.Method.String(), "setting=" + c.Setting.String()}
+	if c.Setting == entity.SchemaBased {
+		parts = append(parts, "attribute="+c.BestAttribute)
+	}
+	parts = append(parts, fmt.Sprintf("clean=%v", c.Clean))
+	switch c.Method {
+	case KNNJoin:
+		parts = append(parts, "model="+c.Model.String(), "measure="+c.Measure.String(), fmt.Sprintf("k=%d", c.K))
+	case EpsJoin:
+		parts = append(parts, "model="+c.Model.String(), "measure="+c.Measure.String(), fmt.Sprintf("t=%.2f", c.Threshold))
+	case FlatKNN:
+		parts = append(parts, fmt.Sprintf("metric=%s", c.Metric), fmt.Sprintf("k=%d", c.K), fmt.Sprintf("dim=%d", c.Dim))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FromTuning converts a Problem-1 tuning result into a serving Config, so
+// a grid-searched optimum can be promoted directly into the online
+// resolver. Only the filter families the online subsystem serves are
+// supported (kNN-Join, ε-Join, FAISS-Flat).
+func FromTuning(r *tuning.Result, setting entity.SchemaSetting, bestAttribute string) (Config, error) {
+	if r == nil || r.Filter == nil {
+		return Config{}, fmt.Errorf("online: tuning result has no filter")
+	}
+	cfg := Config{Setting: setting, BestAttribute: bestAttribute}
+	switch f := r.Filter.(type) {
+	case *core.KNNJoinFilter:
+		cfg.Method = KNNJoin
+		cfg.Clean, cfg.Model, cfg.Measure, cfg.K = f.Clean, f.Model, f.Measure, f.K
+	case *core.EpsJoinFilter:
+		cfg.Method = EpsJoin
+		cfg.Clean, cfg.Model, cfg.Measure, cfg.Threshold = f.Clean, f.Model, f.Measure, f.Threshold
+	case *core.FlatKNNFilter:
+		cfg.Method = FlatKNN
+		cfg.Clean, cfg.K, cfg.Metric = f.Clean, f.K, knn.L2Squared
+	default:
+		return Config{}, fmt.Errorf("online: filter %s is not servable online", r.Filter.Name())
+	}
+	return cfg.normalize(), nil
+}
+
+// textOf assembles the indexed/queried text of an entity under the
+// config's schema setting, mirroring entity.NewView, and applies the
+// optional cleaning. Attributes are consumed in slice order, so CSV rows
+// and JSON payloads must present them deterministically.
+func (c Config) textOf(attrs []entity.Attribute) string {
+	var sb strings.Builder
+	for _, a := range attrs {
+		if a.Value == "" {
+			continue
+		}
+		if c.Setting == entity.SchemaBased && a.Name != c.BestAttribute {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(a.Value)
+	}
+	s := sb.String()
+	if c.Clean {
+		s = text.Clean(s)
+	}
+	return s
+}
+
+// AttrsFromMap converts a JSON-style attribute map into a deterministic
+// attribute list (sorted by name), the form the HTTP daemon feeds to
+// Insert and Query.
+func AttrsFromMap(m map[string]string) []entity.Attribute {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	attrs := make([]entity.Attribute, 0, len(names))
+	for _, name := range names {
+		attrs = append(attrs, entity.Attribute{Name: name, Value: m[name]})
+	}
+	return attrs
+}

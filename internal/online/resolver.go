@@ -1,0 +1,320 @@
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/sparse"
+	"erfilter/internal/vector"
+)
+
+// Candidate is one query answer: a resident entity and its score under
+// the resolver's configuration. Higher scores are better for every
+// method: sparse methods report the set similarity, FlatKNN reports the
+// negated metric score (the inner product under DotProduct, the negated
+// squared distance under L2Squared).
+type Candidate struct {
+	ID    int64
+	Score float64
+}
+
+// QueryOptions overrides per-query parameters; zero values fall back to
+// the resolver's tuned configuration.
+type QueryOptions struct {
+	// K overrides the cardinality threshold of KNNJoin and FlatKNN.
+	K int
+	// Threshold overrides the ε-Join similarity threshold when > 0.
+	Threshold float64
+}
+
+// Stats is a point-in-time summary of a resolver.
+type Stats struct {
+	Epoch       uint64 `json:"epoch"`
+	Entities    int    `json:"entities"`
+	Tombstones  int    `json:"tombstones"`
+	VocabSize   int    `json:"vocab_size,omitempty"`
+	Inserts     uint64 `json:"inserts"`
+	Deletes     uint64 `json:"deletes"`
+	Queries     uint64 `json:"queries"`
+	Compactions uint64 `json:"compactions"`
+	Config      string `json:"config"`
+}
+
+// compactMinDead and compactRatio set the tombstone-triggered compaction
+// policy: compact once at least compactMinDead slots are dead AND the
+// dead slots are at least 1/compactRatio of all slots.
+const (
+	compactMinDead = 64
+	compactRatio   = 2
+)
+
+// Resolver holds one tuned filter configuration as a long-lived, mutable,
+// concurrently-queryable index over a growing collection of entities.
+//
+// Writers (Insert/Delete/Load) serialize on an internal mutex, apply the
+// mutation to the single-writer incremental index, and publish a fresh
+// immutable Snapshot with an atomic pointer swap. Readers load the
+// current snapshot pointer and query it without taking any lock, so
+// query latency is unaffected by concurrent ingest; a query observes the
+// resolver exactly as of some published epoch.
+type Resolver struct {
+	cfg Config
+
+	mu      sync.Mutex // serializes all writers and the fields below
+	attrs   map[int64][]entity.Attribute
+	nextID  int64
+	epoch   uint64
+	inserts uint64
+	deletes uint64
+	compact uint64
+
+	// Exactly one of sp (sparse methods) or kn (dense) is non-nil.
+	vocab *Vocab
+	sp    *sparse.IncIndex
+	kn    *knn.IncFlat
+	emb   *vector.Embedder // writer-side embedding cache (dense only)
+
+	snap    atomic.Pointer[Snapshot]
+	queries atomic.Uint64
+	scratch sync.Pool // *sparse.Scratch, shared by all snapshots
+}
+
+// NewResolver creates an empty resolver serving the configuration and
+// publishes its epoch-0 snapshot.
+func NewResolver(cfg Config) *Resolver {
+	cfg = cfg.normalize()
+	r := &Resolver{cfg: cfg, attrs: make(map[int64][]entity.Attribute)}
+	r.scratch.New = func() any { return &sparse.Scratch{} }
+	if cfg.Method == FlatKNN {
+		r.kn = knn.NewIncFlat(cfg.Metric)
+		r.emb = vector.NewEmbedder(cfg.Dim)
+	} else {
+		r.sp = sparse.NewIncIndex()
+		r.vocab = NewVocab()
+	}
+	r.mu.Lock()
+	r.publishLocked()
+	r.mu.Unlock()
+	return r
+}
+
+// Config returns the resolver's configuration.
+func (r *Resolver) Config() Config { return r.cfg }
+
+// Insert adds one entity and publishes a new epoch. The assigned id is
+// returned; ids are monotonically increasing and never reused.
+func (r *Resolver) Insert(attrs []entity.Attribute) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.insertLocked(attrs)
+	r.publishLocked()
+	return id
+}
+
+// InsertBatch adds many entities under a single epoch publish, the bulk
+// ingest path.
+func (r *Resolver) InsertBatch(batch [][]entity.Attribute) []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]int64, len(batch))
+	for i, attrs := range batch {
+		ids[i] = r.insertLocked(attrs)
+	}
+	r.publishLocked()
+	return ids
+}
+
+// InsertDataset bulk-loads every profile of a dataset (the CSV path).
+func (r *Resolver) InsertDataset(d *entity.Dataset) []int64 {
+	batch := make([][]entity.Attribute, d.Len())
+	for i := range d.Profiles {
+		batch[i] = d.Profiles[i].Attrs
+	}
+	return r.InsertBatch(batch)
+}
+
+func (r *Resolver) insertLocked(attrs []entity.Attribute) int64 {
+	id := r.nextID
+	r.nextID++
+	r.addLocked(id, append([]entity.Attribute(nil), attrs...))
+	return id
+}
+
+// Delete tombstones the entity, compacts the index when the tombstone
+// policy triggers, and publishes a new epoch. It reports whether the id
+// was resident.
+func (r *Resolver) Delete(id int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ok bool
+	if r.sp != nil {
+		ok = r.sp.Remove(id)
+	} else {
+		ok = r.kn.Remove(id)
+	}
+	if !ok {
+		return false
+	}
+	delete(r.attrs, id)
+	r.deletes++
+	r.maybeCompactLocked()
+	r.publishLocked()
+	return true
+}
+
+func (r *Resolver) maybeCompactLocked() {
+	dead, total := 0, 0
+	if r.sp != nil {
+		dead, total = r.sp.Dead(), r.sp.Dead()+r.sp.Len()
+	} else {
+		dead, total = r.kn.Dead(), r.kn.Dead()+r.kn.Len()
+	}
+	if dead < compactMinDead || dead*compactRatio < total {
+		return
+	}
+	if r.sp != nil {
+		r.sp.Compact()
+	} else {
+		r.kn.Compact()
+	}
+	r.compact++
+}
+
+// publishLocked freezes the write-side state into an immutable snapshot
+// and swaps it in. Callers hold mu.
+func (r *Resolver) publishLocked() {
+	r.epoch++
+	s := &Snapshot{
+		cfg:     r.cfg,
+		epoch:   r.epoch,
+		queries: &r.queries,
+		scratch: &r.scratch,
+	}
+	if r.sp != nil {
+		s.dict = r.vocab.Frozen()
+		s.sp = r.sp.Freeze()
+		s.count = s.sp.Len()
+	} else {
+		s.kn = r.kn.Freeze()
+		s.count = s.kn.Len()
+	}
+	r.snap.Store(s)
+}
+
+// Snapshot returns the currently published immutable snapshot.
+func (r *Resolver) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Query answers against the currently published snapshot; see
+// Snapshot.Query.
+func (r *Resolver) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate {
+	return r.Snapshot().Query(attrs, opt)
+}
+
+// Get returns a copy of the attributes of a resident entity.
+func (r *Resolver) Get(id int64) ([]entity.Attribute, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	attrs, ok := r.attrs[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]entity.Attribute(nil), attrs...), true
+}
+
+// Len returns the number of resident (non-deleted) entities.
+func (r *Resolver) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.attrs)
+}
+
+// Stats summarizes the resolver.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Epoch:       r.epoch,
+		Entities:    len(r.attrs),
+		Inserts:     r.inserts,
+		Deletes:     r.deletes,
+		Compactions: r.compact,
+		Queries:     r.queries.Load(),
+		Config:      r.cfg.Describe(),
+	}
+	if r.sp != nil {
+		st.Tombstones = r.sp.Dead()
+		st.VocabSize = r.vocab.Len()
+	} else {
+		st.Tombstones = r.kn.Dead()
+	}
+	return st
+}
+
+// Snapshot is an immutable view of a resolver as of one published epoch.
+// Any number of goroutines may query it concurrently; it never blocks
+// and never observes later writes.
+type Snapshot struct {
+	cfg     Config
+	epoch   uint64
+	count   int
+	dict    map[string]int32
+	sp      *sparse.IncSnapshot
+	kn      *knn.FlatSnapshot
+	queries *atomic.Uint64
+	scratch *sync.Pool
+}
+
+// Epoch returns the publish epoch of the snapshot.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of entities visible to the snapshot.
+func (s *Snapshot) Len() int { return s.count }
+
+// Query resolves an incoming entity against the snapshot, returning the
+// top candidates best first (ties broken by ascending id). The entity is
+// put through exactly the same text assembly, cleaning, tokenization and
+// embedding as the indexed entities were.
+func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate {
+	s.queries.Add(1)
+	txt := s.cfg.textOf(attrs)
+	k := s.cfg.K
+	if opt.K > 0 {
+		k = opt.K
+	}
+	switch s.cfg.Method {
+	case FlatKNN:
+		q := vector.NewEmbedder(s.cfg.Dim).Text(txt)
+		res := s.kn.Search(q, k)
+		out := make([]Candidate, len(res))
+		for i, h := range res {
+			out[i] = Candidate{ID: h.ID, Score: -h.Score}
+		}
+		return out
+	case EpsJoin:
+		eps := s.cfg.Threshold
+		if opt.Threshold > 0 {
+			eps = opt.Threshold
+		}
+		return s.sparseQuery(txt, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+			return s.sp.RangeQuery(q, s.cfg.Measure, eps, sc)
+		})
+	default: // KNNJoin
+		return s.sparseQuery(txt, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+			return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
+		})
+	}
+}
+
+func (s *Snapshot) sparseQuery(txt string, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
+	q := encodeFrozen(s.dict, s.cfg.Model.Tokens(txt))
+	sc := s.scratch.Get().(*sparse.Scratch)
+	ns := run(q, sc)
+	s.scratch.Put(sc)
+	out := make([]Candidate, len(ns))
+	for i, n := range ns {
+		out[i] = Candidate{ID: n.ID, Score: n.Sim}
+	}
+	return out
+}

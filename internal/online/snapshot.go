@@ -1,0 +1,250 @@
+package online
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/knn"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+// The on-disk snapshot format is pure stdlib and deliberately minimal: a
+// magic header, the tuned configuration, and every resident entity's id
+// and attributes in ascending-id order. Token sets, vocabularies and
+// embeddings are *not* stored — they are deterministic functions of the
+// entity texts and the configuration, so Load rebuilds them by replaying
+// the entities in id order. Replay order equals the original insertion
+// order (ids are monotonic and never reused), which is what makes a
+// loaded resolver answer queries byte-identically to the one saved.
+const (
+	snapMagic   = "ERSNAP\x01\n"
+	maxSnapStr  = 1 << 24 // sanity bound for length-prefixed strings
+	maxSnapAttr = 1 << 20 // sanity bound for attributes per entity
+)
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u8(v uint8) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+
+func (b *binWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.bytes(buf[:])
+}
+
+func (b *binWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.bytes(buf[:])
+}
+
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+func (b *binWriter) str(s string) {
+	b.u32(uint32(len(s)))
+	if b.err == nil {
+		_, b.err = b.w.WriteString(s)
+	}
+}
+
+func (b *binWriter) bytes(p []byte) {
+	if b.err == nil {
+		_, b.err = b.w.Write(p)
+	}
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u8() uint8 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+
+func (b *binReader) u32() uint32 {
+	var buf [4]byte
+	b.bytes(buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (b *binReader) u64() uint64 {
+	var buf [8]byte
+	b.bytes(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+
+func (b *binReader) str() string {
+	n := b.u32()
+	if b.err != nil {
+		return ""
+	}
+	if n > maxSnapStr {
+		b.err = fmt.Errorf("online: snapshot string length %d exceeds bound", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	b.bytes(buf)
+	return string(buf)
+}
+
+func (b *binReader) bytes(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = io.ReadFull(b.r, p)
+}
+
+// Save writes the resolver — configuration, id counter and every resident
+// entity — to w in the binary snapshot format. It takes the writer lock,
+// so the snapshot is a consistent cut; concurrent queries are unaffected.
+func (r *Resolver) Save(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.bytes([]byte(snapMagic))
+
+	c := r.cfg
+	bw.u8(uint8(c.Method))
+	bw.u8(uint8(c.Setting))
+	bw.u8(boolByte(c.Clean))
+	bw.u8(uint8(c.Model.N))
+	bw.u8(boolByte(c.Model.Multiset))
+	bw.u8(uint8(c.Measure))
+	bw.u8(uint8(c.Metric))
+	bw.u32(uint32(c.K))
+	bw.f64(c.Threshold)
+	bw.u32(uint32(c.Dim))
+	bw.str(c.BestAttribute)
+
+	bw.u64(uint64(r.nextID))
+	ids := make([]int64, 0, len(r.attrs))
+	for id := range r.attrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	bw.u32(uint32(len(ids)))
+	for _, id := range ids {
+		attrs := r.attrs[id]
+		bw.u64(uint64(id))
+		bw.u32(uint32(len(attrs)))
+		for _, a := range attrs {
+			bw.str(a.Name)
+			bw.str(a.Value)
+		}
+	}
+	if bw.err != nil {
+		return fmt.Errorf("online: saving snapshot: %w", bw.err)
+	}
+	return bw.w.Flush()
+}
+
+// Load reconstructs a resolver from a snapshot written by Save. The
+// incremental indexes are rebuilt by replaying the entities in id order,
+// so the loaded resolver returns byte-identical query results.
+func Load(rd io.Reader) (*Resolver, error) {
+	br := &binReader{r: bufio.NewReader(rd)}
+	magic := make([]byte, len(snapMagic))
+	br.bytes(magic)
+	if br.err == nil && string(magic) != snapMagic {
+		return nil, fmt.Errorf("online: not an erfilter snapshot (bad magic)")
+	}
+
+	var c Config
+	c.Method = Method(br.u8())
+	c.Setting = entity.SchemaSetting(br.u8())
+	c.Clean = br.u8() != 0
+	c.Model = text.Model{N: int(br.u8()), Multiset: br.u8() != 0}
+	c.Measure = sparse.Measure(br.u8())
+	c.Metric = knn.Metric(br.u8())
+	c.K = int(br.u32())
+	c.Threshold = br.f64()
+	c.Dim = int(br.u32())
+	c.BestAttribute = br.str()
+	if br.err != nil {
+		return nil, fmt.Errorf("online: reading snapshot header: %w", br.err)
+	}
+	if c.Method > FlatKNN {
+		return nil, fmt.Errorf("online: snapshot has unknown method %d", c.Method)
+	}
+
+	r := NewResolver(c)
+	nextID := int64(br.u64())
+	count := br.u32()
+	if br.err != nil {
+		return nil, fmt.Errorf("online: reading snapshot counts: %w", br.err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var prev int64 = -1
+	for i := uint32(0); i < count; i++ {
+		id := int64(br.u64())
+		nattrs := br.u32()
+		if br.err == nil && nattrs > maxSnapAttr {
+			br.err = fmt.Errorf("attribute count %d exceeds bound", nattrs)
+		}
+		if br.err != nil {
+			return nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+		}
+		attrs := make([]entity.Attribute, nattrs)
+		for j := range attrs {
+			attrs[j] = entity.Attribute{Name: br.str(), Value: br.str()}
+		}
+		if br.err != nil {
+			return nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+		}
+		if id <= prev || id >= nextID {
+			return nil, fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID)
+		}
+		prev = id
+		r.addLocked(id, attrs)
+	}
+	r.nextID = nextID
+	r.publishLocked()
+	return r, nil
+}
+
+// addLocked indexes an entity under an explicit id (the snapshot replay
+// path). Callers hold mu and guarantee ascending, unused ids.
+func (r *Resolver) addLocked(id int64, attrs []entity.Attribute) {
+	r.attrs[id] = attrs
+	txt := r.cfg.textOf(attrs)
+	var err error
+	if r.sp != nil {
+		err = r.sp.Add(id, r.vocab.Encode(r.cfg.Model.Tokens(txt)))
+	} else {
+		err = r.kn.Add(id, r.emb.Text(txt))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("online: %v", err))
+	}
+	r.inserts++
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
