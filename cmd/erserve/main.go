@@ -85,7 +85,18 @@ func run(addr, load, bulk, method, schema, attribute, modelName string,
 	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s\n",
 		res.Config().Describe(), res.Len(), addr)
 
-	srv := &http.Server{Addr: addr, Handler: newServer(res).handler()}
+	// Timeouts bound what one slow or stalled client can hold: the write
+	// timeout is generous because /snapshot streams the whole collection,
+	// but Save no longer holds the resolver lock while streaming, so even
+	// a client that hits it only costs its own connection.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newServer(res).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

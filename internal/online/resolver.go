@@ -79,6 +79,7 @@ type Resolver struct {
 	snap    atomic.Pointer[Snapshot]
 	queries atomic.Uint64
 	scratch sync.Pool // *sparse.Scratch, shared by all snapshots
+	embed   sync.Pool // *vector.Embedder query-side caches (dense only)
 }
 
 // NewResolver creates an empty resolver serving the configuration and
@@ -87,6 +88,7 @@ func NewResolver(cfg Config) *Resolver {
 	cfg = cfg.normalize()
 	r := &Resolver{cfg: cfg, attrs: make(map[int64][]entity.Attribute)}
 	r.scratch.New = func() any { return &sparse.Scratch{} }
+	r.embed.New = func() any { return vector.NewEmbedder(cfg.Dim) }
 	if cfg.Method == FlatKNN {
 		r.kn = knn.NewIncFlat(cfg.Metric)
 		r.emb = vector.NewEmbedder(cfg.Dim)
@@ -191,6 +193,7 @@ func (r *Resolver) publishLocked() {
 		epoch:   r.epoch,
 		queries: &r.queries,
 		scratch: &r.scratch,
+		embed:   &r.embed,
 	}
 	if r.sp != nil {
 		s.dict = r.vocab.Frozen()
@@ -264,6 +267,7 @@ type Snapshot struct {
 	kn      *knn.FlatSnapshot
 	queries *atomic.Uint64
 	scratch *sync.Pool
+	embed   *sync.Pool
 }
 
 // Epoch returns the publish epoch of the snapshot.
@@ -285,7 +289,12 @@ func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 	}
 	switch s.cfg.Method {
 	case FlatKNN:
-		q := vector.NewEmbedder(s.cfg.Dim).Text(txt)
+		// Pooled embedders keep their word-vector caches across queries,
+		// mirroring the writer-side r.emb; embedding is deterministic, so
+		// which pool member serves a query never changes the result.
+		e := s.embed.Get().(*vector.Embedder)
+		q := e.Text(txt)
+		s.embed.Put(e)
 		res := s.kn.Search(q, k)
 		out := make([]Candidate, len(res))
 		for i, h := range res {

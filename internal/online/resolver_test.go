@@ -249,6 +249,123 @@ func TestSaveLoadByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSparseQueryMatchesBatchPipeline pins the query-side normalization:
+// a query containing tokens the index has never seen must score exactly
+// as in the batch pipeline, where sparse.BuildCorpus encodes both
+// collections with one shared dictionary and the query-set size counts
+// every token, seen or not.
+func TestSparseQueryMatchesBatchPipeline(t *testing.T) {
+	const query = "canon powershot a540 waterproof housing xkzzyq"
+	for name, cfg := range testConfigs() {
+		if cfg.Method == FlatKNN {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			r := NewResolver(cfg)
+			ids := make([]int64, len(corpus))
+			for i, s := range corpus {
+				ids[i] = r.Insert(attrsText(s))
+			}
+
+			texts := make([]string, len(corpus))
+			for i, s := range corpus {
+				texts[i] = cfg.textOf(attrsText(s))
+			}
+			c := sparse.BuildCorpus(texts, []string{cfg.textOf(attrsText(query))}, cfg.Model)
+			idx := sparse.NewIndex(c.Sets1, c.NumTokens)
+			var batch []sparse.Neighbor
+			if cfg.Method == EpsJoin {
+				batch = idx.RangeQuery(c.Sets2[0], cfg.Measure, cfg.Threshold)
+			} else {
+				batch = idx.KNNQuery(c.Sets2[0], cfg.Measure, cfg.K)
+			}
+			want := map[int64]float64{}
+			for _, n := range batch {
+				want[ids[n.Entity]] = n.Sim
+			}
+
+			got := r.Query(attrsText(query), QueryOptions{})
+			if len(got) != len(want) {
+				t.Fatalf("online returned %d candidates, batch %d (online: %v)", len(got), len(want), got)
+			}
+			for _, cand := range got {
+				if sim, ok := want[cand.ID]; !ok || sim != cand.Score {
+					t.Fatalf("entity %d scored %v online, want %v as in batch", cand.ID, cand.Score, sim)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryScoresSurviveVocabHistory pins restore invariance: tokens
+// introduced only by a since-deleted entity linger in the live vocabulary
+// but are forgotten by a Save/Load replay, and query scores must not
+// depend on the difference.
+func TestQueryScoresSurviveVocabHistory(t *testing.T) {
+	cfg := testConfigs()["epsjoin"]
+	cfg.Threshold = 0.01
+	r := NewResolver(cfg)
+	r.Insert(attrsText("canon powershot a540"))
+	ephemeral := r.Insert(attrsText("waterproof housing kit"))
+	if !r.Delete(ephemeral) {
+		t.Fatal("delete failed")
+	}
+
+	query := attrsText("canon powershot waterproof housing")
+	before := r.Query(query, QueryOptions{})
+	if len(before) == 0 {
+		t.Fatal("query found no candidates")
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := r2.Query(query, QueryOptions{}); !reflect.DeepEqual(before, after) {
+		t.Fatalf("scores changed across save/load: %v vs %v", before, after)
+	}
+}
+
+// TestLoadRejectsCorruptConfig flips single header bytes to out-of-range
+// enum values and expects Load to fail loudly rather than serve them.
+func TestLoadRejectsCorruptConfig(t *testing.T) {
+	save := func(cfg Config) []byte {
+		r := NewResolver(cfg)
+		r.Insert(attrsText("canon powershot"))
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sparseSnap := save(testConfigs()["knnj"])
+	flatSnap := save(testConfigs()["flat"])
+	// Header layout: 8 bytes magic, then method, setting, clean, model.N,
+	// multiset, measure, metric — one byte each.
+	cases := []struct {
+		name string
+		snap []byte
+		off  int
+	}{
+		{"method", sparseSnap, 8},
+		{"setting", sparseSnap, 9},
+		{"model.N", sparseSnap, 11},
+		{"measure", sparseSnap, 13},
+		{"metric", flatSnap, 14},
+	}
+	for _, c := range cases {
+		b := append([]byte(nil), c.snap...)
+		b[c.off] = 99
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: snapshot with corrupt byte at %d was accepted", c.name, c.off)
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
 		t.Fatal("garbage input must fail")

@@ -116,15 +116,30 @@ func (b *binReader) bytes(p []byte) {
 }
 
 // Save writes the resolver — configuration, id counter and every resident
-// entity — to w in the binary snapshot format. It takes the writer lock,
-// so the snapshot is a consistent cut; concurrent queries are unaffected.
+// entity — to w in the binary snapshot format. The writer lock is held
+// only while the entity map is captured, not while w is written, so a
+// slow destination (e.g. a stalled HTTP client draining /snapshot) never
+// blocks inserts and deletes; the result is still a consistent cut as of
+// one epoch. Concurrent queries are unaffected throughout.
 func (r *Resolver) Save(w io.Writer) error {
+	type savedEntity struct {
+		id    int64
+		attrs []entity.Attribute
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	c := r.cfg
+	nextID := r.nextID
+	ents := make([]savedEntity, 0, len(r.attrs))
+	for id, attrs := range r.attrs {
+		// Sharing the attribute slices outside the lock is safe: they are
+		// copied on insert and never mutated while resident.
+		ents = append(ents, savedEntity{id: id, attrs: attrs})
+	}
+	r.mu.Unlock()
+	sort.Slice(ents, func(i, j int) bool { return ents[i].id < ents[j].id })
+
 	bw := &binWriter{w: bufio.NewWriter(w)}
 	bw.bytes([]byte(snapMagic))
-
-	c := r.cfg
 	bw.u8(uint8(c.Method))
 	bw.u8(uint8(c.Setting))
 	bw.u8(boolByte(c.Clean))
@@ -137,18 +152,12 @@ func (r *Resolver) Save(w io.Writer) error {
 	bw.u32(uint32(c.Dim))
 	bw.str(c.BestAttribute)
 
-	bw.u64(uint64(r.nextID))
-	ids := make([]int64, 0, len(r.attrs))
-	for id := range r.attrs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	bw.u32(uint32(len(ids)))
-	for _, id := range ids {
-		attrs := r.attrs[id]
-		bw.u64(uint64(id))
-		bw.u32(uint32(len(attrs)))
-		for _, a := range attrs {
+	bw.u64(uint64(nextID))
+	bw.u32(uint32(len(ents)))
+	for _, e := range ents {
+		bw.u64(uint64(e.id))
+		bw.u32(uint32(len(e.attrs)))
+		for _, a := range e.attrs {
 			bw.str(a.Name)
 			bw.str(a.Value)
 		}
@@ -184,8 +193,8 @@ func Load(rd io.Reader) (*Resolver, error) {
 	if br.err != nil {
 		return nil, fmt.Errorf("online: reading snapshot header: %w", br.err)
 	}
-	if c.Method > FlatKNN {
-		return nil, fmt.Errorf("online: snapshot has unknown method %d", c.Method)
+	if err := validateConfig(c); err != nil {
+		return nil, err
 	}
 
 	r := NewResolver(c)
@@ -240,6 +249,33 @@ func (r *Resolver) addLocked(id int64, attrs []entity.Attribute) {
 		panic(fmt.Sprintf("online: %v", err))
 	}
 	r.inserts++
+}
+
+// validateConfig range-checks every enum-like field deserialized by Load,
+// so a corrupted or hand-crafted snapshot fails loudly instead of being
+// served with out-of-range values that stringify as "unknown" and score
+// everything as 0.
+func validateConfig(c Config) error {
+	if c.Method > FlatKNN {
+		return fmt.Errorf("online: snapshot has unknown method %d", c.Method)
+	}
+	if c.Setting != entity.SchemaAgnostic && c.Setting != entity.SchemaBased {
+		return fmt.Errorf("online: snapshot has unknown schema setting %d", c.Setting)
+	}
+	switch c.Method {
+	case FlatKNN:
+		if c.Metric != knn.DotProduct && c.Metric != knn.L2Squared {
+			return fmt.Errorf("online: snapshot has unknown metric %d", c.Metric)
+		}
+	default: // sparse methods carry a representation model and a measure
+		if c.Model.N < 1 || c.Model.N > 5 {
+			return fmt.Errorf("online: snapshot has invalid model n-gram length %d (want 1..5)", c.Model.N)
+		}
+		if c.Measure < sparse.Cosine || c.Measure > sparse.Jaccard {
+			return fmt.Errorf("online: snapshot has unknown measure %d", c.Measure)
+		}
+	}
+	return nil
 }
 
 func boolByte(b bool) uint8 {

@@ -54,13 +54,25 @@ func (v *Vocab) Frozen() map[string]int32 {
 	return v.dict
 }
 
-// encodeFrozen maps query tokens through a frozen dictionary, dropping
-// unseen tokens (they cannot overlap with anything indexed).
+// encodeFrozen maps query tokens through a frozen dictionary. A token
+// absent from the dictionary cannot overlap with anything indexed, but it
+// still counts toward the query-set size every similarity measure
+// normalizes by, so it is encoded as a sentinel id just past the frozen
+// vocabulary: overlap counting skips ids beyond the posting table, yet
+// len(result) equals the full token count. This keeps similarities equal
+// to the batch pipeline (sparse.BuildCorpus encodes both collections with
+// one shared dictionary, so there qs counts every query token) and makes
+// scores independent of vocabulary history — a token introduced only by a
+// since-deleted entity contributes size but no overlap whether or not it
+// survives in the dictionary after a Save/Load replay.
 func encodeFrozen(dict map[string]int32, toks []string) []int32 {
-	out := make([]int32, 0, len(toks))
-	for _, tok := range toks {
+	out := make([]int32, len(toks))
+	unseen := int32(len(dict))
+	for i, tok := range toks {
 		if id, ok := dict[tok]; ok {
-			out = append(out, id)
+			out[i] = id
+		} else {
+			out[i] = unseen
 		}
 	}
 	return out

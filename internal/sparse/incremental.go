@@ -19,9 +19,12 @@ type IncNeighbor struct {
 // from a sync.Pool); the zero value is ready to use and grows on demand.
 type Scratch struct {
 	counts []int32
-	stamp  []int32
-	round  int32
-	found  []int32
+	// round/stamp are int64: a pooled Scratch lives for the process
+	// lifetime, and a narrower counter could wrap and false-match a slot
+	// stamped exactly one wrap earlier, inflating its overlap count.
+	stamp []int64
+	round int64
+	found []int32
 }
 
 // grow ensures the buffers cover n slots. New entries are zeroed, which is
@@ -31,7 +34,7 @@ func (sc *Scratch) grow(n int) {
 		return
 	}
 	counts := make([]int32, n)
-	stamp := make([]int32, n)
+	stamp := make([]int64, n)
 	copy(counts, sc.counts)
 	copy(stamp, sc.stamp)
 	sc.counts, sc.stamp = counts, stamp

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -181,6 +182,27 @@ func TestIncIndexSnapshotImmutable(t *testing.T) {
 	}
 	if snap.Len() != 10 {
 		t.Fatalf("snapshot Len = %d, want 10", snap.Len())
+	}
+}
+
+// TestScratchRoundBeyondInt32 pins that a long-lived pooled Scratch keeps
+// counting correctly past the int32 range: the round counter is int64, so
+// it cannot wrap and false-match a slot stamped one wrap earlier.
+func TestScratchRoundBeyondInt32(t *testing.T) {
+	idx := NewIncIndex()
+	if err := idx.Add(1, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := idx.Freeze()
+	sc := &Scratch{round: math.MaxInt32}
+	for i := 0; i < 3; i++ {
+		got := snap.RangeQuery([]int32{1, 2, 3}, Jaccard, 0.5, sc)
+		if len(got) != 1 || got[0].Sim != 1 {
+			t.Fatalf("round %d past int32: got %v", i, got)
+		}
+	}
+	if sc.round != math.MaxInt32+3 {
+		t.Fatalf("round = %d, want %d", sc.round, int64(math.MaxInt32+3))
 	}
 }
 
