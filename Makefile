@@ -3,12 +3,18 @@ GO ?= go
 # Packages whose tests exercise the worker pool, the shared caches or the
 # online serving path; these run a second time under the race detector.
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
-	./internal/sparse ./internal/knn ./internal/online
+	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
+	./internal/wal ./cmd/erserve
 
-.PHONY: check vet build test race bench-tune bench-serve
+# Fault-injection suites: crash recovery, torn writes, fsync failures,
+# degraded mode and overload shedding across the durability stack.
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/online ./cmd/erserve
+CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-## check: the full verification gate (vet, build, tests, race tests)
-check: vet build test race
+.PHONY: check vet build test race chaos bench-tune bench-serve bench-wal
+
+## check: the full verification gate (vet, build, tests, race tests, chaos)
+check: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +29,11 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+## chaos: fault-injection suite under the race detector — crashes, torn
+## writes, fsync failures, degraded read-only mode, overload shedding
+chaos:
+	$(GO) test -race -count 1 -run $(CHAOS_RUN) $(CHAOS_PKGS)
+
 ## bench-tune: sequential vs parallel grid-search benchmark pair
 bench-tune:
 	$(GO) test -run '^$$' -bench 'BenchmarkTune(Sequential|Parallel)$$' -benchtime 10x -count 3 .
@@ -30,3 +41,7 @@ bench-tune:
 ## bench-serve: online resolver under mixed read/write load
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe(Query|Insert)' -benchtime 200x -count 3 ./internal/online
+
+## bench-wal: durable (WAL + fsync) vs volatile insert path
+bench-wal:
+	$(GO) test -run '^$$' -bench 'Benchmark(Serve|Store)Insert' -benchtime 2s -cpu 1,4 ./internal/online

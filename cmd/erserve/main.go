@@ -7,6 +7,12 @@
 //	erserve -bulk shopA.csv -method knnj -k 3 -addr :8654
 //	erserve -bulk a.csv -tune b.csv -truth gt.csv -method knnj   # serve the tuned optimum
 //	erserve -load resolver.snap                                  # resume from a snapshot
+//	erserve -bulk a.csv -wal /var/lib/erserve                    # durable: WAL + checkpoints
+//
+// With -wal every mutation is written to a write-ahead log and fsynced
+// before it is acknowledged, so acked writes survive crashes and power
+// loss; on restart the store recovers from the last checkpoint plus the
+// log. Without -wal the index is volatile and only -save persists it.
 //
 // Endpoints (JSON unless noted):
 //
@@ -15,11 +21,20 @@
 //	GET    /entities/{id} → stored attributes
 //	DELETE /entities/{id} → tombstone + re-publish
 //	GET    /snapshot      → binary snapshot stream (resumable with -load)
-//	GET    /stats         → resolver + per-endpoint latency/throughput counters
-//	GET    /healthz       → ok
+//	GET    /stats         → resolver + durability + per-endpoint counters
+//	GET    /healthz       → process liveness: always ok while serving
+//	GET    /readyz        → write readiness: 503 while draining or degraded
 //
-// The daemon shuts down gracefully on SIGTERM/SIGINT, draining in-flight
-// requests and, when -save is given, writing a final snapshot.
+// Serving-side protection: write requests pass a bounded admission queue
+// and are shed with 503 + Retry-After when it is full; JSON endpoints run
+// under a per-request deadline (/snapshot, which streams the collection,
+// is exempt); handler panics are recovered, counted and answered with
+// 500. A WAL disk failure flips the store to degraded read-only mode —
+// queries keep serving, writes fail fast, and /readyz reports not ready.
+//
+// The daemon shuts down gracefully on SIGTERM/SIGINT: /readyz starts
+// failing, in-flight requests drain, the store checkpoints and closes,
+// and, when -save is given, a final snapshot is written atomically.
 package main
 
 import (
@@ -28,9 +43,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -43,55 +60,85 @@ import (
 	"erfilter/internal/tuning"
 )
 
+// options collects every knob of one daemon run; tests fill it directly.
+type options struct {
+	addr      string
+	load      string
+	bulk      string
+	method    string
+	schema    string
+	attribute string
+	model     string
+	clean     bool
+	k         int
+	threshold float64
+	tuneCSV   string
+	truthCSV  string
+	target    float64
+	workers   int
+	save      string
+
+	walDir          string
+	checkpointEvery int
+	writeQueue      int
+	requestTimeout  time.Duration
+
+	// ready, when set, is invoked with the bound listen address once the
+	// server is accepting connections — the test seam for ":0" listeners.
+	ready func(addr string)
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8654", "listen address")
-		load      = flag.String("load", "", "resume from a snapshot file (overrides config flags)")
-		bulk      = flag.String("bulk", "", "CSV file of entities to bulk-insert on startup")
-		method    = flag.String("method", "knnj", "filter: knnj, epsjoin, flat")
-		schema    = flag.String("schema", "agnostic", "schema setting: agnostic or based")
-		attribute = flag.String("attribute", "", "attribute for -schema based")
-		modelName = flag.String("model", "C3G", "representation model for sparse methods (T1G..C5GM)")
-		clean     = flag.Bool("clean", true, "apply stop-word removal and stemming")
-		k         = flag.Int("k", 3, "cardinality threshold for knnj/flat")
-		threshold = flag.Float64("t", 0.4, "similarity threshold for epsjoin")
-		tuneCSV   = flag.String("tune", "", "second-collection CSV: tune the method against it before serving (requires -bulk and -truth)")
-		truthCSV  = flag.String("truth", "", "groundtruth CSV of (bulk,tune) index pairs for -tune")
-		target    = flag.Float64("target", tuning.DefaultTarget, "recall target for -tune")
-		workers   = flag.Int("workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU)")
-		save      = flag.String("save", "", "write a snapshot to this file on graceful shutdown")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8654", "listen address")
+	flag.StringVar(&o.load, "load", "", "resume from a snapshot file (overrides config flags)")
+	flag.StringVar(&o.bulk, "bulk", "", "CSV file of entities to bulk-insert on startup")
+	flag.StringVar(&o.method, "method", "knnj", "filter: knnj, epsjoin, flat")
+	flag.StringVar(&o.schema, "schema", "agnostic", "schema setting: agnostic or based")
+	flag.StringVar(&o.attribute, "attribute", "", "attribute for -schema based")
+	flag.StringVar(&o.model, "model", "C3G", "representation model for sparse methods (T1G..C5GM)")
+	flag.BoolVar(&o.clean, "clean", true, "apply stop-word removal and stemming")
+	flag.IntVar(&o.k, "k", 3, "cardinality threshold for knnj/flat")
+	flag.Float64Var(&o.threshold, "t", 0.4, "similarity threshold for epsjoin")
+	flag.StringVar(&o.tuneCSV, "tune", "", "second-collection CSV: tune the method against it before serving (requires -bulk and -truth)")
+	flag.StringVar(&o.truthCSV, "truth", "", "groundtruth CSV of (bulk,tune) index pairs for -tune")
+	flag.Float64Var(&o.target, "target", tuning.DefaultTarget, "recall target for -tune")
+	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU)")
+	flag.StringVar(&o.save, "save", "", "write a snapshot to this file on graceful shutdown")
+	flag.StringVar(&o.walDir, "wal", "", "durable store directory: WAL every mutation, checkpoint, recover on restart")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
+	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/snapshot is exempt)")
 	flag.Parse()
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", *workers)
+	if o.workers < 0 {
+		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", o.workers)
 		os.Exit(2)
 	}
-	if err := run(*addr, *load, *bulk, *method, *schema, *attribute, *modelName,
-		*clean, *k, *threshold, *tuneCSV, *truthCSV, *target, *workers, *save); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, load, bulk, method, schema, attribute, modelName string,
-	clean bool, k int, threshold float64, tuneCSV, truthCSV string,
-	target float64, workers int, save string) error {
-
-	res, err := buildResolver(load, bulk, method, schema, attribute, modelName,
-		clean, k, threshold, tuneCSV, truthCSV, target, workers)
+func run(o options) error {
+	res, store, err := buildState(o)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s\n",
-		res.Config().Describe(), res.Len(), addr)
+	mode := "volatile (use -wal for durability)"
+	if store != nil {
+		mode = "durable, wal=" + o.walDir
+	}
+	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s [%s]\n",
+		res.Config().Describe(), res.Len(), o.addr, mode)
 
+	s := newServer(res, store, o.writeQueue)
 	// Timeouts bound what one slow or stalled client can hold: the write
 	// timeout is generous because /snapshot streams the whole collection,
 	// but Save no longer holds the resolver lock while streaming, so even
 	// a client that hits it only costs its own connection.
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           newServer(res).handler(),
+		Handler:           s.handler(o.requestTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       1 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -99,9 +146,16 @@ func run(addr, load, bulk, method, schema, attribute, modelName string,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.ready != nil {
+		o.ready(ln.Addr().String())
+	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -109,76 +163,125 @@ func run(addr, load, bulk, method, schema, attribute, modelName string,
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "erserve: shutting down")
+	// Fail /readyz first so load balancers stop routing, then drain.
+	s.draining.Store(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	if save != "" {
-		if err := saveSnapshot(res, save); err != nil {
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+	}
+	if o.save != "" {
+		if err := res.SaveFile(nil, o.save); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "erserve: snapshot saved to %s\n", save)
+		fmt.Fprintf(os.Stderr, "erserve: snapshot saved to %s\n", o.save)
 	}
 	return nil
 }
 
-func buildResolver(load, bulk, method, schema, attribute, modelName string,
-	clean bool, k int, threshold float64, tuneCSV, truthCSV string,
-	target float64, workers int) (*online.Resolver, error) {
+// buildState assembles the serving state: a volatile resolver, or, with
+// -wal, a durable store recovered from its directory. The store is the
+// source of truth — a bulk CSV only seeds it when it is empty, and the
+// checkpointed configuration wins over the config flags.
+func buildState(o options) (*online.Resolver, *online.Store, error) {
+	if o.walDir == "" {
+		res, err := buildResolver(o)
+		return res, nil, err
+	}
+	if o.load != "" {
+		return nil, nil, fmt.Errorf("-wal and -load are mutually exclusive: the store recovers from its own directory (copy a snapshot there as current.snap to restore one)")
+	}
+	cfg, ds, err := resolveConfig(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := online.OpenStore(o.walDir, cfg, online.StoreOptions{CheckpointEvery: o.checkpointEvery})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := store.Resolver()
+	if ds != nil && res.Len() == 0 {
+		batch := make([][]entity.Attribute, ds.Len())
+		for i := range ds.Profiles {
+			batch[i] = ds.Profiles[i].Attrs
+		}
+		if _, err := store.InsertBatch(batch); err != nil {
+			store.Close()
+			return nil, nil, fmt.Errorf("bulk seed: %w", err)
+		}
+	}
+	return res, store, nil
+}
 
-	if load != "" {
-		f, err := os.Open(load)
+// buildResolver builds the volatile resolver: resumed from a snapshot
+// file, or built from the config flags and optionally bulk-loaded.
+func buildResolver(o options) (*online.Resolver, error) {
+	if o.load != "" {
+		f, err := os.Open(o.load)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return online.Load(f)
 	}
-
-	setting := entity.SchemaAgnostic
-	if schema == "based" {
-		setting = entity.SchemaBased
+	cfg, ds, err := resolveConfig(o)
+	if err != nil {
+		return nil, err
 	}
-	var ds *entity.Dataset
-	if bulk != "" {
-		var err error
-		ds, err = readCSVFile(bulk, "bulk")
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	var cfg online.Config
-	if tuneCSV != "" {
-		if ds == nil || truthCSV == "" {
-			return nil, fmt.Errorf("-tune requires -bulk and -truth")
-		}
-		var err error
-		cfg, err = tuneConfig(ds, tuneCSV, truthCSV, method, setting, attribute, target, workers)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		m, err := online.ParseMethod(method)
-		if err != nil {
-			return nil, err
-		}
-		model, err := text.ParseModel(modelName)
-		if err != nil {
-			return nil, err
-		}
-		cfg = online.Config{
-			Method: m, Setting: setting, BestAttribute: attribute,
-			Clean: clean, Model: model, K: k, Threshold: threshold,
-		}
-	}
-
 	res := online.NewResolver(cfg)
 	if ds != nil {
 		res.InsertDataset(ds)
 	}
 	return res, nil
+}
+
+// resolveConfig turns the config flags into a serving configuration —
+// tuned against a second collection when -tune is given — plus the bulk
+// dataset, if any.
+func resolveConfig(o options) (online.Config, *entity.Dataset, error) {
+	setting := entity.SchemaAgnostic
+	if o.schema == "based" {
+		setting = entity.SchemaBased
+	}
+	var ds *entity.Dataset
+	if o.bulk != "" {
+		var err error
+		ds, err = readCSVFile(o.bulk, "bulk")
+		if err != nil {
+			return online.Config{}, nil, err
+		}
+	}
+
+	var cfg online.Config
+	if o.tuneCSV != "" {
+		if ds == nil || o.truthCSV == "" {
+			return online.Config{}, nil, fmt.Errorf("-tune requires -bulk and -truth")
+		}
+		var err error
+		cfg, err = tuneConfig(ds, o.tuneCSV, o.truthCSV, o.method, setting, o.attribute, o.target, o.workers)
+		if err != nil {
+			return online.Config{}, nil, err
+		}
+	} else {
+		m, err := online.ParseMethod(o.method)
+		if err != nil {
+			return online.Config{}, nil, err
+		}
+		model, err := text.ParseModel(o.model)
+		if err != nil {
+			return online.Config{}, nil, err
+		}
+		cfg = online.Config{
+			Method: m, Setting: setting, BestAttribute: o.attribute,
+			Clean: o.clean, Model: model, K: o.k, Threshold: o.threshold,
+		}
+	}
+	return cfg, ds, nil
 }
 
 // tuneConfig runs the Problem-1 grid search for the method over the
@@ -245,23 +348,16 @@ func readCSVFile(path, name string) (*entity.Dataset, error) {
 	return entity.ReadCSV(name, f)
 }
 
-func saveSnapshot(res *online.Resolver, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := res.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// server wires the resolver to the HTTP mux with per-endpoint counters.
+// server wires the resolver to the HTTP mux with per-endpoint counters,
+// bounded write admission and panic containment.
 type server struct {
-	res   *online.Resolver
-	start time.Time
-	eps   map[string]*endpointStats
+	res      *online.Resolver
+	store    *online.Store // nil in volatile mode
+	admit    chan struct{} // bounded write-admission tokens
+	start    time.Time
+	eps      map[string]*endpointStats
+	panics   atomic.Int64
+	draining atomic.Bool
 }
 
 // endpointStats are the latency/throughput counters of one endpoint.
@@ -284,8 +380,14 @@ func (e *endpointStats) observe(d time.Duration, failed bool) {
 	}
 }
 
-func newServer(res *online.Resolver) *server {
-	return &server{res: res, start: time.Now(), eps: map[string]*endpointStats{}}
+func newServer(res *online.Resolver, store *online.Store, writeQueue int) *server {
+	if writeQueue <= 0 {
+		writeQueue = 64
+	}
+	return &server{
+		res: res, store: store, admit: make(chan struct{}, writeQueue),
+		start: time.Now(), eps: map[string]*endpointStats{},
+	}
 }
 
 // statusWriter records the response status for the error counters.
@@ -310,16 +412,70 @@ func (s *server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func (s *server) handler() http.Handler {
+// admitWrite gates mutating endpoints behind the bounded admission
+// queue: when every token is taken the request is shed immediately with
+// 503 + Retry-After instead of queueing unboundedly behind a slow disk.
+func (s *server) admitWrite(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("write queue full"))
+		}
+	}
+}
+
+// recoverPanics is the outermost middleware: a panicking handler answers
+// 500 and increments a counter instead of killing the connection (or,
+// without net/http's own recovery, the daemon).
+func (s *server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { //nolint:errorlint // sentinel by contract
+				panic(p)
+			}
+			s.panics.Add(1)
+			fmt.Fprintf(os.Stderr, "erserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			writeError(w, http.StatusInternalServerError, errors.New("internal error"))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// handler assembles the route tree. JSON endpoints run under the
+// per-request deadline; /snapshot streams the whole collection and is
+// exempt, bounded by the server-level write timeout instead.
+func (s *server) handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.wrap("query", s.handleQuery))
-	mux.HandleFunc("POST /entities", s.wrap("insert", s.handleInsert))
+	mux.HandleFunc("POST /entities", s.wrap("insert", s.admitWrite(s.handleInsert)))
 	mux.HandleFunc("GET /entities/{id}", s.wrap("get", s.handleGet))
-	mux.HandleFunc("DELETE /entities/{id}", s.wrap("delete", s.handleDelete))
-	mux.HandleFunc("GET /snapshot", s.wrap("snapshot", s.handleSnapshot))
+	mux.HandleFunc("DELETE /entities/{id}", s.wrap("delete", s.admitWrite(s.handleDelete)))
 	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
-	return mux
+	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	var inner http.Handler = mux
+	if timeout > 0 {
+		inner = http.TimeoutHandler(inner, timeout, `{"error":"request deadline exceeded"}`)
+	}
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /snapshot", s.wrap("snapshot", s.handleSnapshot))
+	outer.Handle("/", inner)
+	return s.recoverPanics(outer)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -330,6 +486,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeStoreError maps a durable-write failure: the store has degraded
+// to read-only, which to the client is the service being unavailable for
+// writes.
+func writeStoreError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, err)
 }
 
 // entityPayload is the attribute form shared by inserts and queries.
@@ -418,7 +581,16 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ids := s.res.InsertBatch(batch)
+	var ids []int64
+	if s.store != nil {
+		var err error
+		if ids, err = s.store.InsertBatch(batch); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+	} else {
+		ids = s.res.InsertBatch(batch)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "epoch": s.res.Snapshot().Epoch()})
 }
 
@@ -457,7 +629,16 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
 		return
 	}
-	if !s.res.Delete(id) {
+	var ok bool
+	if s.store != nil {
+		if ok, err = s.store.Delete(id); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+	} else {
+		ok = s.res.Delete(id)
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("entity %d not resident", id))
 		return
 	}
@@ -468,7 +649,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := s.res.Save(w); err != nil {
 		// Headers are already sent; the truncated stream fails the
-		// client-side magic/length checks.
+		// client-side checksum, so the replica never loads partial state.
 		fmt.Fprintln(os.Stderr, "erserve: streaming snapshot:", err)
 	}
 }
@@ -492,14 +673,42 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		eps[name] = e
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"resolver":  s.res.Stats(),
 		"endpoints": eps,
 		"uptime_s":  uptime.Seconds(),
-	})
+		"panics":    s.panics.Load(),
+		"write_queue": map[string]int{
+			"depth": len(s.admit), "capacity": cap(s.admit),
+		},
+	}
+	if s.store != nil {
+		out["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is pure liveness: the process is up and serving.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is write readiness: not ready while draining for shutdown
+// or while the store is degraded to read-only after a WAL disk failure.
+// Load balancers should route writes only to ready replicas; reads keep
+// working either way.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		http.Error(w, "draining: shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	if s.store != nil {
+		if ok, reason := s.store.Ready(); !ok {
+			http.Error(w, "degraded read-only: "+reason.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
 }

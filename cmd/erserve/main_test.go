@@ -9,25 +9,49 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"erfilter/internal/datagen"
 	"erfilter/internal/entity"
+	"erfilter/internal/faultfs"
 	"erfilter/internal/knn"
 	"erfilter/internal/online"
 	"erfilter/internal/sparse"
 	"erfilter/internal/text"
 )
 
+func testServingConfig() online.Config {
+	c3g, _ := text.ParseModel("C3G")
+	return online.Config{
+		Method: online.KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 3, Clean: true,
+	}
+}
+
 func newTestServer(t *testing.T) (*httptest.Server, *online.Resolver) {
 	t.Helper()
-	c3g, _ := text.ParseModel("C3G")
-	res := online.NewResolver(online.Config{
-		Method: online.KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 3, Clean: true,
-	})
-	ts := httptest.NewServer(newServer(res).handler())
+	res := online.NewResolver(testServingConfig())
+	ts := httptest.NewServer(newServer(res, nil, 0).handler(10 * time.Second))
 	t.Cleanup(ts.Close)
 	return ts, res
+}
+
+// newDurableTestServer serves a WAL-backed store on an injectable
+// in-memory file system, the bench for the failure-mode tests.
+func newDurableTestServer(t *testing.T, m *faultfs.Mem, writeQueue int) (*httptest.Server, *online.Store) {
+	t.Helper()
+	store, err := online.OpenStore("walstore", testServingConfig(), online.StoreOptions{FS: m})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	ts := httptest.NewServer(newServer(store.Resolver(), store, writeQueue).handler(10 * time.Second))
+	t.Cleanup(func() {
+		ts.Close()
+		store.Close()
+	})
+	return ts, store
 }
 
 func doJSON(t *testing.T, method, url string, body any, out any) int {
@@ -155,6 +179,7 @@ func TestServerEndToEnd(t *testing.T) {
 			Errors int64 `json:"errors"`
 		} `json:"endpoints"`
 		UptimeS float64 `json:"uptime_s"`
+		Panics  int64   `json:"panics"`
 	}
 	if code := doJSON(t, "GET", ts.URL+"/stats", nil, &stats); code != http.StatusOK {
 		t.Fatalf("stats code=%d", code)
@@ -199,6 +224,264 @@ func TestServerSnapshotStream(t *testing.T) {
 	}
 }
 
+// TestHealthzVsReadyz pins the liveness/readiness split: /healthz stays
+// green as long as the process serves, /readyz reflects writability.
+func TestHealthzVsReadyz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on healthy server: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	m := faultfs.NewMem()
+	dts, _ := newDurableTestServer(t, m, 0)
+	m.FailAllSyncs(true)
+	if code := doJSON(t, "POST", dts.URL+"/entities", map[string]any{"text": "doomed"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("insert on broken disk: code=%d", code)
+	}
+	resp, err := http.Get(dts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body[:n]), "degraded") {
+		t.Fatalf("readyz on degraded store: %d %q", resp.StatusCode, body[:n])
+	}
+	resp, err = http.Get(dts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on degraded store must stay ok: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestDegradedReadOnlyServing: after a WAL disk failure writes fail fast
+// with 503 while queries keep answering from the last good epoch.
+func TestDegradedReadOnlyServing(t *testing.T) {
+	m := faultfs.NewMem()
+	ts, store := newDurableTestServer(t, m, 0)
+	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
+		"text": "canon powershot a540 camera",
+	}, nil); code != http.StatusOK {
+		t.Fatalf("healthy insert: code=%d", code)
+	}
+	m.FailAllSyncs(true)
+	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "lost"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded insert: code=%d", code)
+	}
+	m.FailAllSyncs(false) // disk heals, but the poisoned log stays read-only
+	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "still rejected"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("insert after heal: code=%d", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/entities/0", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded delete: code=%d", code)
+	}
+	var q struct {
+		Candidates []struct{ ID int64 } `json:"candidates"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "canon a540"}, &q); code != http.StatusOK || len(q.Candidates) == 0 {
+		t.Fatalf("degraded query: code=%d candidates=%v", code, q.Candidates)
+	}
+	var stats struct {
+		Store online.StoreStats `json:"store"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/stats", nil, &stats); code != http.StatusOK || !stats.Store.Degraded {
+		t.Fatalf("stats must report degradation: code=%d %+v", code, stats.Store)
+	}
+	_ = store
+}
+
+// TestOverloadSheds fills the write-admission queue with a write stalled
+// in fsync and checks further writes are shed immediately with 503 +
+// Retry-After while reads keep succeeding.
+func TestOverloadSheds(t *testing.T) {
+	m := faultfs.NewMem()
+	gate := make(chan struct{})
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	defer openGate()
+
+	ts, _ := newDurableTestServer(t, m, 1)
+	// Stall fsyncs only from here on, so store open ran unimpeded.
+	m.BeforeSync = func(string) { <-gate }
+
+	stalled := make(chan int, 1)
+	go func() {
+		stalled <- doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "slow disk write"}, nil)
+	}()
+	// Wait until the stalled write holds the only admission token.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats struct {
+			WriteQueue struct{ Depth, Capacity int } `json:"write_queue"`
+		}
+		doJSON(t, "GET", ts.URL+"/stats", nil, &stats)
+		if stats.WriteQueue.Depth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stalled write never occupied the admission queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The queue is full: writes shed with 503 + Retry-After, fast.
+	body, _ := json.Marshal(map[string]any{"text": "shed me"})
+	begin := time.Now()
+	resp, err := http.Post(ts.URL+"/entities", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded insert: code=%d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if d := time.Since(begin); d > 2*time.Second {
+		t.Fatalf("shedding took %v, must be immediate", d)
+	}
+	// Reads are not admission-gated and still succeed.
+	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "anything"}, nil); code != http.StatusOK {
+		t.Fatalf("query during overload: code=%d", code)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during overload: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Release the disk: the stalled write completes and was never lost.
+	openGate()
+	if code := <-stalled; code != http.StatusOK {
+		t.Fatalf("stalled write finished with %d", code)
+	}
+}
+
+// TestPanicRecovery drives a panicking handler through the middleware:
+// the client gets a 500 and the counter moves; the daemon does not die.
+func TestPanicRecovery(t *testing.T) {
+	s := newServer(online.NewResolver(testServingConfig()), nil, 0)
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/anything", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d", rec.Code)
+	}
+	if s.panics.Load() != 1 {
+		t.Fatalf("panic counter = %d", s.panics.Load())
+	}
+}
+
+// TestGracefulShutdownUnderWrites runs the real daemon on a real file
+// system, SIGTERMs it in the middle of a write burst, and proves the
+// contract: every request is acknowledged or rejected, and every
+// acknowledged write is present after restart.
+func TestGracefulShutdownUnderWrites(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4,
+		walDir: filepath.Join(dir, "store"), checkpointEvery: 64,
+		writeQueue: 8, requestTimeout: 10 * time.Second,
+	}
+	addrc := make(chan string, 1)
+	o.ready = func(a string) { addrc <- a }
+	done := make(chan error, 1)
+	go func() { done <- run(o) }()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	}
+
+	// Burst writers: each loops until the daemon stops accepting,
+	// recording which texts were acknowledged with which ids.
+	var mu sync.Mutex
+	acked := map[int64]string{}
+	var wg sync.WaitGroup
+	const writers = 6
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				txt := fmt.Sprintf("writer %d entity %d canon camera", g, i)
+				body, _ := json.Marshal(map[string]any{"text": txt})
+				resp, err := http.Post(base+"/entities", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // connection refused/reset: daemon is gone
+				}
+				var out struct {
+					IDs []int64 `json:"ids"`
+				}
+				code := resp.StatusCode
+				decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				switch {
+				case code == http.StatusOK:
+					if decodeErr != nil || len(out.IDs) != 1 {
+						t.Errorf("acked insert with bad body: %v %v", decodeErr, out.IDs)
+						return
+					}
+					mu.Lock()
+					acked[out.IDs[0]] = txt
+					mu.Unlock()
+				case code == http.StatusServiceUnavailable:
+					// Shed or draining: fine, just not acknowledged.
+				default:
+					t.Errorf("write answered %d", code)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(150 * time.Millisecond) // let the burst get going
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no write was acknowledged before the SIGTERM")
+	}
+
+	// Restart the store: every acknowledged write must be there.
+	store, err := online.OpenStore(o.walDir, testServingConfig(), online.StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	}
+	defer store.Close()
+	res := store.Resolver()
+	for id, txt := range acked {
+		attrs, ok := res.Get(id)
+		if !ok {
+			t.Fatalf("acked entity %d lost across restart", id)
+		}
+		if len(attrs) != 1 || attrs[0].Value != txt {
+			t.Fatalf("acked entity %d came back as %v, want %q", id, attrs, txt)
+		}
+	}
+	t.Logf("verified %d acked writes across SIGTERM + restart", len(acked))
+}
+
 func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
 	t.Helper()
 	dir := t.TempDir()
@@ -228,12 +511,23 @@ func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
 	return e1, e2, truth
 }
 
+// baseOptions are the flag defaults the CLI would apply, for tests that
+// drive buildResolver directly.
+func baseOptions() options {
+	return options{
+		method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1,
+	}
+}
+
 // TestBuildResolverPaths covers the startup paths: bulk CSV load, tuned
 // startup, and snapshot resume.
 func TestBuildResolverPaths(t *testing.T) {
 	e1, e2, truth := writeTaskCSVs(t)
 
-	res, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, "", "", 0.9, 1)
+	o := baseOptions()
+	o.bulk = e1
+	res, err := buildResolver(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +535,9 @@ func TestBuildResolverPaths(t *testing.T) {
 		t.Fatalf("bulk load: %d entities", res.Len())
 	}
 
-	tuned, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, e2, truth, 0.9, 1)
+	tunedOpt := baseOptions()
+	tunedOpt.bulk, tunedOpt.tuneCSV, tunedOpt.truthCSV = e1, e2, truth
+	tuned, err := buildResolver(tunedOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,10 +549,10 @@ func TestBuildResolverPaths(t *testing.T) {
 	}
 
 	snapPath := filepath.Join(t.TempDir(), "resolver.snap")
-	if err := saveSnapshot(res, snapPath); err != nil {
+	if err := res.SaveFile(nil, snapPath); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := buildResolver(snapPath, "", "", "", "", "", false, 0, 0, "", "", 0, 0)
+	resumed, err := buildResolver(options{load: snapPath})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,11 +560,57 @@ func TestBuildResolverPaths(t *testing.T) {
 		t.Fatalf("resumed %d entities, want %d", resumed.Len(), res.Len())
 	}
 
-	if _, err := buildResolver("", e1, "pbw", "agnostic", "", "C3G", true, 3, 0.4, "", "", 0.9, 1); err == nil {
+	bad := baseOptions()
+	bad.bulk, bad.method = e1, "pbw"
+	if _, err := buildResolver(bad); err == nil {
 		t.Fatal("unservable method must error")
 	}
-	if _, err := buildResolver("", e1, "knnj", "agnostic", "", "C3G", true, 3, 0.4, e2, "", 0.9, 1); err == nil {
+	noTruth := baseOptions()
+	noTruth.bulk, noTruth.tuneCSV = e1, e2
+	if _, err := buildResolver(noTruth); err == nil {
 		t.Fatal("-tune without -truth must error")
+	}
+}
+
+// TestBuildStateDurable covers the -wal startup paths: bulk seeding an
+// empty store, recovery taking precedence over the seed on reopen, and
+// the -wal/-load conflict.
+func TestBuildStateDurable(t *testing.T) {
+	e1, _, _ := writeTaskCSVs(t)
+	o := baseOptions()
+	o.bulk = e1
+	o.walDir = filepath.Join(t.TempDir(), "store")
+	o.checkpointEvery = 64
+
+	res, store, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil || res.Len() != 20 {
+		t.Fatalf("durable bulk seed: store=%v len=%d", store, res.Len())
+	}
+	if _, err := store.Insert([]entity.Attribute{{Name: "name", Value: "extra"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the store recovers 21 entities; the bulk seed must NOT
+	// re-run on a non-empty store.
+	res2, store2, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if res2.Len() != 21 {
+		t.Fatalf("recovered %d entities, want 21", res2.Len())
+	}
+
+	conflicted := o
+	conflicted.load = "something.snap"
+	if _, _, err := buildState(conflicted); err == nil {
+		t.Fatal("-wal with -load must error")
 	}
 }
 
@@ -278,7 +620,9 @@ func TestTunedFlatStartup(t *testing.T) {
 		t.Skip("dense tuning is slow")
 	}
 	e1, e2, truth := writeTaskCSVs(t)
-	res, err := buildResolver("", e1, "flat", "agnostic", "", "C3G", true, 3, 0.4, e2, truth, 0.9, 1)
+	o := baseOptions()
+	o.bulk, o.tuneCSV, o.truthCSV, o.method = e1, e2, truth, "flat"
+	res, err := buildResolver(o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,348 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation on a Mem after Crash (or
+// after a write budget set by LimitWrites is exhausted): the simulated
+// process is dead and nothing it does reaches the disk any more.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrInjected is the error returned by operations a fault script fails
+// deliberately (fsync errors, short writes).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mem is an in-memory FS with power-failure semantics: every file keeps
+// both its written bytes and the length that has been fsynced, and a
+// simulated crash throws away an arbitrary suffix of the un-synced
+// bytes. Fault scripts can additionally exhaust a global write budget
+// (the write that crosses it is applied only partially — a torn write —
+// and the file system is crashed from then on) and fail fsyncs by
+// count (a disk error the process survives).
+//
+// Rename is modeled as atomic and carries the synced length with the
+// file, so content that was fsynced before an atomic rename survives a
+// crash — and content that was not, does not. All methods are safe for
+// concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	crashed bool
+
+	budget    int64 // remaining write bytes; -1 = unlimited
+	syncN     int   // syncs performed so far
+	syncFails map[int]bool
+	failAll   bool
+
+	// BeforeSync, when non-nil, runs before every file Sync with no
+	// internal lock held, so tests can stall a committer at will.
+	BeforeSync func(name string)
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMem returns an empty in-memory file system with no faults armed.
+func NewMem() *Mem {
+	return &Mem{files: map[string]*memFile{}, dirs: map[string]bool{}, budget: -1}
+}
+
+// LimitWrites arms the write budget: after n more bytes have been
+// written (across all files), the write that crosses the boundary is
+// applied only up to the boundary and fails with ErrCrashed, and every
+// later operation fails the same way — the moral equivalent of kill -9
+// at an arbitrary byte offset.
+func (m *Mem) LimitWrites(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = n
+}
+
+// FailSync makes the n-th future Sync (1-based, counted across all
+// files from now) return ErrInjected without persisting anything.
+func (m *Mem) FailSync(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.syncFails == nil {
+		m.syncFails = map[int]bool{}
+	}
+	m.syncFails[m.syncN+n] = true
+}
+
+// FailAllSyncs makes every future Sync fail with ErrInjected — a disk
+// that stopped accepting flushes while the process lives on.
+func (m *Mem) FailAllSyncs(fail bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAll = fail
+}
+
+// Crash kills the simulated process: every subsequent operation returns
+// ErrCrashed until Restart.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = true
+}
+
+// Restart models the machine coming back after a crash: for every file,
+// the synced prefix survives and keep decides how many of the un-synced
+// tail bytes made it to the platter (0..n); a nil keep drops them all.
+// The file system is usable again afterwards, with all fault scripts
+// disarmed.
+func (m *Mem) Restart(keep func(name string, unsynced int) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		k := 0
+		if n := len(f.data) - f.synced; n > 0 && keep != nil {
+			k = keep(name, n)
+			if k < 0 {
+				k = 0
+			}
+			if k > n {
+				k = n
+			}
+		}
+		f.data = f.data[:f.synced+k]
+		f.synced = len(f.data)
+	}
+	m.crashed = false
+	m.budget = -1
+	m.syncFails = nil
+	m.failAll = false
+}
+
+// FileBytes returns a copy of the current content of name (written, not
+// necessarily synced), for tests that corrupt files in place.
+func (m *Mem) FileBytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// FlipByte XORs one stored byte with 0xFF — a bit-rot injection that no
+// write path would ever produce.
+func (m *Mem) FlipByte(name string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("faultfs: flip %s@%d: no such byte", name, off)
+	}
+	f.data[off] ^= 0xFF
+	return nil
+}
+
+// OpenFile opens an in-memory file. Writes always append (the WAL and
+// snapshot writers are strictly sequential); O_TRUNC resets the file.
+func (m *Mem) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		f = &memFile{}
+		m.files[name] = f
+	case flag&os.O_TRUNC != 0:
+		f.data, f.synced = nil, 0
+	}
+	return &memHandle{m: m, name: name, f: f, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+}
+
+// Rename atomically moves a file, synced length and all.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove deletes a file.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadDir lists the files directly under dir, sorted by base name.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	clean := filepath.Clean(dir)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == clean {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll records the directory; Mem does not enforce hierarchy beyond
+// ReadDir's prefix matching.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// SyncDir is durable by construction for Mem (Rename/Remove are modeled
+// atomic and durable); it still honors the crash flag.
+func (m *Mem) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+type memHandle struct {
+	m        *Mem
+	name     string
+	f        *memFile
+	off      int
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.m.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.m.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed || !h.writable {
+		return 0, fs.ErrClosed
+	}
+	n := len(p)
+	if h.m.budget >= 0 {
+		if int64(n) > h.m.budget {
+			// The torn write: the budget-crossing write lands partially
+			// and the process is dead from here on.
+			n = int(h.m.budget)
+			h.f.data = append(h.f.data, p[:n]...)
+			h.m.budget = 0
+			h.m.crashed = true
+			return n, ErrCrashed
+		}
+		h.m.budget -= int64(n)
+	}
+	h.f.data = append(h.f.data, p...)
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	if fn := h.m.BeforeSync; fn != nil {
+		fn(h.name)
+	}
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.m.crashed {
+		return ErrCrashed
+	}
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.m.syncN++
+	if h.m.failAll || h.m.syncFails[h.m.syncN] {
+		return fmt.Errorf("fsync %s: %w", h.name, ErrInjected)
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.m.crashed {
+		return ErrCrashed
+	}
+	if h.closed || !h.writable {
+		return fs.ErrClosed
+	}
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("faultfs: truncate %s to %d: out of range", h.name, size)
+	}
+	h.f.data = h.f.data[:size]
+	if h.f.synced > int(size) {
+		h.f.synced = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// assert interface satisfaction at compile time.
+var (
+	_ FS = (*Mem)(nil)
+	_ FS = OS{}
+)

@@ -102,3 +102,56 @@ func BenchmarkServeInsert(b *testing.B) {
 		r.Insert(benchAttrs(2000 + i))
 	}
 }
+
+// BenchmarkStoreInsert is the durable counterpart of BenchmarkServeInsert:
+// the same insert through the WAL on a real file system, fsynced before
+// the ack. The sequential case pays one fsync per insert; the parallel
+// case shows group commit amortizing the fsync across writers.
+func BenchmarkStoreInsert(b *testing.B) {
+	c3g, _ := text.ParseModel("C3G")
+	cfg := Config{Method: KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 10}
+	open := func(b *testing.B) *Store {
+		b.Helper()
+		s, err := OpenStore(b.TempDir(), cfg, StoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		batch := make([][]entity.Attribute, 2000)
+		for i := range batch {
+			batch[i] = benchAttrs(i)
+		}
+		if _, err := s.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("sequential", func(b *testing.B) {
+		s := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Insert(benchAttrs(2000 + i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.Stats().WAL.Syncs)/float64(b.N), "fsyncs/op")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		s := open(b)
+		var n atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(n.Add(1))
+				if _, err := s.Insert(benchAttrs(2000 + i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(s.Stats().WAL.Syncs)/float64(b.N), "fsyncs/op")
+	})
+}

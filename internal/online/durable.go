@@ -1,0 +1,479 @@
+package online
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/faultfs"
+	"erfilter/internal/wal"
+)
+
+// Store is the crash-safe shell around a Resolver: every insert and
+// delete is framed into a write-ahead log and fsynced (group commit)
+// before the call returns, so an acknowledged write survives any crash;
+// checkpoints rewrite the snapshot atomically (temp file + fsync +
+// rename) and trim the WAL segments the snapshot made obsolete; and on
+// open, the last good snapshot plus the intact WAL prefix reconstruct
+// exactly the acknowledged state — the recovery path truncates at the
+// first torn record instead of failing.
+//
+// Failure semantics: a WAL write or fsync error permanently degrades the
+// store to read-only — queries keep serving from the in-memory resolver,
+// writes fail fast with ErrDegraded — because a log that cannot persist
+// must not acknowledge. A failed checkpoint, by contrast, is retried
+// later: the WAL still holds every record, so durability is unaffected.
+//
+// Mutations already applied in memory may become visible to queries
+// moments before their fsync completes (read-uncommitted); the
+// durability contract covers acknowledged writes only.
+type Store struct {
+	res *Resolver
+	log *wal.WAL
+	fs  faultfs.FS
+	dir string
+
+	every int // auto-checkpoint period in WAL records; 0 = manual only
+
+	mu        sync.Mutex // serializes writers: id assignment, WAL staging, apply order
+	sinceCkpt int
+
+	ckptBusy    atomic.Bool
+	checkpoints atomic.Uint64
+
+	degraded atomic.Bool
+	reasonMu sync.Mutex
+	reason   error
+}
+
+// ErrDegraded is wrapped by every write rejected because the store has
+// fallen back to read-only after a WAL failure.
+var ErrDegraded = errors.New("online: store is degraded (read-only)")
+
+// StoreOptions tune a durable store; the zero value is production-ready.
+type StoreOptions struct {
+	// FS is the file-system seam; nil selects the real OS.
+	FS faultfs.FS
+	// SegmentBytes is the WAL segment rotation threshold (default 8 MiB).
+	SegmentBytes int64
+	// CheckpointEvery rewrites the snapshot and trims the WAL after this
+	// many logged records; 0 checkpoints only on Close (or manually).
+	CheckpointEvery int
+}
+
+// WAL record types and the snapshot file names inside a store directory.
+const (
+	walInsert uint8 = 1
+	walDelete uint8 = 2
+
+	snapName = "current.snap"
+	tempName = "current.snap.tmp"
+)
+
+// OpenStore opens (or initializes) the durable resolver in dir: load the
+// last good snapshot if one exists — its configuration wins over cfg —
+// then replay the WAL on top of it, then open the log for appending.
+// Replay is idempotent, so a crash between a checkpoint's snapshot
+// rename and its WAL trim only costs re-replaying records the snapshot
+// already contains.
+func OpenStore(dir string, cfg Config, opt StoreOptions) (*Store, error) {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("online: creating store dir: %w", err)
+	}
+	// A leftover temp file is a checkpoint a crash interrupted before
+	// the atomic rename; it was never activated, so drop it.
+	_ = fsys.Remove(filepath.Join(dir, tempName))
+
+	res, err := loadOrCreate(fsys, filepath.Join(dir, snapName), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{res: res, fs: fsys, dir: dir, every: opt.CheckpointEvery}
+
+	res.mu.Lock()
+	log, err := wal.Open(dir, wal.Options{FS: fsys, SegmentBytes: opt.SegmentBytes}, func(rec wal.Record) error {
+		return replayRecord(res, rec)
+	})
+	if err == nil {
+		res.publishLocked()
+	}
+	res.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+func loadOrCreate(fsys faultfs.FS, snapPath string, cfg Config) (*Resolver, error) {
+	f, err := faultfs.Open(fsys, snapPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return NewResolver(cfg), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("online: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	res, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("online: store snapshot is damaged (restore from a replica or remove %s to lose the checkpoint): %w", snapPath, err)
+	}
+	return res, nil
+}
+
+// replayRecord applies one WAL record during recovery. Callers hold
+// res.mu. Inserts below nextID are records a checkpoint already
+// absorbed (the crash-between-rename-and-trim window) and are skipped;
+// deletes of non-resident ids are no-ops for the same reason.
+func replayRecord(res *Resolver, rec wal.Record) error {
+	switch rec.Type {
+	case walInsert:
+		id, attrs, err := decodeInsert(rec.Data)
+		if err != nil {
+			return err
+		}
+		if id < res.nextID {
+			return nil
+		}
+		res.addLocked(id, attrs)
+		res.nextID = id + 1
+	case walDelete:
+		id, err := decodeDelete(rec.Data)
+		if err != nil {
+			return err
+		}
+		if _, ok := res.attrs[id]; !ok {
+			return nil
+		}
+		if res.sp != nil {
+			res.sp.Remove(id)
+		} else {
+			res.kn.Remove(id)
+		}
+		delete(res.attrs, id)
+		res.deletes++
+		res.maybeCompactLocked()
+	default:
+		return fmt.Errorf("online: unknown WAL record type %d", rec.Type)
+	}
+	return nil
+}
+
+// Resolver returns the underlying resolver for the read paths (Query,
+// Get, Snapshot, Stats, Save). All mutations must go through the store.
+func (s *Store) Resolver() *Resolver { return s.res }
+
+// Ready reports whether the store accepts writes; when degraded it also
+// returns the failure that forced read-only mode.
+func (s *Store) Ready() (bool, error) {
+	if !s.degraded.Load() {
+		return true, nil
+	}
+	s.reasonMu.Lock()
+	defer s.reasonMu.Unlock()
+	return false, s.reason
+}
+
+func (s *Store) degrade(err error) {
+	s.reasonMu.Lock()
+	if s.reason == nil {
+		s.reason = err
+	}
+	s.reasonMu.Unlock()
+	s.degraded.Store(true)
+}
+
+func (s *Store) writeable() error {
+	if !s.degraded.Load() {
+		return nil
+	}
+	s.reasonMu.Lock()
+	defer s.reasonMu.Unlock()
+	return fmt.Errorf("%w: %v", ErrDegraded, s.reason)
+}
+
+// Insert durably adds one entity: on a nil error the entity is fsynced
+// into the WAL and will survive any crash.
+func (s *Store) Insert(attrs []entity.Attribute) (int64, error) {
+	ids, err := s.InsertBatch([][]entity.Attribute{attrs})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// InsertBatch durably adds many entities under one epoch publish and —
+// thanks to WAL group commit — typically one fsync.
+func (s *Store) InsertBatch(batch [][]entity.Attribute) ([]int64, error) {
+	if err := s.writeable(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	r := s.res
+	r.mu.Lock()
+	ids := make([]int64, len(batch))
+	var seq uint64
+	var werr error
+	for i, attrs := range batch {
+		id := r.nextID
+		copied := append([]entity.Attribute(nil), attrs...)
+		if seq, werr = s.log.AppendBuffered(walInsert, encodeInsert(id, copied)); werr != nil {
+			break
+		}
+		r.nextID++
+		r.addLocked(id, copied)
+		ids[i] = id
+	}
+	if werr == nil {
+		r.publishLocked()
+	}
+	r.mu.Unlock()
+	s.sinceCkpt += len(batch)
+	ckpt := s.ckptDueLocked(werr)
+	s.mu.Unlock()
+	if werr != nil {
+		s.degrade(werr)
+		return nil, werr
+	}
+	if err := s.log.WaitSync(seq); err != nil {
+		s.degrade(err)
+		return nil, err
+	}
+	s.maybeCheckpoint(ckpt)
+	return ids, nil
+}
+
+// Delete durably tombstones an entity; ok reports residency. A nil
+// error with ok=true means the delete is fsynced and will survive any
+// crash.
+func (s *Store) Delete(id int64) (bool, error) {
+	if err := s.writeable(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	r := s.res
+	r.mu.Lock()
+	if _, ok := r.attrs[id]; !ok {
+		r.mu.Unlock()
+		s.mu.Unlock()
+		return false, nil
+	}
+	seq, werr := s.log.AppendBuffered(walDelete, encodeDelete(id))
+	if werr == nil {
+		if r.sp != nil {
+			r.sp.Remove(id)
+		} else {
+			r.kn.Remove(id)
+		}
+		delete(r.attrs, id)
+		r.deletes++
+		r.maybeCompactLocked()
+		r.publishLocked()
+	}
+	r.mu.Unlock()
+	s.sinceCkpt++
+	ckpt := s.ckptDueLocked(werr)
+	s.mu.Unlock()
+	if werr != nil {
+		s.degrade(werr)
+		return false, werr
+	}
+	if err := s.log.WaitSync(seq); err != nil {
+		s.degrade(err)
+		return false, err
+	}
+	s.maybeCheckpoint(ckpt)
+	return true, nil
+}
+
+// ckptDueLocked decides, under s.mu, whether this write crossed the
+// auto-checkpoint period.
+func (s *Store) ckptDueLocked(werr error) bool {
+	return werr == nil && s.every > 0 && s.sinceCkpt >= s.every
+}
+
+func (s *Store) maybeCheckpoint(due bool) {
+	if !due {
+		return
+	}
+	// Best effort: the WAL still holds everything if this fails, so the
+	// write that triggered the checkpoint stays acknowledged.
+	_ = s.Checkpoint()
+}
+
+// Checkpoint makes the snapshot catch up with the log: capture a
+// consistent cut, rotate the WAL so the cut's records live in closed
+// segments, write the snapshot to a temp file, fsync it, atomically
+// rename it over the previous snapshot, and only then trim the obsolete
+// segments. A crash at any point leaves either the old snapshot with the
+// full WAL or the new snapshot with a replay-idempotent WAL suffix —
+// never a damaged store. Writers stall only for the capture and the WAL
+// rotation, not for the snapshot write.
+func (s *Store) Checkpoint() error {
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return nil // a checkpoint is already running
+	}
+	defer s.ckptBusy.Store(false)
+
+	s.mu.Lock()
+	r := s.res
+	r.mu.Lock()
+	cfg, nextID, ents := r.captureLocked()
+	r.mu.Unlock()
+	boundary, err := s.log.Rotate()
+	if err == nil {
+		s.sinceCkpt = 0
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.degrade(err)
+		return err
+	}
+
+	if err := writeFileAtomic(s.fs, s.dir, tempName, snapName, func(w io.Writer) error {
+		return writeSnapshot(w, cfg, nextID, ents)
+	}); err != nil {
+		return fmt.Errorf("online: checkpoint snapshot: %w", err)
+	}
+	if err := s.log.TrimBefore(boundary); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// Close checkpoints (when healthy) and closes the WAL. The store must
+// not be used afterwards.
+func (s *Store) Close() error {
+	var err error
+	if ok, _ := s.Ready(); ok {
+		err = s.Checkpoint()
+	}
+	if cerr := s.log.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// StoreStats extends the WAL counters with checkpoint and degradation
+// state for the /stats endpoint.
+type StoreStats struct {
+	WAL         wal.Stats `json:"wal"`
+	Checkpoints uint64    `json:"checkpoints"`
+	Degraded    bool      `json:"degraded"`
+	Reason      string    `json:"reason,omitempty"`
+}
+
+// Stats summarizes the durability layer.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{WAL: s.log.Stats(), Checkpoints: s.checkpoints.Load()}
+	if ok, reason := s.Ready(); !ok {
+		st.Degraded = true
+		if reason != nil {
+			st.Reason = reason.Error()
+		}
+	}
+	return st
+}
+
+// SaveFile writes the resolver's snapshot to path atomically: temp file
+// in the same directory, fsync, rename, directory sync. A crash at any
+// point leaves either the previous file or the complete new one — never
+// a torn snapshot.
+func (r *Resolver) SaveFile(fsys faultfs.FS, path string) error {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	return writeFileAtomic(fsys, dir, base+".tmp", base, r.Save)
+}
+
+// writeFileAtomic streams write into dir/temp, fsyncs, atomically
+// renames it to dir/final and fsyncs the directory entry.
+func writeFileAtomic(fsys faultfs.FS, dir, temp, final string, write func(io.Writer) error) error {
+	tempPath := filepath.Join(dir, temp)
+	f, err := faultfs.Create(fsys, tempPath)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fsys.Remove(tempPath)
+		return err
+	}
+	if err := fsys.Rename(tempPath, filepath.Join(dir, final)); err != nil {
+		_ = fsys.Remove(tempPath)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// encodeInsert frames an insert record: id, then length-prefixed
+// attribute pairs. The WAL adds its own CRC; this is pure payload.
+func encodeInsert(id int64, attrs []entity.Attribute) []byte {
+	var buf bytes.Buffer
+	bw := &binWriter{w: bufio.NewWriter(&buf)}
+	bw.u64(uint64(id))
+	bw.u32(uint32(len(attrs)))
+	for _, a := range attrs {
+		bw.str(a.Name)
+		bw.str(a.Value)
+	}
+	bw.w.Flush()
+	return buf.Bytes()
+}
+
+func decodeInsert(data []byte) (int64, []entity.Attribute, error) {
+	br := &binReader{r: bufio.NewReader(bytes.NewReader(data))}
+	id := int64(br.u64())
+	n := br.u32()
+	if br.err == nil && n > maxSnapAttr {
+		br.err = fmt.Errorf("attribute count %d exceeds bound", n)
+	}
+	if br.err != nil {
+		return 0, nil, fmt.Errorf("online: decoding insert record: %w", br.err)
+	}
+	attrs := make([]entity.Attribute, n)
+	for i := range attrs {
+		attrs[i] = entity.Attribute{Name: br.str(), Value: br.str()}
+	}
+	if br.err != nil {
+		return 0, nil, fmt.Errorf("online: decoding insert record: %w", br.err)
+	}
+	return id, attrs, nil
+}
+
+func encodeDelete(id int64) []byte {
+	var buf bytes.Buffer
+	bw := &binWriter{w: bufio.NewWriter(&buf)}
+	bw.u64(uint64(id))
+	bw.w.Flush()
+	return buf.Bytes()
+}
+
+func decodeDelete(data []byte) (int64, error) {
+	br := &binReader{r: bufio.NewReader(bytes.NewReader(data))}
+	id := int64(br.u64())
+	if br.err != nil {
+		return 0, fmt.Errorf("online: decoding delete record: %w", br.err)
+	}
+	return id, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -15,29 +16,32 @@ import (
 )
 
 // The on-disk snapshot format is pure stdlib and deliberately minimal: a
-// magic header, the tuned configuration, and every resident entity's id
-// and attributes in ascending-id order. Token sets, vocabularies and
-// embeddings are *not* stored — they are deterministic functions of the
-// entity texts and the configuration, so Load rebuilds them by replaying
-// the entities in id order. Replay order equals the original insertion
-// order (ids are monotonic and never reused), which is what makes a
-// loaded resolver answer queries byte-identically to the one saved.
+// magic header, the tuned configuration, every resident entity's id and
+// attributes in ascending-id order, and a CRC32-C trailer over the whole
+// stream. Token sets, vocabularies and embeddings are *not* stored —
+// they are deterministic functions of the entity texts and the
+// configuration, so Load rebuilds them by replaying the entities in id
+// order. Replay order equals the original insertion order (ids are
+// monotonic and never reused), which is what makes a loaded resolver
+// answer queries byte-identically to the one saved. The trailer makes
+// corruption detection unconditional: any truncation or bit flip
+// anywhere in the stream fails Load instead of silently loading a
+// damaged resolver.
 const (
-	snapMagic   = "ERSNAP\x01\n"
+	snapMagic   = "ERSNAP\x02\n"
 	maxSnapStr  = 1 << 24 // sanity bound for length-prefixed strings
 	maxSnapAttr = 1 << 20 // sanity bound for attributes per entity
 )
 
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
 type binWriter struct {
 	w   *bufio.Writer
+	crc uint32
 	err error
 }
 
-func (b *binWriter) u8(v uint8) {
-	if b.err == nil {
-		b.err = b.w.WriteByte(v)
-	}
-}
+func (b *binWriter) u8(v uint8) { b.bytes([]byte{v}) }
 
 func (b *binWriter) u32(v uint32) {
 	var buf [4]byte
@@ -55,29 +59,35 @@ func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
 
 func (b *binWriter) str(s string) {
 	b.u32(uint32(len(s)))
-	if b.err == nil {
-		_, b.err = b.w.WriteString(s)
-	}
+	b.bytes([]byte(s))
 }
 
 func (b *binWriter) bytes(p []byte) {
 	if b.err == nil {
+		b.crc = crc32.Update(b.crc, snapCRC, p)
 		_, b.err = b.w.Write(p)
+	}
+}
+
+// trailer writes the running checksum itself (not folded into the CRC).
+func (b *binWriter) trailer() {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], b.crc)
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:])
 	}
 }
 
 type binReader struct {
 	r   *bufio.Reader
+	crc uint32
 	err error
 }
 
 func (b *binReader) u8() uint8 {
-	if b.err != nil {
-		return 0
-	}
-	v, err := b.r.ReadByte()
-	b.err = err
-	return v
+	var buf [1]byte
+	b.bytes(buf[:])
+	return buf[0]
 }
 
 func (b *binReader) u32() uint32 {
@@ -112,30 +122,47 @@ func (b *binReader) bytes(p []byte) {
 	if b.err != nil {
 		return
 	}
-	_, b.err = io.ReadFull(b.r, p)
+	if _, b.err = io.ReadFull(b.r, p); b.err == nil {
+		b.crc = crc32.Update(b.crc, snapCRC, p)
+	}
 }
 
-// Save writes the resolver — configuration, id counter and every resident
-// entity — to w in the binary snapshot format. The writer lock is held
-// only while the entity map is captured, not while w is written, so a
-// slow destination (e.g. a stalled HTTP client draining /snapshot) never
-// blocks inserts and deletes; the result is still a consistent cut as of
-// one epoch. Concurrent queries are unaffected throughout.
-func (r *Resolver) Save(w io.Writer) error {
-	type savedEntity struct {
-		id    int64
-		attrs []entity.Attribute
+// checkTrailer consumes the 4-byte checksum (outside the running CRC)
+// and compares it against everything read so far.
+func (b *binReader) checkTrailer() {
+	if b.err != nil {
+		return
 	}
-	r.mu.Lock()
-	c := r.cfg
-	nextID := r.nextID
-	ents := make([]savedEntity, 0, len(r.attrs))
+	var buf [4]byte
+	if _, b.err = io.ReadFull(b.r, buf[:]); b.err != nil {
+		b.err = fmt.Errorf("reading checksum trailer: %w", b.err)
+		return
+	}
+	if got := binary.LittleEndian.Uint32(buf[:]); got != b.crc {
+		b.err = fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", got, b.crc)
+	}
+}
+
+// snapEntity is one captured (id, attributes) pair of a snapshot write.
+type snapEntity struct {
+	id    int64
+	attrs []entity.Attribute
+}
+
+// captureLocked collects the writer-side state a snapshot needs. Callers
+// hold r.mu; the attribute slices are shared, which is safe because they
+// are copied on insert and never mutated while resident.
+func (r *Resolver) captureLocked() (Config, int64, []snapEntity) {
+	ents := make([]snapEntity, 0, len(r.attrs))
 	for id, attrs := range r.attrs {
-		// Sharing the attribute slices outside the lock is safe: they are
-		// copied on insert and never mutated while resident.
-		ents = append(ents, savedEntity{id: id, attrs: attrs})
+		ents = append(ents, snapEntity{id: id, attrs: attrs})
 	}
-	r.mu.Unlock()
+	return r.cfg, r.nextID, ents
+}
+
+// writeSnapshot streams one consistent captured state in the snapshot
+// format; ents may be unsorted and is sorted in place.
+func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity) error {
 	sort.Slice(ents, func(i, j int) bool { return ents[i].id < ents[j].id })
 
 	bw := &binWriter{w: bufio.NewWriter(w)}
@@ -162,15 +189,31 @@ func (r *Resolver) Save(w io.Writer) error {
 			bw.str(a.Value)
 		}
 	}
+	bw.trailer()
 	if bw.err != nil {
 		return fmt.Errorf("online: saving snapshot: %w", bw.err)
 	}
 	return bw.w.Flush()
 }
 
+// Save writes the resolver — configuration, id counter and every resident
+// entity — to w in the binary snapshot format. The writer lock is held
+// only while the entity map is captured, not while w is written, so a
+// slow destination (e.g. a stalled HTTP client draining /snapshot) never
+// blocks inserts and deletes; the result is still a consistent cut as of
+// one epoch. Concurrent queries are unaffected throughout.
+func (r *Resolver) Save(w io.Writer) error {
+	r.mu.Lock()
+	c, nextID, ents := r.captureLocked()
+	r.mu.Unlock()
+	return writeSnapshot(w, c, nextID, ents)
+}
+
 // Load reconstructs a resolver from a snapshot written by Save. The
 // incremental indexes are rebuilt by replaying the entities in id order,
-// so the loaded resolver returns byte-identical query results.
+// so the loaded resolver returns byte-identical query results. Any
+// truncation or corruption of the stream — including a single flipped
+// bit anywhere — returns an error; no partial state is ever served.
 func Load(rd io.Reader) (*Resolver, error) {
 	br := &binReader{r: bufio.NewReader(rd)}
 	magic := make([]byte, len(snapMagic))
@@ -197,15 +240,16 @@ func Load(rd io.Reader) (*Resolver, error) {
 		return nil, err
 	}
 
-	r := NewResolver(c)
 	nextID := int64(br.u64())
 	count := br.u32()
 	if br.err != nil {
 		return nil, fmt.Errorf("online: reading snapshot counts: %w", br.err)
 	}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// Decode and validate the full stream — checksum included — before
+	// building any index state, so a corrupt snapshot can never leave a
+	// partially loaded resolver behind.
+	ents := make([]snapEntity, 0, min(int(count), 1<<16))
 	var prev int64 = -1
 	for i := uint32(0); i < count; i++ {
 		id := int64(br.u64())
@@ -227,7 +271,17 @@ func Load(rd io.Reader) (*Resolver, error) {
 			return nil, fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID)
 		}
 		prev = id
-		r.addLocked(id, attrs)
+		ents = append(ents, snapEntity{id: id, attrs: attrs})
+	}
+	if br.checkTrailer(); br.err != nil {
+		return nil, fmt.Errorf("online: verifying snapshot: %w", br.err)
+	}
+
+	r := NewResolver(c)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range ents {
+		r.addLocked(e.id, e.attrs)
 	}
 	r.nextID = nextID
 	r.publishLocked()

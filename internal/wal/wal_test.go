@@ -1,0 +1,305 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"erfilter/internal/faultfs"
+)
+
+const dir = "waldir"
+
+func collect(records *[]Record) func(Record) error {
+	return func(r Record) error {
+		*records = append(*records, Record{Type: r.Type, Data: append([]byte(nil), r.Data...)})
+		return nil
+	}
+}
+
+func mustOpen(t *testing.T, fsys faultfs.FS, opt Options) (*WAL, []Record) {
+	t.Helper()
+	var recs []Record
+	opt.FS = fsys
+	w, err := Open(dir, opt, collect(&recs))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return w, recs
+}
+
+func appendN(t *testing.T, w *WAL, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := w.Append(1, []byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, recs []Record, n int) {
+	t.Helper()
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("record-%04d", i); string(r.Data) != want || r.Type != 1 {
+			t.Fatalf("record %d = type %d %q, want %q", i, r.Type, r.Data, want)
+		}
+	}
+}
+
+// TestAppendReplayRoundTrip covers the plain path across several
+// reopen cycles and multiple segments.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	m := faultfs.NewMem()
+	w, recs := mustOpen(t, m, Options{SegmentBytes: 256})
+	wantRecords(t, recs, 0)
+	appendN(t, w, 0, 40)
+	if st := w.Stats(); st.Segment < 2 {
+		t.Fatalf("tiny segments never rotated: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs := mustOpen(t, m, Options{SegmentBytes: 256})
+	wantRecords(t, recs, 40)
+	appendN(t, w2, 40, 10)
+	w2.Close()
+
+	_, recs = mustOpen(t, m, Options{SegmentBytes: 256})
+	wantRecords(t, recs, 50)
+}
+
+// TestTornTailTruncated kills the file system mid-record and proves
+// recovery keeps exactly the acknowledged prefix and can append again.
+func TestTornTailTruncated(t *testing.T) {
+	m := faultfs.NewMem()
+	w, _ := mustOpen(t, m, Options{})
+	appendN(t, w, 0, 10)
+
+	// The 11th record is torn: the write budget cuts it after a few
+	// bytes, so its Append errors and it must NOT come back.
+	m.LimitWrites(5)
+	if err := w.Append(1, []byte("record-0010")); err == nil {
+		t.Fatal("torn append must error")
+	}
+	m.Restart(func(string, int) int { return 1 << 20 }) // keep every torn byte
+
+	w2, recs := mustOpen(t, m, Options{})
+	wantRecords(t, recs, 10)
+	appendN(t, w2, 10, 5)
+	w2.Close()
+	_, recs = mustOpen(t, m, Options{})
+	wantRecords(t, recs, 15)
+}
+
+// TestCrashDropsUnsyncedTail restarts with a random-length torn tail at
+// every possible byte length and checks recovery never fails and never
+// resurrects a record that was not fully durable.
+func TestCrashDropsUnsyncedTail(t *testing.T) {
+	// Build a reference log to learn the byte layout.
+	ref := faultfs.NewMem()
+	w, _ := mustOpen(t, ref, Options{})
+	appendN(t, w, 0, 6)
+	w.Close()
+	full, ok := ref.FileBytes(filepath.Join(dir, segName(1)))
+	if !ok {
+		t.Fatal("no segment file")
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		m := faultfs.NewMem()
+		w, _ := mustOpen(t, m, Options{})
+		appendN(t, w, 0, 6)
+		m.Crash()
+		m.Restart(func(name string, unsynced int) int { return 0 })
+		// Simulate the platter holding only a prefix: truncate directly.
+		f, err := m.OpenFile(filepath.Join(dir, segName(1)), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		var recs []Record
+		w2, err := Open(dir, Options{FS: m}, collect(&recs))
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		for i, r := range recs {
+			if want := fmt.Sprintf("record-%04d", i); string(r.Data) != want {
+				t.Fatalf("cut=%d: record %d = %q", cut, i, r.Data)
+			}
+		}
+		// Appends after recovery must still work and survive.
+		if err := w2.Append(2, []byte("after")); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		w2.Close()
+		var again []Record
+		if _, err := Open(dir, Options{FS: m}, collect(&again)); err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if len(again) != len(recs)+1 || again[len(again)-1].Type != 2 {
+			t.Fatalf("cut=%d: after-recovery append lost: %d vs %d", cut, len(again), len(recs)+1)
+		}
+	}
+}
+
+// TestCorruptMiddleStopsReplay flips a byte inside an early record: the
+// log must replay only the prefix before the damage and discard
+// everything after it, including whole later segments.
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	m := faultfs.NewMem()
+	w, _ := mustOpen(t, m, Options{SegmentBytes: 128})
+	appendN(t, w, 0, 20) // several segments
+	w.Close()
+	if st := w.Stats(); st.Segment < 3 {
+		t.Fatalf("want ≥3 segments, got %+v", st)
+	}
+
+	// Flip one payload byte in the first segment, after the magic and
+	// the first record.
+	seg1 := filepath.Join(dir, segName(1))
+	if err := m.FlipByte(seg1, int64(len(segMagic))+frameHeader+1+11+frameHeader+3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := mustOpen(t, m, Options{})
+	wantRecords(t, recs, 1)
+	names, err := m.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("later segments not removed: %v", names)
+	}
+}
+
+// TestGroupCommitBatchesFsyncs hammers the log from many goroutines and
+// checks (a) every acked record survives, in order, and (b) the number
+// of fsyncs is well below the number of records — the group commit.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	m := faultfs.NewMem()
+	// A realistic fsync is far slower than an in-memory one; the delay
+	// gives followers time to stage, which is what produces batches.
+	m.BeforeSync = func(string) { time.Sleep(200 * time.Microsecond) }
+	var recs []Record
+	w, err := Open(dir, Options{FS: m}, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := w.Append(1, []byte(fmt.Sprintf("w%d-%04d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Synced != writers*perWriter {
+		t.Fatalf("synced %d records, want %d", st.Synced, writers*perWriter)
+	}
+	if st.Syncs >= st.Synced {
+		t.Fatalf("no batching: %d fsyncs for %d records", st.Syncs, st.Synced)
+	}
+	w.Close()
+
+	var replayed []Record
+	if _, err := Open(dir, Options{FS: m}, collect(&replayed)); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != writers*perWriter {
+		t.Fatalf("replayed %d, want %d", len(replayed), writers*perWriter)
+	}
+	// Per-writer order must be preserved even under interleaving.
+	next := map[byte]int{}
+	for _, r := range replayed {
+		var g, i int
+		if _, err := fmt.Sscanf(string(r.Data), "w%d-%d", &g, &i); err != nil {
+			t.Fatalf("bad record %q", r.Data)
+		}
+		if i != next[byte(g)] {
+			t.Fatalf("writer %d record %d out of order (want %d)", g, i, next[byte(g)])
+		}
+		next[byte(g)]++
+	}
+}
+
+// TestRotateAndTrim checks the checkpoint boundary contract: after
+// Rotate, TrimBefore(new) deletes exactly the segments holding the
+// already-appended records, and recovery still works.
+func TestRotateAndTrim(t *testing.T) {
+	m := faultfs.NewMem()
+	w, _ := mustOpen(t, m, Options{SegmentBytes: 1 << 20})
+	appendN(t, w, 0, 10)
+	boundary, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundary < 2 {
+		t.Fatalf("rotate did not advance: %d", boundary)
+	}
+	// Rotate on an already-empty segment is a no-op boundary.
+	again, err := w.Rotate()
+	if err != nil || again != boundary {
+		t.Fatalf("idle rotate: %d, %v", again, err)
+	}
+	if err := w.TrimBefore(boundary); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := m.ReadDir(dir)
+	if len(names) != 1 {
+		t.Fatalf("segments after trim: %v", names)
+	}
+	appendN(t, w, 0, 3)
+	w.Close()
+	_, recs := mustOpen(t, m, Options{})
+	wantRecords(t, recs, 3)
+}
+
+// TestSyncFailureIsSticky proves a failed fsync breaks the log for good
+// and the failed record is not acknowledged.
+func TestSyncFailureIsSticky(t *testing.T) {
+	m := faultfs.NewMem()
+	w, _ := mustOpen(t, m, Options{})
+	appendN(t, w, 0, 3)
+	m.FailAllSyncs(true)
+	if err := w.Append(1, []byte("record-0003")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append with broken disk: %v", err)
+	}
+	if err := w.Err(); err == nil {
+		t.Fatal("error not sticky")
+	}
+	m.FailAllSyncs(false)
+	if err := w.Append(1, []byte("record-9999")); err == nil {
+		t.Fatal("append after sticky failure must keep failing")
+	}
+	m.Restart(nil)
+	_, recs := mustOpen(t, m, Options{})
+	wantRecords(t, recs, 3)
+}
+
+func TestRecordBound(t *testing.T) {
+	m := faultfs.NewMem()
+	w, _ := mustOpen(t, m, Options{})
+	if _, err := w.AppendBuffered(1, make([]byte, maxRecord)); err == nil {
+		t.Fatal("oversized record must be rejected")
+	}
+}
