@@ -4,14 +4,14 @@ GO ?= go
 # online serving path; these run a second time under the race detector.
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
-	./internal/wal ./cmd/erserve
+	./internal/wal ./internal/metrics ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
 CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/online ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos bench-tune bench-serve bench-wal
+.PHONY: check vet build test race chaos scrape bench-tune bench-serve bench-wal bench-obs
 
 ## check: the full verification gate (vet, build, tests, race tests, chaos)
 check: vet build test race chaos
@@ -45,3 +45,14 @@ bench-serve:
 ## bench-wal: durable (WAL + fsync) vs volatile insert path
 bench-wal:
 	$(GO) test -run '^$$' -bench 'Benchmark(Serve|Store)Insert' -benchtime 2s -cpu 1,4 ./internal/online
+
+## scrape: the /metrics contract gate — boots the real daemon, drives
+## traffic, scrapes GET /metrics and fails on unparseable exposition or
+## missing series. CI runs this against every change.
+scrape:
+	$(GO) test -count 1 -run 'TestMetricsScrapeEndToEnd' ./cmd/erserve
+
+## bench-obs: instrumented vs bare serving benchmark pair — prices the
+## observability layer (histograms + pool counters) on the query path
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeQuery(Bare)?$$/' -benchtime 2000x -count 3 ./internal/online

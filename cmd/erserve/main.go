@@ -21,7 +21,8 @@
 //	GET    /entities/{id} → stored attributes
 //	DELETE /entities/{id} → tombstone + re-publish
 //	GET    /snapshot      → binary snapshot stream (resumable with -load)
-//	GET    /stats         → resolver + durability + per-endpoint counters
+//	GET    /stats         → resolver + durability + per-endpoint latency summary
+//	GET    /metrics       → Prometheus text exposition (histograms, counters)
 //	GET    /healthz       → process liveness: always ok while serving
 //	GET    /readyz        → write readiness: 503 while draining or degraded
 //
@@ -31,6 +32,16 @@
 // is exempt); handler panics are recovered, counted and answered with
 // 500. A WAL disk failure flips the store to degraded read-only mode —
 // queries keep serving, writes fail fast, and /readyz reports not ready.
+//
+// Observability: every endpoint records its latency into a log-bucketed
+// histogram *outside* the timeout wrapper, so a request killed by the
+// deadline is recorded with the 503 the client actually saw — not the
+// 200 the inner handler never got to send. /metrics exposes the
+// endpoint histograms plus the resolver's query/publish/compaction
+// telemetry and, in durable mode, the WAL's fsync and group-commit
+// distributions. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ for live profiling. POST /query accepts "trace":true to
+// return the per-phase timing of that one request.
 //
 // The daemon shuts down gracefully on SIGTERM/SIGINT: /readyz starts
 // failing, in-flight requests drain, the store checkpoints and closes,
@@ -45,6 +56,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -55,6 +67,7 @@ import (
 
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
+	"erfilter/internal/metrics"
 	"erfilter/internal/online"
 	"erfilter/internal/text"
 	"erfilter/internal/tuning"
@@ -82,6 +95,7 @@ type options struct {
 	checkpointEvery int
 	writeQueue      int
 	requestTimeout  time.Duration
+	pprof           bool
 
 	// ready, when set, is invoked with the bound listen address once the
 	// server is accepting connections — the test seam for ":0" listeners.
@@ -109,6 +123,7 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
 	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/snapshot is exempt)")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	flag.Parse()
 	if o.workers < 0 {
 		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", o.workers)
@@ -138,7 +153,7 @@ func run(o options) error {
 	// but Save no longer holds the resolver lock while streaming, so even
 	// a client that hits it only costs its own connection.
 	srv := &http.Server{
-		Handler:           s.handler(o.requestTimeout),
+		Handler:           s.handler(o.requestTimeout, o.pprof),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       1 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -348,49 +363,60 @@ func readCSVFile(path, name string) (*entity.Dataset, error) {
 	return entity.ReadCSV(name, f)
 }
 
-// server wires the resolver to the HTTP mux with per-endpoint counters,
-// bounded write admission and panic containment.
+// server wires the resolver to the HTTP mux with per-endpoint latency
+// histograms, bounded write admission and panic containment.
 type server struct {
 	res      *online.Resolver
 	store    *online.Store // nil in volatile mode
 	admit    chan struct{} // bounded write-admission tokens
 	start    time.Time
+	reg      *metrics.Registry
 	eps      map[string]*endpointStats
-	panics   atomic.Int64
+	panics   *metrics.Counter
 	draining atomic.Bool
 }
 
-// endpointStats are the latency/throughput counters of one endpoint.
+// endpointStats are the latency histogram and error counter of one
+// endpoint. Count, mean, max and the p50/p95/p99 all derive from the
+// histogram — there is no separate counter to drift out of sync.
 type endpointStats struct {
-	count, errors, totalNS, maxNS atomic.Int64
-}
-
-func (e *endpointStats) observe(d time.Duration, failed bool) {
-	e.count.Add(1)
-	if failed {
-		e.errors.Add(1)
-	}
-	ns := d.Nanoseconds()
-	e.totalNS.Add(ns)
-	for {
-		max := e.maxNS.Load()
-		if ns <= max || e.maxNS.CompareAndSwap(max, ns) {
-			return
-		}
-	}
+	hist   *metrics.Histogram
+	errors *metrics.Counter
 }
 
 func newServer(res *online.Resolver, store *online.Store, writeQueue int) *server {
 	if writeQueue <= 0 {
 		writeQueue = 64
 	}
-	return &server{
+	s := &server{
 		res: res, store: store, admit: make(chan struct{}, writeQueue),
-		start: time.Now(), eps: map[string]*endpointStats{},
+		start: time.Now(), reg: metrics.NewRegistry(), eps: map[string]*endpointStats{},
 	}
+	s.panics = s.reg.Counter("erserve_panics_total", "Handler panics recovered and answered with 500.", nil)
+	s.reg.GaugeFunc("erserve_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("erserve_write_queue_depth", "Admitted writes currently in flight.", nil,
+		func() float64 { return float64(len(s.admit)) })
+	s.reg.GaugeFunc("erserve_write_queue_capacity", "Write-admission queue capacity.", nil,
+		func() float64 { return float64(cap(s.admit)) })
+	s.reg.GaugeFunc("erserve_draining", "1 while shutting down, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	res.RegisterMetrics(s.reg)
+	if store != nil {
+		store.RegisterMetrics(s.reg)
+	}
+	return s
 }
 
-// statusWriter records the response status for the error counters.
+// statusWriter records the response status for the error counters. It
+// wraps the *outermost* writer of the middleware chain — outside
+// http.TimeoutHandler — so a timed-out request is recorded with the 503
+// the client actually received, never the inner handler's phantom 200.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -401,15 +427,57 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (s *server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
-	st := &endpointStats{}
+// Flush forwards to the wrapped writer so streaming handlers
+// (/snapshot) can push bytes incrementally; a non-flushing underlying
+// writer makes it a no-op instead of a panic.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument is the outermost per-endpoint middleware: it observes the
+// latency and final status of every request into the endpoint's
+// histogram and error counter. It must wrap any timeout middleware, not
+// sit inside it — that ordering is what makes deadline kills visible.
+func (s *server) instrument(name string, h http.Handler) http.HandlerFunc {
+	st := &endpointStats{
+		hist: s.reg.Histogram("erserve_http_request_duration_seconds",
+			"End-to-end request latency as the client saw it.",
+			metrics.Labels{"endpoint": name}, 1e-9),
+		errors: s.reg.Counter("erserve_http_request_errors_total",
+			"Requests answered with status >= 400, timeouts included.",
+			metrics.Labels{"endpoint": name}),
+	}
 	s.eps[name] = st
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
-		h(sw, r)
-		st.observe(time.Since(begin), sw.status >= 400)
+		h.ServeHTTP(sw, r)
+		st.hist.ObserveDuration(time.Since(begin))
+		if sw.status >= 400 {
+			st.errors.Inc()
+		}
 	}
+}
+
+// timeoutJSON bounds a JSON endpoint with http.TimeoutHandler and makes
+// the timeout response JSON: the Content-Type is pre-set on the real
+// writer (the timeout path writes the body straight through, while the
+// success path copies the inner handler's headers over it, so normal
+// responses keep their own type).
+func timeoutJSON(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	th := http.TimeoutHandler(h, d, `{"error":"request deadline exceeded"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
 }
 
 // admitWrite gates mutating endpoints behind the bounded admission
@@ -446,7 +514,7 @@ func (s *server) recoverPanics(h http.Handler) http.Handler {
 			if p == http.ErrAbortHandler { //nolint:errorlint // sentinel by contract
 				panic(p)
 			}
-			s.panics.Add(1)
+			s.panics.Inc()
 			fmt.Fprintf(os.Stderr, "erserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 			// Best effort: if the handler already wrote headers this is a
 			// no-op and the client sees a truncated response.
@@ -456,26 +524,45 @@ func (s *server) recoverPanics(h http.Handler) http.Handler {
 	})
 }
 
-// handler assembles the route tree. JSON endpoints run under the
-// per-request deadline; /snapshot streams the whole collection and is
-// exempt, bounded by the server-level write timeout instead.
-func (s *server) handler(timeout time.Duration) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.wrap("query", s.handleQuery))
-	mux.HandleFunc("POST /entities", s.wrap("insert", s.admitWrite(s.handleInsert)))
-	mux.HandleFunc("GET /entities/{id}", s.wrap("get", s.handleGet))
-	mux.HandleFunc("DELETE /entities/{id}", s.wrap("delete", s.admitWrite(s.handleDelete)))
-	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
-	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
-	var inner http.Handler = mux
-	if timeout > 0 {
-		inner = http.TimeoutHandler(inner, timeout, `{"error":"request deadline exceeded"}`)
+// handler assembles the route tree. Each JSON endpoint is wrapped as
+// instrument(timeoutJSON(handler)) — the per-request deadline sits
+// *inside* the instrumentation, so a timed-out request is observed with
+// its real duration and its real 503. /snapshot streams the whole
+// collection and /metrics must stay reachable while handlers wedge, so
+// neither runs under the deadline (the server-level write timeout
+// bounds them instead).
+func (s *server) handler(timeout time.Duration, pprofOn bool) http.Handler {
+	bounded := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(name, timeoutJSON(timeout, h))
 	}
-	outer := http.NewServeMux()
-	outer.HandleFunc("GET /snapshot", s.wrap("snapshot", s.handleSnapshot))
-	outer.Handle("/", inner)
-	return s.recoverPanics(outer)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", bounded("query", s.handleQuery))
+	mux.HandleFunc("POST /entities", bounded("insert", s.admitWrite(s.handleInsert)))
+	mux.HandleFunc("GET /entities/{id}", bounded("get", s.handleGet))
+	mux.HandleFunc("DELETE /entities/{id}", bounded("delete", s.admitWrite(s.handleDelete)))
+	mux.HandleFunc("GET /stats", bounded("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", bounded("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", bounded("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /snapshot", s.instrument("snapshot", http.HandlerFunc(s.handleSnapshot)))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.recoverPanics(mux)
+}
+
+// handleMetrics serves the Prometheus text exposition of everything the
+// process measures: endpoint latency histograms, resolver telemetry and,
+// in durable mode, the WAL's fsync and group-commit distributions.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve: writing /metrics:", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -519,14 +606,26 @@ func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
 	return attrs, nil
 }
 
+// defaultQueryLimit caps the serialized candidate list when the request
+// does not choose its own limit: an EpsJoin query with a permissive eps
+// matches a large fraction of the collection, and without a cap the
+// handler would serialize (and the client download) all of it.
+const defaultQueryLimit = 1000
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		entityPayload
-		K   int     `json:"k"`
-		Eps float64 `json:"eps"`
+		K     int     `json:"k"`
+		Eps   float64 `json:"eps"`
+		Limit int     `json:"limit"`
+		Trace bool    `json:"trace"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("limit must be >= 0, got %d", req.Limit))
 		return
 	}
 	attrs, err := req.attrs(s.res.Config())
@@ -534,19 +633,46 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = defaultQueryLimit
+	}
 	snap := s.res.Snapshot()
-	cands := snap.Query(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	cands, tr := snap.QueryTraced(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	truncated := len(cands) > limit
+	if truncated {
+		cands = cands[:limit]
+	}
 	type cand struct {
 		ID    int64   `json:"id"`
 		Score float64 `json:"score"`
+	}
+	type trace struct {
+		Epoch      uint64 `json:"epoch"`
+		EncodeUS   int64  `json:"encode_us"`
+		SearchUS   int64  `json:"search_us"`
+		Candidates int    `json:"candidates"`
 	}
 	out := struct {
 		Epoch      uint64 `json:"epoch"`
 		Entities   int    `json:"entities"`
 		Candidates []cand `json:"candidates"`
-	}{Epoch: snap.Epoch(), Entities: snap.Len(), Candidates: make([]cand, len(cands))}
+		Truncated  bool   `json:"truncated,omitempty"`
+		Trace      *trace `json:"trace,omitempty"`
+	}{
+		Epoch: snap.Epoch(), Entities: snap.Len(),
+		Candidates: make([]cand, len(cands)), Truncated: truncated,
+	}
 	for i, c := range cands {
 		out.Candidates[i] = cand{ID: c.ID, Score: c.Score}
+	}
+	if req.Trace {
+		out.Trace = &trace{
+			Epoch:      tr.Epoch,
+			EncodeUS:   tr.Encode.Microseconds(),
+			SearchUS:   tr.Search.Microseconds(),
+			Candidates: tr.Candidates,
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -660,16 +786,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Count     int64   `json:"count"`
 		Errors    int64   `json:"errors"`
 		MeanUS    float64 `json:"mean_us"`
+		P50US     float64 `json:"p50_us"`
+		P95US     float64 `json:"p95_us"`
+		P99US     float64 `json:"p99_us"`
 		MaxUS     float64 `json:"max_us"`
 		PerSecond float64 `json:"per_second"`
 	}
 	eps := map[string]ep{}
 	for name, st := range s.eps {
-		n := st.count.Load()
-		e := ep{Count: n, Errors: st.errors.Load(), MaxUS: float64(st.maxNS.Load()) / 1e3}
-		if n > 0 {
-			e.MeanUS = float64(st.totalNS.Load()) / float64(n) / 1e3
-			e.PerSecond = float64(n) / uptime.Seconds()
+		snap := st.hist.Snapshot()
+		e := ep{Count: snap.Count, Errors: st.errors.Value(), MaxUS: float64(snap.Max) / 1e3}
+		if snap.Count > 0 {
+			e.MeanUS = snap.Mean() / 1e3
+			e.P50US = float64(snap.Quantile(0.50)) / 1e3
+			e.P95US = float64(snap.Quantile(0.95)) / 1e3
+			e.P99US = float64(snap.Quantile(0.99)) / 1e3
+			e.PerSecond = float64(snap.Count) / uptime.Seconds()
 		}
 		eps[name] = e
 	}
@@ -677,7 +809,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"resolver":  s.res.Stats(),
 		"endpoints": eps,
 		"uptime_s":  uptime.Seconds(),
-		"panics":    s.panics.Load(),
+		"panics":    s.panics.Value(),
 		"write_queue": map[string]int{
 			"depth": len(s.admit), "capacity": cap(s.admit),
 		},

@@ -33,7 +33,7 @@ func testServingConfig() online.Config {
 func newTestServer(t *testing.T) (*httptest.Server, *online.Resolver) {
 	t.Helper()
 	res := online.NewResolver(testServingConfig())
-	ts := httptest.NewServer(newServer(res, nil, 0).handler(10 * time.Second))
+	ts := httptest.NewServer(newServer(res, nil, 0).handler(10*time.Second, false))
 	t.Cleanup(ts.Close)
 	return ts, res
 }
@@ -46,7 +46,7 @@ func newDurableTestServer(t *testing.T, m *faultfs.Mem, writeQueue int) (*httpte
 	if err != nil {
 		t.Fatalf("open store: %v", err)
 	}
-	ts := httptest.NewServer(newServer(store.Resolver(), store, writeQueue).handler(10 * time.Second))
+	ts := httptest.NewServer(newServer(store.Resolver(), store, writeQueue).handler(10*time.Second, false))
 	t.Cleanup(func() {
 		ts.Close()
 		store.Close()
@@ -375,8 +375,8 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler answered %d", rec.Code)
 	}
-	if s.panics.Load() != 1 {
-		t.Fatalf("panic counter = %d", s.panics.Load())
+	if s.panics.Value() != 1 {
+		t.Fatalf("panic counter = %d", s.panics.Value())
 	}
 }
 

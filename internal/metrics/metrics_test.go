@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketMapping pins the bucket layout: every bucket's inclusive
+// upper edge maps back into the bucket, the next value maps past it, and
+// the mapping is monotone over a sweep of magnitudes.
+func TestBucketMapping(t *testing.T) {
+	for i := 0; i < HistBuckets; i++ {
+		up := BucketUpper(i)
+		if got := bucketOf(up); got != i {
+			t.Fatalf("BucketUpper(%d)=%d maps to bucket %d", i, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketOf(up + 1); got != i+1 {
+				t.Fatalf("value %d (one past bucket %d) maps to bucket %d", up+1, i, got)
+			}
+		}
+	}
+	if got := bucketOf(math.MaxInt64); got != HistBuckets-1 {
+		t.Fatalf("MaxInt64 maps to bucket %d, want %d", got, HistBuckets-1)
+	}
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 97 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket mapping not monotone at %d: %d after %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestBucketRelativeError checks the layout's precision claim: no bucket
+// above the direct range is wider than 12.5% of its lower edge.
+func TestBucketRelativeError(t *testing.T) {
+	for i := histDirect; i < HistBuckets; i++ {
+		lo, hi := BucketUpper(i-1)+1, BucketUpper(i)
+		if width := float64(hi-lo+1) / float64(lo); width > 0.125+1e-9 {
+			t.Fatalf("bucket %d [%d,%d] has relative width %f", i, lo, hi, width)
+		}
+	}
+}
+
+// TestHistogramConcurrentProperty is the concurrency contract, run under
+// -race by the Makefile gate: N goroutines recording M observations each
+// produce exactly the snapshot of the same observations recorded
+// sequentially — nothing lost, nothing double-counted.
+func TestHistogramConcurrentProperty(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+	values := make([][]int64, goroutines)
+	rng := rand.New(rand.NewSource(42))
+	for g := range values {
+		values[g] = make([]int64, perG)
+		for i := range values[g] {
+			// Mix magnitudes: sub-microsecond to tens of seconds in ns.
+			values[g][i] = rng.Int63n(1 << uint(10+rng.Intn(25)))
+		}
+	}
+
+	concurrent := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(vs []int64) {
+			defer wg.Done()
+			for _, v := range vs {
+				concurrent.Observe(v)
+			}
+		}(values[g])
+	}
+	wg.Wait()
+
+	sequential := &Histogram{}
+	for _, vs := range values {
+		for _, v := range vs {
+			sequential.Observe(v)
+		}
+	}
+
+	cs, ss := concurrent.Snapshot(), sequential.Snapshot()
+	if *cs != *ss {
+		t.Fatalf("concurrent snapshot diverges from sequential:\nconc: count=%d sum=%d max=%d\nseq:  count=%d sum=%d max=%d",
+			cs.Count, cs.Sum, cs.Max, ss.Count, ss.Sum, ss.Max)
+	}
+	if cs.Count != goroutines*perG {
+		t.Fatalf("count=%d, want %d", cs.Count, goroutines*perG)
+	}
+}
+
+// TestSnapshotMergeEquivalence: merging per-shard snapshots equals one
+// histogram fed everything — the property that lets per-worker
+// histograms reduce into one table line.
+func TestSnapshotMergeEquivalence(t *testing.T) {
+	shards := make([]*Histogram, 4)
+	whole := &Histogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := range shards {
+		shards[i] = &Histogram{}
+		for j := 0; j < 1000; j++ {
+			v := rng.Int63n(1 << 30)
+			shards[i].Observe(v)
+			whole.Observe(v)
+		}
+	}
+	merged := shards[0].Snapshot()
+	for _, h := range shards[1:] {
+		merged.Merge(h.Snapshot())
+	}
+	if *merged != *whole.Snapshot() {
+		t.Fatal("merged shard snapshots diverge from the single histogram")
+	}
+}
+
+// TestQuantile bounds the quantile estimate: for a known distribution the
+// reported quantile is >= the true order statistic and within one bucket
+// width (12.5%) above it.
+func TestQuantile(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		truth := int64(math.Ceil(q * 10000))
+		got := s.Quantile(q)
+		if got < truth || float64(got) > float64(truth)*1.125+1 {
+			t.Fatalf("Quantile(%v) = %d, want within [%d, %d]", q, got, truth, int64(float64(truth)*1.125)+1)
+		}
+	}
+	if (&HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot quantile must be 0")
+	}
+}
+
+// TestNilSafety: every recording and reading method is a no-op on nil —
+// the disable seam of the bare-vs-instrumented benchmark pair.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(10)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*2147483647 + 12345 // cheap LCG to spread buckets
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+// TestExpositionGolden pins the exact text format one registry renders —
+// the wire contract of GET /metrics.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("erserve_http_request_errors_total", "Requests answered with status >= 400.", Labels{"endpoint": "query"})
+	c.Add(3)
+	g := reg.Gauge("erserve_write_queue_depth", "Admitted writes in flight.", nil)
+	g.Set(2)
+	reg.GaugeFunc("erserve_uptime_seconds", "Seconds since the daemon started.", nil, func() float64 { return 12.5 })
+	h := reg.Histogram("erserve_http_request_duration_seconds", "Request latency.", Labels{"endpoint": "query"}, 1e-9)
+	h.Observe(5)     // bucket 5, le 5e-09
+	h.Observe(5)     // same bucket
+	h.Observe(17)    // bucket [16,17], le 1.7e-08
+	h.Observe(40000) // le 4.0959e-05
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP erserve_http_request_duration_seconds Request latency.",
+		"# TYPE erserve_http_request_duration_seconds histogram",
+		`erserve_http_request_duration_seconds_bucket{endpoint="query",le="5e-09"} 2`,
+		`erserve_http_request_duration_seconds_bucket{endpoint="query",le="1.7e-08"} 3`,
+		`erserve_http_request_duration_seconds_bucket{endpoint="query",le="4.0959e-05"} 4`,
+		`erserve_http_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 4`,
+		`erserve_http_request_duration_seconds_sum{endpoint="query"} 4.0027e-05`,
+		`erserve_http_request_duration_seconds_count{endpoint="query"} 4`,
+		"# HELP erserve_http_request_errors_total Requests answered with status >= 400.",
+		"# TYPE erserve_http_request_errors_total counter",
+		`erserve_http_request_errors_total{endpoint="query"} 3`,
+		"# HELP erserve_uptime_seconds Seconds since the daemon started.",
+		"# TYPE erserve_uptime_seconds gauge",
+		"erserve_uptime_seconds 12.5",
+		"# HELP erserve_write_queue_depth Admitted writes in flight.",
+		"# TYPE erserve_write_queue_depth gauge",
+		"erserve_write_queue_depth 2",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden output must round-trip through our own parser.
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("golden output unparseable: %v", err)
+	}
+	if v, ok := Find(samples, "erserve_http_request_errors_total", Labels{"endpoint": "query"}); !ok || v != 3 {
+		t.Fatalf("Find errors_total: %v %v", v, ok)
+	}
+	if v, ok := Find(samples, "erserve_http_request_duration_seconds_count", Labels{"endpoint": "query"}); !ok || v != 4 {
+		t.Fatalf("Find histogram count: %v %v", v, ok)
+	}
+}
+
+// TestParseRejectsGarbage: the CI scrape gate must actually bite.
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"1metric 3",                                  // name starts with a digit
+		`m{l="unterminated} 1`,                       // unterminated label value
+		"m notanumber",                               // non-numeric value
+		"# TYPE m frobnicator",                       // unknown type
+		`m{l="a"} 1 notatimestamp`,                   // bad timestamp
+		"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3", // decreasing cumulative buckets
+		`m{="x"} 1`,                                  // empty label name
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseText accepted %q", in)
+		}
+	}
+	good := "# arbitrary comment\n\nm_total{a=\"x\\\"y\\n\\\\z\"} 4 1700000000000\nplain 1\n"
+	samples, err := ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := Find(samples, "m_total", Labels{"a": "x\"y\n\\z"}); !ok || v != 4 {
+		t.Fatalf("escaped label round-trip: %v %v %+v", v, ok, samples)
+	}
+}
+
+// TestLabelRendering pins deterministic, escaped label rendering.
+func TestLabelRendering(t *testing.T) {
+	l := Labels{"b": `say "hi"`, "a": "x\ny"}
+	want := `a="x\ny",b="say \"hi\""`
+	if got := l.render(); got != want {
+		t.Fatalf("render: %q, want %q", got, want)
+	}
+}

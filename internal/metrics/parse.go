@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its labels and
+// the scraped value.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition format (version 0.0.4),
+// returning every sample. It is the validation half of WriteText: the
+// scrape tests and the CI gate run a live server's /metrics output
+// through it and fail on anything unparseable — a malformed name, an
+// unterminated label value, a non-numeric sample, a # TYPE naming an
+// unknown type, or a histogram whose cumulative bucket counts decrease.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	cumul := map[string]float64{} // histogram series → last cumulative bucket count
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		if strings.HasSuffix(s.Name, "_bucket") {
+			key := s.Name + "|" + keyWithoutLE(s.Labels)
+			if prev, ok := cumul[key]; ok && s.Value < prev {
+				return nil, fmt.Errorf("metrics: line %d: histogram %s bucket counts decrease (%g after %g)", lineNo, s.Name, s.Value, prev)
+			}
+			cumul[key] = s.Value
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func keyWithoutLE(l Labels) string {
+	cp := make(Labels, len(l))
+	for k, v := range l {
+		if k != "le" {
+			cp[k] = v
+		}
+	}
+	return cp.render()
+}
+
+func parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !validMetricName(fields[2]) {
+		return fmt.Errorf("malformed %s comment %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) < 4 {
+			return fmt.Errorf("# TYPE without a type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd < 0 {
+		return Sample{}, fmt.Errorf("sample without a value: %q", line)
+	}
+	s := Sample{Name: line[:nameEnd], Labels: Labels{}}
+	if !validMetricName(s.Name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return Sample{}, fmt.Errorf("series %s: %w", s.Name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return Sample{}, fmt.Errorf("series %s: want `value [timestamp]`, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("series %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("series %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns what follows the
+// closing brace.
+func parseLabels(rest string, into Labels) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("label without '=': %q", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		val, tail, err := parseQuoted(rest[1:])
+		if err != nil {
+			return "", fmt.Errorf("label %s: %w", name, err)
+		}
+		into[name] = val
+		rest = strings.TrimLeft(tail, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if !strings.HasPrefix(rest, "}") {
+			return "", fmt.Errorf("label %s: expected ',' or '}' after value", name)
+		}
+	}
+}
+
+// parseQuoted decodes an escaped label value up to its closing quote.
+func parseQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// Find returns the value of the sample matching name and the given
+// labels exactly (le excluded from histogram lookups must be included by
+// the caller when wanted). ok is false when no sample matches.
+func Find(samples []Sample, name string, labels Labels) (v float64, ok bool) {
+	want := labels.render()
+	for _, s := range samples {
+		if s.Name == name && s.Labels.render() == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is the constant label set of one series. Labels are fixed at
+// registration time — there is no dynamic label lookup on the hot path;
+// a labelled series is just a distinct metric instance.
+type Labels map[string]string
+
+// render flattens labels into the canonical `k="v",...` form, sorted by
+// key so identical label sets always render identically.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// series is one registered metric instance under a family.
+type series struct {
+	labels  string
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+	scale   float64 // histogram exposition multiplier (1e-9: ns → seconds)
+}
+
+// family groups every series sharing a metric name; one # HELP/# TYPE
+// block is emitted per family.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds the metric families of one process and renders them in
+// the Prometheus text exposition format. Registration takes a lock;
+// recording on the returned metrics never does.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a series, panicking on programmer errors: an invalid
+// name, a type clash inside a family, or a duplicate (name, labels).
+func (r *Registry) register(name, help, typ string, s *series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("metrics: duplicate series %s{%s}", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter creates and registers a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, labels, c)
+	return c
+}
+
+// RegisterCounter registers an existing counter (the path for metrics
+// owned by another package, e.g. the WAL's).
+func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter) {
+	r.register(name, help, "counter", &series{labels: labels.render(), counter: c})
+}
+
+// Gauge creates and registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", &series{labels: labels.render(), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the fit for values another structure already maintains (queue depths,
+// entity counts, uptime). fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", &series{labels: labels.render(), gaugeFn: fn})
+}
+
+// CounterFunc registers a counter whose value is read at scrape time
+// from state another structure already maintains monotonically (WAL
+// record counts, epoch numbers). fn must be safe to call concurrently
+// and must never decrease.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "counter", &series{labels: labels.render(), gaugeFn: fn})
+}
+
+// Histogram creates and registers a histogram series. scale multiplies
+// raw observed values on exposition only (1e-9 turns nanosecond
+// observations into the conventional _seconds unit); 0 means 1.
+func (r *Registry) Histogram(name, help string, labels Labels, scale float64) *Histogram {
+	h := &Histogram{}
+	r.RegisterHistogram(name, help, labels, scale, h)
+	return h
+}
+
+// RegisterHistogram registers an existing histogram.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, scale float64, h *Histogram) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.register(name, help, "histogram", &series{labels: labels.render(), hist: h, scale: scale})
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format (version 0.0.4), families and series in lexicographic order so
+// the output is deterministic. Histograms emit cumulative buckets at the
+// non-empty bucket edges plus +Inf — a sparse but valid le set.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	sers := make([][]*series, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = f
+		ss := make([]*series, len(f.series))
+		copy(ss, f.series)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+		sers[i] = ss
+	}
+	r.mu.Unlock()
+
+	// Render outside the lock: gauge functions may take other locks
+	// (e.g. the resolver's writer mutex) and must not nest under ours.
+	for i, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range sers[i] {
+			if err := writeSeries(w, f.name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func writeSeries(w io.Writer, name string, s *series) error {
+	switch {
+	case s.counter != nil:
+		return writeSample(w, name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		return writeSample(w, name, s.labels, float64(s.gauge.Value()))
+	case s.gaugeFn != nil:
+		return writeSample(w, name, s.labels, s.gaugeFn())
+	default:
+		return writeHistogram(w, name, s)
+	}
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	}
+	return err
+}
+
+// writeHistogram emits the conventional _bucket/_sum/_count triple with
+// cumulative counts. Only buckets that are non-empty contribute an edge;
+// +Inf always closes the series.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	snap := s.hist.Snapshot()
+	var cum int64
+	for i, n := range snap.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// 12 significant digits suppress binary noise in edge*scale
+		// (40959e-9 would otherwise print as 4.0959000000000005e-05)
+		// while keeping every edge distinct.
+		le := strconv.FormatFloat(float64(BucketUpper(i))*s.scale, 'g', 12, 64)
+		if err := writeSample(w, name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(snap.Count)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", s.labels, float64(snap.Sum)*s.scale); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", s.labels, float64(snap.Count))
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -32,61 +32,88 @@ func benchResolver(cfg Config, n int) *Resolver {
 	return r
 }
 
-// BenchmarkServeQuery is the load-generator benchmark of the serving
-// path: parallel readers issue top-k queries against the published
-// snapshot while one writer goroutine sustains a mixed insert/delete
-// stream (one mutation batch per ~8 queries), mimicking an online
-// resolver under combined traffic. Reported time is per query.
-func BenchmarkServeQuery(b *testing.B) {
+func benchConfigs() map[string]Config {
 	c3g, _ := text.ParseModel("C3G")
-	configs := map[string]Config{
+	return map[string]Config{
 		"knnj-C3G":  {Method: KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 10},
 		"eps-C3G":   {Method: EpsJoin, Model: c3g, Measure: sparse.Jaccard, Threshold: 0.5},
 		"flat-d300": {Method: FlatKNN, K: 10, Metric: knn.L2Squared},
 	}
-	for name, cfg := range configs {
-		b.Run(name, func(b *testing.B) {
-			const preload = 2000
-			r := benchResolver(cfg, preload)
-			stop := make(chan struct{})
-			done := make(chan struct{})
-			var qn atomic.Int64
-			go func() {
-				defer close(done)
-				next := preload
-				for i := 0; ; i++ {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					// Pace writes off the query counter so the mix stays
-					// roughly 8 reads : 1 write at any parallelism.
-					if qn.Load() < int64(i*8) {
-						continue
-					}
-					id := r.Insert(benchAttrs(next))
-					next++
-					if i%2 == 0 {
-						r.Delete(id - int64(preload/2))
-					}
-				}
-			}()
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				i := 0
-				for pb.Next() {
-					q := benchAttrs(i * 31)
-					r.Query(q, QueryOptions{})
-					qn.Add(1)
-					i++
-				}
-			})
-			b.StopTimer()
-			close(stop)
-			<-done
-		})
+}
+
+// disableTelemetry nils every metric the resolver records into. All
+// metric methods are nil-receiver safe, so this is the disable seam the
+// bare benchmark uses to measure the serving path with instrumentation
+// compiled in but not recording.
+func (r *Resolver) disableTelemetry() {
+	*r.tel = telemetry{}
+}
+
+func benchServeQuery(b *testing.B, cfg Config, bare bool) {
+	const preload = 2000
+	r := benchResolver(cfg, preload)
+	if bare {
+		r.disableTelemetry()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var qn atomic.Int64
+	go func() {
+		defer close(done)
+		next := preload
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Pace writes off the query counter so the mix stays
+			// roughly 8 reads : 1 write at any parallelism.
+			if qn.Load() < int64(i*8) {
+				continue
+			}
+			id := r.Insert(benchAttrs(next))
+			next++
+			if i%2 == 0 {
+				r.Delete(id - int64(preload/2))
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := benchAttrs(i * 31)
+			r.Query(q, QueryOptions{})
+			qn.Add(1)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkServeQuery is the load-generator benchmark of the serving
+// path: parallel readers issue top-k queries against the published
+// snapshot while one writer goroutine sustains a mixed insert/delete
+// stream (one mutation batch per ~8 queries), mimicking an online
+// resolver under combined traffic. Reported time is per query, with
+// the standard telemetry (latency histograms, pool counters) recording.
+func BenchmarkServeQuery(b *testing.B) {
+	for name, cfg := range benchConfigs() {
+		b.Run(name, func(b *testing.B) { benchServeQuery(b, cfg, false) })
+	}
+}
+
+// BenchmarkServeQueryBare is the identical workload with every metric
+// nilled out — the baseline that prices the observability layer. Compare
+// with BenchmarkServeQuery (make bench-obs); the instrumented run should
+// stay within ~5% of this one.
+func BenchmarkServeQueryBare(b *testing.B) {
+	for name, cfg := range benchConfigs() {
+		b.Run(name, func(b *testing.B) { benchServeQuery(b, cfg, true) })
 	}
 }
 

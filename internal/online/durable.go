@@ -10,9 +10,11 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"erfilter/internal/entity"
 	"erfilter/internal/faultfs"
+	"erfilter/internal/metrics"
 	"erfilter/internal/wal"
 )
 
@@ -47,6 +49,7 @@ type Store struct {
 
 	ckptBusy    atomic.Bool
 	checkpoints atomic.Uint64
+	ckptNS      metrics.Histogram // end-to-end checkpoint cost, ns
 
 	degraded atomic.Bool
 	reasonMu sync.Mutex
@@ -325,6 +328,8 @@ func (s *Store) Checkpoint() error {
 		return nil // a checkpoint is already running
 	}
 	defer s.ckptBusy.Store(false)
+	begin := time.Now()
+	defer func() { s.ckptNS.ObserveDuration(time.Since(begin)) }()
 
 	s.mu.Lock()
 	r := s.res
@@ -364,6 +369,26 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// RegisterMetrics exposes the durability layer under the registry: the
+// WAL's fsync/group-commit telemetry, checkpoint count and cost, and a
+// 0/1 gauge for degraded read-only mode.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	s.log.RegisterMetrics(reg, nil)
+	reg.CounterFunc("store_checkpoints_total",
+		"Completed snapshot checkpoints.", nil,
+		func() float64 { return float64(s.checkpoints.Load()) })
+	reg.RegisterHistogram("store_checkpoint_duration_seconds",
+		"End-to-end checkpoint cost: capture, rotate, write, rename, trim.", nil, 1e-9, &s.ckptNS)
+	reg.GaugeFunc("store_degraded",
+		"1 when the store has fallen back to read-only after a WAL failure.", nil,
+		func() float64 {
+			if ok, _ := s.Ready(); !ok {
+				return 1
+			}
+			return 0
+		})
 }
 
 // StoreStats extends the WAL counters with checkpoint and degradation

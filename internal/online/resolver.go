@@ -3,9 +3,11 @@ package online
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
+	"erfilter/internal/metrics"
 	"erfilter/internal/sparse"
 	"erfilter/internal/vector"
 )
@@ -80,15 +82,44 @@ type Resolver struct {
 	queries atomic.Uint64
 	scratch sync.Pool // *sparse.Scratch, shared by all snapshots
 	embed   sync.Pool // *vector.Embedder query-side caches (dense only)
+
+	tel *telemetry // always non-nil; individual metrics may be nil
+}
+
+// telemetry is the resolver's always-on instrumentation: latency
+// histograms for the two costs that define serving behaviour (query
+// time and the freeze step of an epoch publish) plus hit counters for
+// the two query-side object pools. Every metric is nil-safe, so zeroing
+// a field disables its recording — the seam the bare-vs-instrumented
+// overhead benchmark uses.
+type telemetry struct {
+	queryNS       *metrics.Histogram // per-query latency, ns
+	freezeNS      *metrics.Histogram // publishLocked freeze cost, ns
+	scratchGets   *metrics.Counter   // sparse scratch pool fetches
+	scratchMisses *metrics.Counter   // ... that allocated fresh
+	embedGets     *metrics.Counter   // dense embedder pool fetches
+	embedMisses   *metrics.Counter   // ... that allocated fresh
+}
+
+func newTelemetry() *telemetry {
+	return &telemetry{
+		queryNS:       &metrics.Histogram{},
+		freezeNS:      &metrics.Histogram{},
+		scratchGets:   &metrics.Counter{},
+		scratchMisses: &metrics.Counter{},
+		embedGets:     &metrics.Counter{},
+		embedMisses:   &metrics.Counter{},
+	}
 }
 
 // NewResolver creates an empty resolver serving the configuration and
 // publishes its epoch-0 snapshot.
 func NewResolver(cfg Config) *Resolver {
 	cfg = cfg.normalize()
-	r := &Resolver{cfg: cfg, attrs: make(map[int64][]entity.Attribute)}
-	r.scratch.New = func() any { return &sparse.Scratch{} }
-	r.embed.New = func() any { return vector.NewEmbedder(cfg.Dim) }
+	r := &Resolver{cfg: cfg, attrs: make(map[int64][]entity.Attribute), tel: newTelemetry()}
+	tel := r.tel
+	r.scratch.New = func() any { tel.scratchMisses.Inc(); return &sparse.Scratch{} }
+	r.embed.New = func() any { tel.embedMisses.Inc(); return vector.NewEmbedder(cfg.Dim) }
 	if cfg.Method == FlatKNN {
 		r.kn = knn.NewIncFlat(cfg.Metric)
 		r.emb = vector.NewEmbedder(cfg.Dim)
@@ -185,7 +216,9 @@ func (r *Resolver) maybeCompactLocked() {
 }
 
 // publishLocked freezes the write-side state into an immutable snapshot
-// and swaps it in. Callers hold mu.
+// and swaps it in. Callers hold mu. The freeze is the only part of a
+// publish whose cost grows with the collection, so it is the part the
+// telemetry times.
 func (r *Resolver) publishLocked() {
 	r.epoch++
 	s := &Snapshot{
@@ -194,7 +227,9 @@ func (r *Resolver) publishLocked() {
 		queries: &r.queries,
 		scratch: &r.scratch,
 		embed:   &r.embed,
+		tel:     r.tel,
 	}
+	begin := time.Now()
 	if r.sp != nil {
 		s.dict = r.vocab.Frozen()
 		s.sp = r.sp.Freeze()
@@ -203,6 +238,7 @@ func (r *Resolver) publishLocked() {
 		s.kn = r.kn.Freeze()
 		s.count = s.kn.Len()
 	}
+	r.tel.freezeNS.ObserveDuration(time.Since(begin))
 	r.snap.Store(s)
 }
 
@@ -255,6 +291,47 @@ func (r *Resolver) Stats() Stats {
 	return st
 }
 
+// RegisterMetrics exposes the resolver's telemetry under the registry:
+// per-method query latency, epoch-publish and compaction counters, the
+// freeze cost of each publish, and the hit rates of the query-side
+// scratch/embedder pools (hits = gets - misses).
+func (r *Resolver) RegisterMetrics(reg *metrics.Registry) {
+	method := metrics.Labels{"method": r.cfg.Method.String()}
+	reg.RegisterHistogram("online_query_duration_seconds",
+		"Per-query latency (text assembly + index search).", method, 1e-9, r.tel.queryNS)
+	reg.RegisterHistogram("online_publish_freeze_duration_seconds",
+		"Freeze cost of each epoch publish (the write-stall component).", nil, 1e-9, r.tel.freezeNS)
+	reg.CounterFunc("online_epoch_publishes_total",
+		"Snapshot epochs published.", nil,
+		func() float64 { return float64(r.Stats().Epoch) })
+	reg.CounterFunc("online_compactions_total",
+		"Tombstone-triggered index compactions.", nil,
+		func() float64 { return float64(r.Stats().Compactions) })
+	reg.CounterFunc("online_inserts_total",
+		"Entities inserted since start.", nil,
+		func() float64 { return float64(r.Stats().Inserts) })
+	reg.CounterFunc("online_deletes_total",
+		"Entities deleted since start.", nil,
+		func() float64 { return float64(r.Stats().Deletes) })
+	reg.GaugeFunc("online_entities",
+		"Resident (non-deleted) entities.", nil,
+		func() float64 { return float64(r.Len()) })
+	reg.GaugeFunc("online_tombstones",
+		"Dead index slots awaiting compaction.", nil,
+		func() float64 { return float64(r.Stats().Tombstones) })
+	if r.cfg.Method == FlatKNN {
+		reg.RegisterCounter("online_embedder_pool_gets_total",
+			"Query-side embedder pool fetches.", nil, r.tel.embedGets)
+		reg.RegisterCounter("online_embedder_pool_misses_total",
+			"Embedder pool fetches that allocated a fresh embedder.", nil, r.tel.embedMisses)
+	} else {
+		reg.RegisterCounter("online_scratch_pool_gets_total",
+			"Query-side sparse scratch pool fetches.", nil, r.tel.scratchGets)
+		reg.RegisterCounter("online_scratch_pool_misses_total",
+			"Scratch pool fetches that allocated fresh scratch space.", nil, r.tel.scratchMisses)
+	}
+}
+
 // Snapshot is an immutable view of a resolver as of one published epoch.
 // Any number of goroutines may query it concurrently; it never blocks
 // and never observes later writes.
@@ -268,6 +345,21 @@ type Snapshot struct {
 	queries *atomic.Uint64
 	scratch *sync.Pool
 	embed   *sync.Pool
+	tel     *telemetry
+}
+
+// Trace is the phase breakdown of one traced query: how long the text
+// assembly + representation step took (tokenize/encode for sparse
+// methods, embed for dense), how long the index search took, and what
+// the query saw. It is the per-request counterpart of the aggregate
+// latency histograms — the tool for explaining one slow request rather
+// than the distribution.
+type Trace struct {
+	Epoch      uint64        // snapshot epoch the query ran against
+	Entities   int           // entities visible to the snapshot
+	Encode     time.Duration // text assembly + tokenization/embedding
+	Search     time.Duration // index probe
+	Candidates int           // candidates returned (before any caller cap)
 }
 
 // Epoch returns the publish epoch of the snapshot.
@@ -281,7 +373,23 @@ func (s *Snapshot) Len() int { return s.count }
 // put through exactly the same text assembly, cleaning, tokenization and
 // embedding as the indexed entities were.
 func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate {
+	out, _ := s.QueryTraced(attrs, opt)
+	return out
+}
+
+// QueryTraced answers exactly like Query and additionally returns the
+// per-phase timing breakdown of this one request.
+func (s *Snapshot) QueryTraced(attrs []entity.Attribute, opt QueryOptions) ([]Candidate, Trace) {
 	s.queries.Add(1)
+	tr := Trace{Epoch: s.epoch, Entities: s.count}
+	out := s.query(attrs, opt, &tr)
+	tr.Candidates = len(out)
+	s.tel.queryNS.Observe(tr.Encode.Nanoseconds() + tr.Search.Nanoseconds())
+	return out, tr
+}
+
+func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace) []Candidate {
+	begin := time.Now()
 	txt := s.cfg.textOf(attrs)
 	k := s.cfg.K
 	if opt.K > 0 {
@@ -292,10 +400,14 @@ func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 		// Pooled embedders keep their word-vector caches across queries,
 		// mirroring the writer-side r.emb; embedding is deterministic, so
 		// which pool member serves a query never changes the result.
+		s.tel.embedGets.Inc()
 		e := s.embed.Get().(*vector.Embedder)
 		q := e.Text(txt)
 		s.embed.Put(e)
+		tr.Encode = time.Since(begin)
+		begin = time.Now()
 		res := s.kn.Search(q, k)
+		tr.Search = time.Since(begin)
 		out := make([]Candidate, len(res))
 		for i, h := range res {
 			out[i] = Candidate{ID: h.ID, Score: -h.Score}
@@ -306,21 +418,25 @@ func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 		if opt.Threshold > 0 {
 			eps = opt.Threshold
 		}
-		return s.sparseQuery(txt, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+		return s.sparseQuery(txt, begin, tr, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
 			return s.sp.RangeQuery(q, s.cfg.Measure, eps, sc)
 		})
 	default: // KNNJoin
-		return s.sparseQuery(txt, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+		return s.sparseQuery(txt, begin, tr, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
 			return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
 		})
 	}
 }
 
-func (s *Snapshot) sparseQuery(txt string, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
+func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
 	q := encodeFrozen(s.dict, s.cfg.Model.Tokens(txt))
+	tr.Encode = time.Since(begin)
+	begin = time.Now()
+	s.tel.scratchGets.Inc()
 	sc := s.scratch.Get().(*sparse.Scratch)
 	ns := run(q, sc)
 	s.scratch.Put(sc)
+	tr.Search = time.Since(begin)
 	out := make([]Candidate, len(ns))
 	for i, n := range ns {
 		out[i] = Candidate{ID: n.ID, Score: n.Sim}

@@ -30,8 +30,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"erfilter/internal/faultfs"
+	"erfilter/internal/metrics"
 )
 
 const (
@@ -88,6 +90,14 @@ type WAL struct {
 	err      error
 	syncs    uint64
 	trimmed  uint64
+
+	// Telemetry, recorded by the commit leader outside the mutex. The
+	// histograms answer the two questions the mean-based Stats cannot:
+	// what the tail of the fsync cost looks like, and how well group
+	// commit is amortizing it (batch records per fsync).
+	fsyncNS   metrics.Histogram // one observation per fsync, in ns
+	batchRecs metrics.Histogram // records covered by each group commit
+	rotations metrics.Counter   // segments cut by size or checkpoint
 }
 
 func segName(idx uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, idx, segSuffix) }
@@ -349,6 +359,7 @@ func (w *WAL) commitLocked(rotate bool) {
 	batch := w.pending
 	w.pending = nil
 	target := w.appended
+	covered := target - w.synced
 	needRotate := rotate || w.segSize+int64(len(batch)) > w.segMax
 	f := w.f
 	w.mu.Unlock()
@@ -356,7 +367,10 @@ func (w *WAL) commitLocked(rotate bool) {
 	var err error
 	if len(batch) > 0 {
 		if _, err = f.Write(batch); err == nil {
+			begin := time.Now()
 			err = f.Sync()
+			w.fsyncNS.ObserveDuration(time.Since(begin))
+			w.batchRecs.Observe(int64(covered))
 		}
 	}
 
@@ -377,6 +391,8 @@ func (w *WAL) commitLocked(rotate bool) {
 		if needRotate && w.segSize > int64(len(segMagic)) {
 			if rerr := w.createSegment(w.segIdx + 1); rerr != nil {
 				w.err = rerr
+			} else {
+				w.rotations.Inc()
 			}
 		}
 	}
@@ -440,6 +456,39 @@ type Stats struct {
 	Segment  uint64 `json:"segment"`  // current segment index
 	Trimmed  uint64 `json:"trimmed"`  // segments deleted by TrimBefore
 	Broken   bool   `json:"broken"`   // sticky failure present
+}
+
+// RegisterMetrics exposes the log's telemetry under the given registry:
+// fsync latency and group-commit batch-size histograms, plus counters
+// for appended/synced records, fsyncs, rotations and trims, and a 0/1
+// gauge for the sticky-failure state.
+func (w *WAL) RegisterMetrics(reg *metrics.Registry, labels metrics.Labels) {
+	reg.RegisterHistogram("wal_fsync_duration_seconds",
+		"Latency of each WAL fsync (one per group commit).", labels, 1e-9, &w.fsyncNS)
+	reg.RegisterHistogram("wal_commit_batch_records",
+		"Records covered by each group commit (fsync amortization).", labels, 1, &w.batchRecs)
+	reg.RegisterCounter("wal_segment_rotations_total",
+		"Segments cut by size or checkpoint rotation.", labels, &w.rotations)
+	reg.CounterFunc("wal_appended_records_total",
+		"Records staged since the log was opened.", labels,
+		func() float64 { return float64(w.Stats().Appended) })
+	reg.CounterFunc("wal_synced_records_total",
+		"Records durably committed (fsynced).", labels,
+		func() float64 { return float64(w.Stats().Synced) })
+	reg.CounterFunc("wal_fsyncs_total",
+		"Group commits (fsync batches) performed.", labels,
+		func() float64 { return float64(w.Stats().Syncs) })
+	reg.CounterFunc("wal_segments_trimmed_total",
+		"Obsolete segments deleted after checkpoints.", labels,
+		func() float64 { return float64(w.Stats().Trimmed) })
+	reg.GaugeFunc("wal_broken",
+		"1 when the log carries a sticky write/fsync failure, else 0.", labels,
+		func() float64 {
+			if w.Stats().Broken {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Stats summarizes the log.
