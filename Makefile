@@ -4,17 +4,17 @@ GO ?= go
 # online serving path; these run a second time under the race detector.
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
-	./internal/wal ./internal/metrics ./cmd/erserve
+	./internal/wal ./internal/metrics ./internal/serve ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
-CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/online ./cmd/erserve
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/online ./internal/serve ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos scrape bench-tune bench-serve bench-wal bench-obs
+.PHONY: check vet build test race chaos shard scrape bench-tune bench-serve bench-wal bench-obs bench-shard
 
-## check: the full verification gate (vet, build, tests, race tests, chaos)
-check: vet build test race chaos
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard)
+check: vet build test race chaos shard
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,12 @@ bench-serve:
 bench-wal:
 	$(GO) test -run '^$$' -bench 'Benchmark(Serve|Store)Insert' -benchtime 2s -cpu 1,4 ./internal/online
 
+## shard: the sharded-equivalence gate — property tests proving the
+## sharded resolver is byte-identical to a single resolver (including
+## after deletes, compaction and crash recovery), under the race detector
+shard:
+	$(GO) test -race -count 1 -run 'Sharded' ./internal/online ./internal/serve ./cmd/erserve
+
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or
 ## missing series. CI runs this against every change.
@@ -56,3 +62,9 @@ scrape:
 ## observability layer (histograms + pool counters) on the query path
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeQuery(Bare)?$$/' -benchtime 2000x -count 3 ./internal/online
+
+## bench-shard: sharded vs single-shard insert/query throughput across
+## shard counts; the acceptance gate is >= 2x single-shard insert
+## throughput at 8 shards
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkSharded(Insert|Query)' -benchtime 1s ./internal/online

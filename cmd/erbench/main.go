@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -41,6 +41,9 @@ func main() {
 		embedDim = flag.Int("embed-dim", 300, "embedding dimensionality (paper: 300)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		jsonOut  = flag.String("json", "", "also write the report as JSON to this file (report-based experiments only)")
+		shards   = flag.Int("shards", 8, "max shard count for -exp serve (doubled from 1 up to this)")
+		serveN   = flag.Int("serve-entities", 20000, "collection size for -exp serve")
+		serveQ   = flag.Int("serve-queries", 5000, "query count for -exp serve")
 	)
 	flag.Parse()
 
@@ -69,6 +72,13 @@ func main() {
 	}
 	out := os.Stdout
 
+	if *exp == "serve" {
+		if err := serveExperiment(out, *shards, *serveN, *serveQ); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := dispatch(*exp, opts, logw, out, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "erbench:", err)
 		os.Exit(1)

@@ -8,67 +8,59 @@
 //	erserve -bulk a.csv -tune b.csv -truth gt.csv -method knnj   # serve the tuned optimum
 //	erserve -load resolver.snap                                  # resume from a snapshot
 //	erserve -bulk a.csv -wal /var/lib/erserve                    # durable: WAL + checkpoints
+//	erserve -bulk a.csv -wal /var/lib/erserve -shards 8          # sharded: parallel ingest
 //
 // With -wal every mutation is written to a write-ahead log and fsynced
 // before it is acknowledged, so acked writes survive crashes and power
 // loss; on restart the store recovers from the last checkpoint plus the
 // log. Without -wal the index is volatile and only -save persists it.
 //
-// Endpoints (JSON unless noted):
+// With -shards N the collection is hash-partitioned across N
+// independent resolvers — N writer mutexes, N epoch snapshots and, with
+// -wal, N WAL directories (dir/shard-0..N-1) that recover and
+// checkpoint in parallel. Queries scatter to every shard and merge
+// per-shard top-k lists deterministically, so answers are identical to
+// an unsharded resolver; the shard count is pinned in the store
+// directory on first open.
 //
-//	POST   /query         {"attrs":{...}|"text":"...","k":N,"eps":X} → top candidates
-//	POST   /entities      {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
-//	GET    /entities/{id} → stored attributes
-//	DELETE /entities/{id} → tombstone + re-publish
-//	GET    /snapshot      → binary snapshot stream (resumable with -load)
-//	GET    /stats         → resolver + durability + per-endpoint latency summary
-//	GET    /metrics       → Prometheus text exposition (histograms, counters)
-//	GET    /healthz       → process liveness: always ok while serving
-//	GET    /readyz        → write readiness: 503 while draining or degraded
+// The HTTP surface is versioned under /v1 (legacy unversioned paths
+// answer identically plus a Deprecation header); every non-2xx response
+// carries the envelope {"error":{"code":...,"message":...}}:
 //
-// Serving-side protection: write requests pass a bounded admission queue
-// and are shed with 503 + Retry-After when it is full; JSON endpoints run
-// under a per-request deadline (/snapshot, which streams the collection,
-// is exempt); handler panics are recovered, counted and answered with
-// 500. A WAL disk failure flips the store to degraded read-only mode —
-// queries keep serving, writes fail fast, and /readyz reports not ready.
+//	POST   /v1/query         {"attrs":{...}|"text":"...","k":N,"eps":X} → top candidates
+//	POST   /v1/query/batch   {"queries":[{...},...],"k":N} → per-query candidates, one snapshot
+//	POST   /v1/entities      {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
+//	GET    /v1/entities/{id} → stored attributes
+//	DELETE /v1/entities/{id} → tombstone + re-publish
+//	GET    /v1/snapshot      → binary snapshot stream (resumable with -load)
+//	GET    /v1/stats         → resolver + durability + per-endpoint latency summary
+//	GET    /v1/metrics       → Prometheus text exposition (histograms, counters)
+//	GET    /v1/healthz       → process liveness: always ok while serving
+//	GET    /v1/readyz        → write readiness: 503 while draining or degraded
 //
-// Observability: every endpoint records its latency into a log-bucketed
-// histogram *outside* the timeout wrapper, so a request killed by the
-// deadline is recorded with the 503 the client actually saw — not the
-// 200 the inner handler never got to send. /metrics exposes the
-// endpoint histograms plus the resolver's query/publish/compaction
-// telemetry and, in durable mode, the WAL's fsync and group-commit
-// distributions. -pprof additionally mounts net/http/pprof under
-// /debug/pprof/ for live profiling. POST /query accepts "trace":true to
-// return the per-phase timing of that one request.
-//
-// The daemon shuts down gracefully on SIGTERM/SIGINT: /readyz starts
-// failing, in-flight requests drain, the store checkpoints and closes,
-// and, when -save is given, a final snapshot is written atomically.
+// Serving-side protection, instrumentation and graceful shutdown live
+// in internal/serve; this command is flag parsing, state assembly and
+// process lifecycle. The daemon shuts down gracefully on
+// SIGTERM/SIGINT: /v1/readyz starts failing, in-flight requests drain,
+// every shard's store checkpoints and closes, and, when -save is given,
+// a final snapshot is written atomically.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"runtime/debug"
-	"strconv"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
-	"erfilter/internal/metrics"
 	"erfilter/internal/online"
+	"erfilter/internal/serve"
 	"erfilter/internal/text"
 	"erfilter/internal/tuning"
 )
@@ -90,6 +82,7 @@ type options struct {
 	target    float64
 	workers   int
 	save      string
+	shards    int
 
 	walDir          string
 	checkpointEvery int
@@ -119,14 +112,19 @@ func main() {
 	flag.Float64Var(&o.target, "target", tuning.DefaultTarget, "recall target for -tune")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU)")
 	flag.StringVar(&o.save, "save", "", "write a snapshot to this file on graceful shutdown")
+	flag.IntVar(&o.shards, "shards", 1, "hash-partition the resolver across this many independent shards (with -wal, one WAL directory per shard; pinned on first open)")
 	flag.StringVar(&o.walDir, "wal", "", "durable store directory: WAL every mutation, checkpoint, recover on restart")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
 	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
-	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/snapshot is exempt)")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/v1/snapshot is exempt)")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	flag.Parse()
 	if o.workers < 0 {
 		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", o.workers)
+		os.Exit(2)
+	}
+	if o.shards < 1 {
+		fmt.Fprintf(os.Stderr, "erserve: -shards must be >= 1, got %d\n", o.shards)
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -136,24 +134,32 @@ func main() {
 }
 
 func run(o options) error {
-	res, store, err := buildState(o)
+	st, err := buildState(o)
 	if err != nil {
 		return err
 	}
 	mode := "volatile (use -wal for durability)"
-	if store != nil {
+	if st.store != nil {
 		mode = "durable, wal=" + o.walDir
 	}
+	if o.shards > 1 {
+		mode += fmt.Sprintf(", shards=%d", o.shards)
+	}
 	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s [%s]\n",
-		res.Config().Describe(), res.Len(), o.addr, mode)
+		st.res.Config().Describe(), st.res.Len(), o.addr, mode)
 
-	s := newServer(res, store, o.writeQueue)
+	s := serve.NewServer(st.res, st.store, serve.Options{
+		WriteQueue:     o.writeQueue,
+		RequestTimeout: o.requestTimeout,
+		Pprof:          o.pprof,
+	})
 	// Timeouts bound what one slow or stalled client can hold: the write
-	// timeout is generous because /snapshot streams the whole collection,
-	// but Save no longer holds the resolver lock while streaming, so even
-	// a client that hits it only costs its own connection.
+	// timeout is generous because /v1/snapshot streams the whole
+	// collection, but Save no longer holds the resolver lock while
+	// streaming, so even a client that hits it only costs its own
+	// connection.
 	srv := &http.Server{
-		Handler:           s.handler(o.requestTimeout, o.pprof),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       1 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -178,20 +184,20 @@ func run(o options) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "erserve: shutting down")
-	// Fail /readyz first so load balancers stop routing, then drain.
-	s.draining.Store(true)
+	// Fail /v1/readyz first so load balancers stop routing, then drain.
+	s.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	if store != nil {
-		if err := store.Close(); err != nil {
+	if st.closeStore != nil {
+		if err := st.closeStore(); err != nil {
 			return fmt.Errorf("closing store: %w", err)
 		}
 	}
 	if o.save != "" {
-		if err := res.SaveFile(nil, o.save); err != nil {
+		if err := st.saveFile(o.save); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "erserve: snapshot saved to %s\n", o.save)
@@ -199,60 +205,129 @@ func run(o options) error {
 	return nil
 }
 
-// buildState assembles the serving state: a volatile resolver, or, with
-// -wal, a durable store recovered from its directory. The store is the
-// source of truth — a bulk CSV only seeds it when it is empty, and the
-// checkpointed configuration wins over the config flags.
-func buildState(o options) (*online.Resolver, *online.Store, error) {
+// state is the assembled serving backend plus the lifecycle hooks the
+// daemon needs after the HTTP listener drains. The serve package sees
+// only the interfaces; the closures capture the concrete types.
+type state struct {
+	res        serve.Resolver
+	store      serve.Store           // nil in volatile mode
+	closeStore func() error          // nil in volatile mode
+	saveFile   func(p string) error  // atomic shutdown snapshot
+}
+
+// buildState assembles the serving state: a volatile resolver (single
+// or sharded), or, with -wal, a durable store recovered from its
+// directory. The store is the source of truth — a bulk CSV only seeds
+// it when it is empty, and the checkpointed configuration wins over the
+// config flags.
+func buildState(o options) (state, error) {
 	if o.walDir == "" {
-		res, err := buildResolver(o)
-		return res, nil, err
+		return buildVolatile(o)
 	}
 	if o.load != "" {
-		return nil, nil, fmt.Errorf("-wal and -load are mutually exclusive: the store recovers from its own directory (copy a snapshot there as current.snap to restore one)")
+		return state{}, fmt.Errorf("-wal and -load are mutually exclusive: the store recovers from its own directory (copy a snapshot there as current.snap to restore one)")
 	}
 	cfg, ds, err := resolveConfig(o)
 	if err != nil {
-		return nil, nil, err
+		return state{}, err
 	}
-	store, err := online.OpenStore(o.walDir, cfg, online.StoreOptions{CheckpointEvery: o.checkpointEvery})
-	if err != nil {
-		return nil, nil, err
-	}
-	res := store.Resolver()
-	if ds != nil && res.Len() == 0 {
+	opt := online.StoreOptions{CheckpointEvery: o.checkpointEvery}
+	seed := func(insert func([][]entity.Attribute) ([]int64, error), have int) error {
+		if ds == nil || have != 0 {
+			return nil
+		}
 		batch := make([][]entity.Attribute, ds.Len())
 		for i := range ds.Profiles {
 			batch[i] = ds.Profiles[i].Attrs
 		}
-		if _, err := store.InsertBatch(batch); err != nil {
-			store.Close()
-			return nil, nil, fmt.Errorf("bulk seed: %w", err)
-		}
+		_, err := insert(batch)
+		return err
 	}
-	return res, store, nil
+	if o.shards > 1 {
+		ss, err := online.OpenShardedStore(o.walDir, cfg, o.shards, opt)
+		if err != nil {
+			return state{}, err
+		}
+		res := ss.Resolver()
+		if err := seed(ss.InsertBatch, res.Len()); err != nil {
+			ss.Close()
+			return state{}, fmt.Errorf("bulk seed: %w", err)
+		}
+		return state{
+			res: serve.WrapSharded(res), store: serve.WrapShardedStore(ss),
+			closeStore: ss.Close,
+			saveFile:   func(p string) error { return res.SaveFile(nil, p) },
+		}, nil
+	}
+	st, err := online.OpenStore(o.walDir, cfg, opt)
+	if err != nil {
+		return state{}, err
+	}
+	res := st.Resolver()
+	if err := seed(st.InsertBatch, res.Len()); err != nil {
+		st.Close()
+		return state{}, fmt.Errorf("bulk seed: %w", err)
+	}
+	return state{
+		res: serve.WrapResolver(res), store: serve.WrapStore(st),
+		closeStore: st.Close,
+		saveFile:   func(p string) error { return res.SaveFile(nil, p) },
+	}, nil
 }
 
-// buildResolver builds the volatile resolver: resumed from a snapshot
-// file, or built from the config flags and optionally bulk-loaded.
-func buildResolver(o options) (*online.Resolver, error) {
+// buildVolatile builds the in-memory serving state: resumed from a
+// snapshot file, or built from the config flags and optionally
+// bulk-loaded; -shards routes it through the sharded resolver.
+func buildVolatile(o options) (state, error) {
 	if o.load != "" {
 		f, err := os.Open(o.load)
 		if err != nil {
-			return nil, err
+			return state{}, err
 		}
 		defer f.Close()
-		return online.Load(f)
+		if o.shards > 1 {
+			sr, err := online.LoadSharded(f, o.shards)
+			if err != nil {
+				return state{}, err
+			}
+			return shardedVolatile(sr), nil
+		}
+		res, err := online.Load(f)
+		if err != nil {
+			return state{}, err
+		}
+		return singleVolatile(res), nil
 	}
 	cfg, ds, err := resolveConfig(o)
 	if err != nil {
-		return nil, err
+		return state{}, err
+	}
+	if o.shards > 1 {
+		sr := online.NewSharded(cfg, o.shards)
+		if ds != nil {
+			sr.InsertDataset(ds)
+		}
+		return shardedVolatile(sr), nil
 	}
 	res := online.NewResolver(cfg)
 	if ds != nil {
 		res.InsertDataset(ds)
 	}
-	return res, nil
+	return singleVolatile(res), nil
+}
+
+func singleVolatile(res *online.Resolver) state {
+	return state{
+		res:      serve.WrapResolver(res),
+		saveFile: func(p string) error { return res.SaveFile(nil, p) },
+	}
+}
+
+func shardedVolatile(sr *online.ShardedResolver) state {
+	return state{
+		res:      serve.WrapSharded(sr),
+		saveFile: func(p string) error { return sr.SaveFile(nil, p) },
+	}
 }
 
 // resolveConfig turns the config flags into a serving configuration —
@@ -361,486 +436,4 @@ func readCSVFile(path, name string) (*entity.Dataset, error) {
 	}
 	defer f.Close()
 	return entity.ReadCSV(name, f)
-}
-
-// server wires the resolver to the HTTP mux with per-endpoint latency
-// histograms, bounded write admission and panic containment.
-type server struct {
-	res      *online.Resolver
-	store    *online.Store // nil in volatile mode
-	admit    chan struct{} // bounded write-admission tokens
-	start    time.Time
-	reg      *metrics.Registry
-	eps      map[string]*endpointStats
-	panics   *metrics.Counter
-	draining atomic.Bool
-}
-
-// endpointStats are the latency histogram and error counter of one
-// endpoint. Count, mean, max and the p50/p95/p99 all derive from the
-// histogram — there is no separate counter to drift out of sync.
-type endpointStats struct {
-	hist   *metrics.Histogram
-	errors *metrics.Counter
-}
-
-func newServer(res *online.Resolver, store *online.Store, writeQueue int) *server {
-	if writeQueue <= 0 {
-		writeQueue = 64
-	}
-	s := &server{
-		res: res, store: store, admit: make(chan struct{}, writeQueue),
-		start: time.Now(), reg: metrics.NewRegistry(), eps: map[string]*endpointStats{},
-	}
-	s.panics = s.reg.Counter("erserve_panics_total", "Handler panics recovered and answered with 500.", nil)
-	s.reg.GaugeFunc("erserve_uptime_seconds", "Seconds since the daemon started.", nil,
-		func() float64 { return time.Since(s.start).Seconds() })
-	s.reg.GaugeFunc("erserve_write_queue_depth", "Admitted writes currently in flight.", nil,
-		func() float64 { return float64(len(s.admit)) })
-	s.reg.GaugeFunc("erserve_write_queue_capacity", "Write-admission queue capacity.", nil,
-		func() float64 { return float64(cap(s.admit)) })
-	s.reg.GaugeFunc("erserve_draining", "1 while shutting down, else 0.", nil,
-		func() float64 {
-			if s.draining.Load() {
-				return 1
-			}
-			return 0
-		})
-	res.RegisterMetrics(s.reg)
-	if store != nil {
-		store.RegisterMetrics(s.reg)
-	}
-	return s
-}
-
-// statusWriter records the response status for the error counters. It
-// wraps the *outermost* writer of the middleware chain — outside
-// http.TimeoutHandler — so a timed-out request is recorded with the 503
-// the client actually received, never the inner handler's phantom 200.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the wrapped writer so streaming handlers
-// (/snapshot) can push bytes incrementally; a non-flushing underlying
-// writer makes it a no-op instead of a panic.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// Unwrap exposes the underlying writer to http.NewResponseController.
-func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
-
-// instrument is the outermost per-endpoint middleware: it observes the
-// latency and final status of every request into the endpoint's
-// histogram and error counter. It must wrap any timeout middleware, not
-// sit inside it — that ordering is what makes deadline kills visible.
-func (s *server) instrument(name string, h http.Handler) http.HandlerFunc {
-	st := &endpointStats{
-		hist: s.reg.Histogram("erserve_http_request_duration_seconds",
-			"End-to-end request latency as the client saw it.",
-			metrics.Labels{"endpoint": name}, 1e-9),
-		errors: s.reg.Counter("erserve_http_request_errors_total",
-			"Requests answered with status >= 400, timeouts included.",
-			metrics.Labels{"endpoint": name}),
-	}
-	s.eps[name] = st
-	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		begin := time.Now()
-		h.ServeHTTP(sw, r)
-		st.hist.ObserveDuration(time.Since(begin))
-		if sw.status >= 400 {
-			st.errors.Inc()
-		}
-	}
-}
-
-// timeoutJSON bounds a JSON endpoint with http.TimeoutHandler and makes
-// the timeout response JSON: the Content-Type is pre-set on the real
-// writer (the timeout path writes the body straight through, while the
-// success path copies the inner handler's headers over it, so normal
-// responses keep their own type).
-func timeoutJSON(d time.Duration, h http.Handler) http.Handler {
-	if d <= 0 {
-		return h
-	}
-	th := http.TimeoutHandler(h, d, `{"error":"request deadline exceeded"}`)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		th.ServeHTTP(w, r)
-	})
-}
-
-// admitWrite gates mutating endpoints behind the bounded admission
-// queue: when every token is taken the request is shed immediately with
-// 503 + Retry-After instead of queueing unboundedly behind a slow disk.
-func (s *server) admitWrite(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
-			return
-		}
-		select {
-		case s.admit <- struct{}{}:
-			defer func() { <-s.admit }()
-			h(w, r)
-		default:
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, errors.New("write queue full"))
-		}
-	}
-}
-
-// recoverPanics is the outermost middleware: a panicking handler answers
-// 500 and increments a counter instead of killing the connection (or,
-// without net/http's own recovery, the daemon).
-func (s *server) recoverPanics(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			p := recover()
-			if p == nil {
-				return
-			}
-			if p == http.ErrAbortHandler { //nolint:errorlint // sentinel by contract
-				panic(p)
-			}
-			s.panics.Inc()
-			fmt.Fprintf(os.Stderr, "erserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
-			// Best effort: if the handler already wrote headers this is a
-			// no-op and the client sees a truncated response.
-			writeError(w, http.StatusInternalServerError, errors.New("internal error"))
-		}()
-		h.ServeHTTP(w, r)
-	})
-}
-
-// handler assembles the route tree. Each JSON endpoint is wrapped as
-// instrument(timeoutJSON(handler)) — the per-request deadline sits
-// *inside* the instrumentation, so a timed-out request is observed with
-// its real duration and its real 503. /snapshot streams the whole
-// collection and /metrics must stay reachable while handlers wedge, so
-// neither runs under the deadline (the server-level write timeout
-// bounds them instead).
-func (s *server) handler(timeout time.Duration, pprofOn bool) http.Handler {
-	bounded := func(name string, h http.HandlerFunc) http.HandlerFunc {
-		return s.instrument(name, timeoutJSON(timeout, h))
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", bounded("query", s.handleQuery))
-	mux.HandleFunc("POST /entities", bounded("insert", s.admitWrite(s.handleInsert)))
-	mux.HandleFunc("GET /entities/{id}", bounded("get", s.handleGet))
-	mux.HandleFunc("DELETE /entities/{id}", bounded("delete", s.admitWrite(s.handleDelete)))
-	mux.HandleFunc("GET /stats", bounded("stats", s.handleStats))
-	mux.HandleFunc("GET /healthz", bounded("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /readyz", bounded("readyz", s.handleReadyz))
-	mux.HandleFunc("GET /snapshot", s.instrument("snapshot", http.HandlerFunc(s.handleSnapshot)))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
-	if pprofOn {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	return s.recoverPanics(mux)
-}
-
-// handleMetrics serves the Prometheus text exposition of everything the
-// process measures: endpoint latency histograms, resolver telemetry and,
-// in durable mode, the WAL's fsync and group-commit distributions.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.reg.WriteText(w); err != nil {
-		fmt.Fprintln(os.Stderr, "erserve: writing /metrics:", err)
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// writeStoreError maps a durable-write failure: the store has degraded
-// to read-only, which to the client is the service being unavailable for
-// writes.
-func writeStoreError(w http.ResponseWriter, err error) {
-	writeError(w, http.StatusServiceUnavailable, err)
-}
-
-// entityPayload is the attribute form shared by inserts and queries.
-type entityPayload struct {
-	Attrs map[string]string `json:"attrs"`
-	Text  string            `json:"text"`
-}
-
-// attrs converts the payload to a deterministic attribute list. A bare
-// "text" value becomes a single attribute named after the resolver's
-// best attribute, so it works under both schema settings.
-func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
-	if len(p.Attrs) == 0 && p.Text == "" {
-		return nil, errors.New(`payload needs "attrs" or "text"`)
-	}
-	attrs := online.AttrsFromMap(p.Attrs)
-	if p.Text != "" {
-		name := cfg.BestAttribute
-		if name == "" {
-			name = "text"
-		}
-		attrs = append(attrs, entity.Attribute{Name: name, Value: p.Text})
-	}
-	return attrs, nil
-}
-
-// defaultQueryLimit caps the serialized candidate list when the request
-// does not choose its own limit: an EpsJoin query with a permissive eps
-// matches a large fraction of the collection, and without a cap the
-// handler would serialize (and the client download) all of it.
-const defaultQueryLimit = 1000
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		entityPayload
-		K     int     `json:"k"`
-		Eps   float64 `json:"eps"`
-		Limit int     `json:"limit"`
-		Trace bool    `json:"trace"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	if req.Limit < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("limit must be >= 0, got %d", req.Limit))
-		return
-	}
-	attrs, err := req.attrs(s.res.Config())
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	limit := req.Limit
-	if limit == 0 {
-		limit = defaultQueryLimit
-	}
-	snap := s.res.Snapshot()
-	cands, tr := snap.QueryTraced(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
-	truncated := len(cands) > limit
-	if truncated {
-		cands = cands[:limit]
-	}
-	type cand struct {
-		ID    int64   `json:"id"`
-		Score float64 `json:"score"`
-	}
-	type trace struct {
-		Epoch      uint64 `json:"epoch"`
-		EncodeUS   int64  `json:"encode_us"`
-		SearchUS   int64  `json:"search_us"`
-		Candidates int    `json:"candidates"`
-	}
-	out := struct {
-		Epoch      uint64 `json:"epoch"`
-		Entities   int    `json:"entities"`
-		Candidates []cand `json:"candidates"`
-		Truncated  bool   `json:"truncated,omitempty"`
-		Trace      *trace `json:"trace,omitempty"`
-	}{
-		Epoch: snap.Epoch(), Entities: snap.Len(),
-		Candidates: make([]cand, len(cands)), Truncated: truncated,
-	}
-	for i, c := range cands {
-		out.Candidates[i] = cand{ID: c.ID, Score: c.Score}
-	}
-	if req.Trace {
-		out.Trace = &trace{
-			Epoch:      tr.Epoch,
-			EncodeUS:   tr.Encode.Microseconds(),
-			SearchUS:   tr.Search.Microseconds(),
-			Candidates: tr.Candidates,
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		entityPayload
-		Entities []entityPayload `json:"entities"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	cfg := s.res.Config()
-	var batch [][]entity.Attribute
-	add := func(p *entityPayload) error {
-		attrs, err := p.attrs(cfg)
-		if err != nil {
-			return err
-		}
-		batch = append(batch, attrs)
-		return nil
-	}
-	if len(req.Entities) > 0 {
-		for i := range req.Entities {
-			if err := add(&req.Entities[i]); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("entity %d: %w", i, err))
-				return
-			}
-		}
-	} else if err := add(&req.entityPayload); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var ids []int64
-	if s.store != nil {
-		var err error
-		if ids, err = s.store.InsertBatch(batch); err != nil {
-			writeStoreError(w, err)
-			return
-		}
-	} else {
-		ids = s.res.InsertBatch(batch)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "epoch": s.res.Snapshot().Epoch()})
-}
-
-func pathID(r *http.Request) (int64, error) {
-	return strconv.ParseInt(r.PathValue("id"), 10, 64)
-}
-
-func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
-		return
-	}
-	attrs, ok := s.res.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("entity %d not resident", id))
-		return
-	}
-	type attr struct {
-		Name  string `json:"name"`
-		Value string `json:"value"`
-	}
-	out := struct {
-		ID    int64  `json:"id"`
-		Attrs []attr `json:"attrs"`
-	}{ID: id, Attrs: make([]attr, len(attrs))}
-	for i, a := range attrs {
-		out.Attrs[i] = attr{Name: a.Name, Value: a.Value}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
-		return
-	}
-	var ok bool
-	if s.store != nil {
-		if ok, err = s.store.Delete(id); err != nil {
-			writeStoreError(w, err)
-			return
-		}
-	} else {
-		ok = s.res.Delete(id)
-	}
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("entity %d not resident", id))
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "epoch": s.res.Snapshot().Epoch()})
-}
-
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.res.Save(w); err != nil {
-		// Headers are already sent; the truncated stream fails the
-		// client-side checksum, so the replica never loads partial state.
-		fmt.Fprintln(os.Stderr, "erserve: streaming snapshot:", err)
-	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	uptime := time.Since(s.start)
-	type ep struct {
-		Count     int64   `json:"count"`
-		Errors    int64   `json:"errors"`
-		MeanUS    float64 `json:"mean_us"`
-		P50US     float64 `json:"p50_us"`
-		P95US     float64 `json:"p95_us"`
-		P99US     float64 `json:"p99_us"`
-		MaxUS     float64 `json:"max_us"`
-		PerSecond float64 `json:"per_second"`
-	}
-	eps := map[string]ep{}
-	for name, st := range s.eps {
-		snap := st.hist.Snapshot()
-		e := ep{Count: snap.Count, Errors: st.errors.Value(), MaxUS: float64(snap.Max) / 1e3}
-		if snap.Count > 0 {
-			e.MeanUS = snap.Mean() / 1e3
-			e.P50US = float64(snap.Quantile(0.50)) / 1e3
-			e.P95US = float64(snap.Quantile(0.95)) / 1e3
-			e.P99US = float64(snap.Quantile(0.99)) / 1e3
-			e.PerSecond = float64(snap.Count) / uptime.Seconds()
-		}
-		eps[name] = e
-	}
-	out := map[string]any{
-		"resolver":  s.res.Stats(),
-		"endpoints": eps,
-		"uptime_s":  uptime.Seconds(),
-		"panics":    s.panics.Value(),
-		"write_queue": map[string]int{
-			"depth": len(s.admit), "capacity": cap(s.admit),
-		},
-	}
-	if s.store != nil {
-		out["store"] = s.store.Stats()
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// handleHealthz is pure liveness: the process is up and serving.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
-}
-
-// handleReadyz is write readiness: not ready while draining for shutdown
-// or while the store is degraded to read-only after a WAL disk failure.
-// Load balancers should route writes only to ready replicas; reads keep
-// working either way.
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	if s.draining.Load() {
-		http.Error(w, "draining: shutting down", http.StatusServiceUnavailable)
-		return
-	}
-	if s.store != nil {
-		if ok, reason := s.store.Ready(); !ok {
-			http.Error(w, "degraded read-only: "+reason.Error(), http.StatusServiceUnavailable)
-			return
-		}
-	}
-	fmt.Fprintln(w, "ready")
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +15,6 @@ import (
 
 	"erfilter/internal/datagen"
 	"erfilter/internal/entity"
-	"erfilter/internal/faultfs"
 	"erfilter/internal/knn"
 	"erfilter/internal/online"
 	"erfilter/internal/sparse"
@@ -30,365 +28,247 @@ func testServingConfig() online.Config {
 	}
 }
 
-func newTestServer(t *testing.T) (*httptest.Server, *online.Resolver) {
+func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
 	t.Helper()
-	res := online.NewResolver(testServingConfig())
-	ts := httptest.NewServer(newServer(res, nil, 0).handler(10*time.Second, false))
-	t.Cleanup(ts.Close)
-	return ts, res
-}
-
-// newDurableTestServer serves a WAL-backed store on an injectable
-// in-memory file system, the bench for the failure-mode tests.
-func newDurableTestServer(t *testing.T, m *faultfs.Mem, writeQueue int) (*httptest.Server, *online.Store) {
-	t.Helper()
-	store, err := online.OpenStore("walstore", testServingConfig(), online.StoreOptions{FS: m})
-	if err != nil {
-		t.Fatalf("open store: %v", err)
-	}
-	ts := httptest.NewServer(newServer(store.Resolver(), store, writeQueue).handler(10*time.Second, false))
-	t.Cleanup(func() {
-		ts.Close()
-		store.Close()
-	})
-	return ts, store
-}
-
-func doJSON(t *testing.T, method, url string, body any, out any) int {
-	t.Helper()
-	var rd *bytes.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
+	dir := t.TempDir()
+	task := datagen.Generate(datagen.QuickSpec(20, 40, 12, 5))
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rd = bytes.NewReader(b)
-	} else {
-		rd = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
 		}
+		return path
 	}
-	return resp.StatusCode
+	e1 = write("e1.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E1) })
+	e2 = write("e2.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E2) })
+	truth = write("truth.csv", func(f *os.File) error {
+		for _, p := range task.Truth.Pairs() {
+			if _, err := fmt.Fprintf(f, "%d,%d\n", p.Left, p.Right); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return e1, e2, truth
 }
 
-func TestServerEndToEnd(t *testing.T) {
-	ts, _ := newTestServer(t)
-
-	// Insert a batch, then one more entity.
-	var ins struct {
-		IDs   []int64 `json:"ids"`
-		Epoch uint64  `json:"epoch"`
-	}
-	code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
-		"entities": []map[string]any{
-			{"attrs": map[string]string{"name": "canon powershot a540", "price": "199"}},
-			{"attrs": map[string]string{"name": "nikon coolpix p100", "price": "299"}},
-			{"text": "sony cybershot dsc w55"},
-		},
-	}, &ins)
-	if code != http.StatusOK || len(ins.IDs) != 3 {
-		t.Fatalf("batch insert: code=%d ids=%v", code, ins.IDs)
-	}
-	var one struct {
-		IDs []int64 `json:"ids"`
-	}
-	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
-		"attrs": map[string]string{"name": "apple ipod nano"},
-	}, &one); code != http.StatusOK || len(one.IDs) != 1 || one.IDs[0] != 3 {
-		t.Fatalf("single insert: code=%d ids=%v", code, one.IDs)
-	}
-
-	// Query finds the canon entity first.
-	var q struct {
-		Epoch      uint64 `json:"epoch"`
-		Entities   int    `json:"entities"`
-		Candidates []struct {
-			ID    int64   `json:"id"`
-			Score float64 `json:"score"`
-		} `json:"candidates"`
-	}
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"attrs": map[string]string{"name": "canon power shot a540"}, "k": 2,
-	}, &q); code != http.StatusOK {
-		t.Fatalf("query code=%d", code)
-	}
-	if q.Entities != 4 || len(q.Candidates) == 0 || q.Candidates[0].ID != ins.IDs[0] {
-		t.Fatalf("query result: %+v", q)
-	}
-
-	// Get echoes stored attributes.
-	var got struct {
-		ID    int64 `json:"id"`
-		Attrs []struct{ Name, Value string }
-	}
-	if code := doJSON(t, "GET", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, &got); code != http.StatusOK {
-		t.Fatalf("get code=%d", code)
-	}
-	if len(got.Attrs) != 2 || got.Attrs[0].Name != "name" {
-		t.Fatalf("get attrs: %+v", got)
-	}
-
-	// Delete, then the entity is gone from queries and GETs.
-	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusOK {
-		t.Fatalf("delete code=%d", code)
-	}
-	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusNotFound {
-		t.Fatalf("double delete code=%d", code)
-	}
-	if code := doJSON(t, "GET", fmt.Sprintf("%s/entities/%d", ts.URL, ins.IDs[0]), nil, nil); code != http.StatusNotFound {
-		t.Fatalf("get after delete code=%d", code)
-	}
-	q.Candidates = nil
-	doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "canon powershot a540"}, &q)
-	for _, c := range q.Candidates {
-		if c.ID == ins.IDs[0] {
-			t.Fatalf("deleted entity still served: %+v", q)
-		}
-	}
-
-	// Bad requests are 4xx, not 5xx.
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{}, nil); code != http.StatusBadRequest {
-		t.Fatalf("empty query code=%d", code)
-	}
-	if code := doJSON(t, "GET", ts.URL+"/entities/notanumber", nil, nil); code != http.StatusBadRequest {
-		t.Fatalf("bad id code=%d", code)
-	}
-
-	// Healthz and stats.
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %v %v", err, resp)
-	}
-	resp.Body.Close()
-	var stats struct {
-		Resolver  online.Stats `json:"resolver"`
-		Endpoints map[string]struct {
-			Count  int64 `json:"count"`
-			Errors int64 `json:"errors"`
-		} `json:"endpoints"`
-		UptimeS float64 `json:"uptime_s"`
-		Panics  int64   `json:"panics"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/stats", nil, &stats); code != http.StatusOK {
-		t.Fatalf("stats code=%d", code)
-	}
-	if stats.Resolver.Entities != 3 || stats.Resolver.Inserts != 4 || stats.Resolver.Deletes != 1 {
-		t.Fatalf("resolver stats: %+v", stats.Resolver)
-	}
-	if stats.Endpoints["query"].Count < 2 || stats.Endpoints["insert"].Count != 2 {
-		t.Fatalf("endpoint counters: %+v", stats.Endpoints)
-	}
-	if stats.Endpoints["delete"].Errors != 1 {
-		t.Fatalf("delete error counter: %+v", stats.Endpoints)
+// baseOptions are the flag defaults the CLI would apply, for tests that
+// drive buildState directly.
+func baseOptions() options {
+	return options{
+		method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1, shards: 1,
 	}
 }
 
-// TestServerSnapshotStream round-trips the resolver through the
-// GET /snapshot endpoint and checks the loaded replica answers queries
-// identically.
-func TestServerSnapshotStream(t *testing.T) {
-	ts, res := newTestServer(t)
-	for i := 0; i < 20; i++ {
-		res.Insert([]entity.Attribute{{Name: "name", Value: fmt.Sprintf("entity number %d canon", i)}})
-	}
-	res.Delete(4)
+// TestBuildStatePaths covers the volatile startup paths: bulk CSV load,
+// tuned startup, snapshot resume (single and sharded) and flag errors.
+func TestBuildStatePaths(t *testing.T) {
+	e1, e2, truth := writeTaskCSVs(t)
 
-	resp, err := http.Get(ts.URL + "/snapshot")
+	o := baseOptions()
+	o.bulk = e1
+	st, err := buildState(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	replica, err := online.Load(resp.Body)
+	if st.res.Len() != 20 || st.store != nil {
+		t.Fatalf("bulk load: %d entities, store=%v", st.res.Len(), st.store)
+	}
+
+	tunedOpt := baseOptions()
+	tunedOpt.bulk, tunedOpt.tuneCSV, tunedOpt.truthCSV = e1, e2, truth
+	tuned, err := buildState(tunedOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := []entity.Attribute{{Name: "name", Value: "canon entity number 7"}}
-	a := res.Query(q, online.QueryOptions{K: 5})
-	b := replica.Query(q, online.QueryOptions{K: 5})
-	ja, _ := json.Marshal(a)
-	jb, _ := json.Marshal(b)
-	if !bytes.Equal(ja, jb) {
-		t.Fatalf("replica answers differ: %s vs %s", ja, jb)
+	if tuned.res.Len() != 20 {
+		t.Fatalf("tuned load: %d entities", tuned.res.Len())
 	}
-}
-
-// TestHealthzVsReadyz pins the liveness/readiness split: /healthz stays
-// green as long as the process serves, /readyz reflects writability.
-func TestHealthzVsReadyz(t *testing.T) {
-	ts, _ := newTestServer(t)
-	for _, path := range []string{"/healthz", "/readyz"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil || resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s on healthy server: %v %v", path, err, resp)
-		}
-		resp.Body.Close()
+	if !strings.Contains(tuned.res.Config().Describe(), "method=knnj") {
+		t.Fatalf("tuned config: %s", tuned.res.Config().Describe())
 	}
 
-	m := faultfs.NewMem()
-	dts, _ := newDurableTestServer(t, m, 0)
-	m.FailAllSyncs(true)
-	if code := doJSON(t, "POST", dts.URL+"/entities", map[string]any{"text": "doomed"}, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("insert on broken disk: code=%d", code)
+	snapPath := filepath.Join(t.TempDir(), "resolver.snap")
+	if err := st.saveFile(snapPath); err != nil {
+		t.Fatal(err)
 	}
-	resp, err := http.Get(dts.URL + "/readyz")
+	resumed, err := buildState(options{load: snapPath, shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := make([]byte, 256)
-	n, _ := resp.Body.Read(body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body[:n]), "degraded") {
-		t.Fatalf("readyz on degraded store: %d %q", resp.StatusCode, body[:n])
+	if resumed.res.Len() != st.res.Len() {
+		t.Fatalf("resumed %d entities, want %d", resumed.res.Len(), st.res.Len())
 	}
-	resp, err = http.Get(dts.URL + "/healthz")
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz on degraded store must stay ok: %v %v", err, resp)
-	}
-	resp.Body.Close()
-}
-
-// TestDegradedReadOnlyServing: after a WAL disk failure writes fail fast
-// with 503 while queries keep answering from the last good epoch.
-func TestDegradedReadOnlyServing(t *testing.T) {
-	m := faultfs.NewMem()
-	ts, store := newDurableTestServer(t, m, 0)
-	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{
-		"text": "canon powershot a540 camera",
-	}, nil); code != http.StatusOK {
-		t.Fatalf("healthy insert: code=%d", code)
-	}
-	m.FailAllSyncs(true)
-	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "lost"}, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("degraded insert: code=%d", code)
-	}
-	m.FailAllSyncs(false) // disk heals, but the poisoned log stays read-only
-	if code := doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "still rejected"}, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("insert after heal: code=%d", code)
-	}
-	if code := doJSON(t, "DELETE", ts.URL+"/entities/0", nil, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("degraded delete: code=%d", code)
-	}
-	var q struct {
-		Candidates []struct{ ID int64 } `json:"candidates"`
-	}
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "canon a540"}, &q); code != http.StatusOK || len(q.Candidates) == 0 {
-		t.Fatalf("degraded query: code=%d candidates=%v", code, q.Candidates)
-	}
-	var stats struct {
-		Store online.StoreStats `json:"store"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/stats", nil, &stats); code != http.StatusOK || !stats.Store.Degraded {
-		t.Fatalf("stats must report degradation: code=%d %+v", code, stats.Store)
-	}
-	_ = store
-}
-
-// TestOverloadSheds fills the write-admission queue with a write stalled
-// in fsync and checks further writes are shed immediately with 503 +
-// Retry-After while reads keep succeeding.
-func TestOverloadSheds(t *testing.T) {
-	m := faultfs.NewMem()
-	gate := make(chan struct{})
-	var once sync.Once
-	openGate := func() { once.Do(func() { close(gate) }) }
-	defer openGate()
-
-	ts, _ := newDurableTestServer(t, m, 1)
-	// Stall fsyncs only from here on, so store open ran unimpeded.
-	m.BeforeSync = func(string) { <-gate }
-
-	stalled := make(chan int, 1)
-	go func() {
-		stalled <- doJSON(t, "POST", ts.URL+"/entities", map[string]any{"text": "slow disk write"}, nil)
-	}()
-	// Wait until the stalled write holds the only admission token.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		var stats struct {
-			WriteQueue struct{ Depth, Capacity int } `json:"write_queue"`
-		}
-		doJSON(t, "GET", ts.URL+"/stats", nil, &stats)
-		if stats.WriteQueue.Depth == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("stalled write never occupied the admission queue")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-
-	// The queue is full: writes shed with 503 + Retry-After, fast.
-	body, _ := json.Marshal(map[string]any{"text": "shed me"})
-	begin := time.Now()
-	resp, err := http.Post(ts.URL+"/entities", "application/json", bytes.NewReader(body))
+	// The same snapshot loads into a sharded resolver and keeps every
+	// entity; its own snapshot round-trips back.
+	shardedResume, err := buildState(options{load: snapPath, shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("overloaded insert: code=%d", resp.StatusCode)
+	if shardedResume.res.Len() != st.res.Len() {
+		t.Fatalf("sharded resume: %d entities, want %d", shardedResume.res.Len(), st.res.Len())
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("shed response missing Retry-After")
-	}
-	if d := time.Since(begin); d > 2*time.Second {
-		t.Fatalf("shedding took %v, must be immediate", d)
-	}
-	// Reads are not admission-gated and still succeed.
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{"text": "anything"}, nil); code != http.StatusOK {
-		t.Fatalf("query during overload: code=%d", code)
-	}
-	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz during overload: %v %v", err, resp)
-	} else {
-		resp.Body.Close()
+	reSnap := filepath.Join(t.TempDir(), "sharded.snap")
+	if err := shardedResume.saveFile(reSnap); err != nil {
+		t.Fatal(err)
 	}
 
-	// Release the disk: the stalled write completes and was never lost.
-	openGate()
-	if code := <-stalled; code != http.StatusOK {
-		t.Fatalf("stalled write finished with %d", code)
+	// Sharded bulk load from flags.
+	so := baseOptions()
+	so.bulk, so.shards = e1, 3
+	sst, err := buildState(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.res.Len() != 20 {
+		t.Fatalf("sharded bulk load: %d entities", sst.res.Len())
+	}
+
+	bad := baseOptions()
+	bad.bulk, bad.method = e1, "pbw"
+	if _, err := buildState(bad); err == nil {
+		t.Fatal("unservable method must error")
+	}
+	noTruth := baseOptions()
+	noTruth.bulk, noTruth.tuneCSV = e1, e2
+	if _, err := buildState(noTruth); err == nil {
+		t.Fatal("-tune without -truth must error")
 	}
 }
 
-// TestPanicRecovery drives a panicking handler through the middleware:
-// the client gets a 500 and the counter moves; the daemon does not die.
-func TestPanicRecovery(t *testing.T) {
-	s := newServer(online.NewResolver(testServingConfig()), nil, 0)
-	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
-		panic("boom")
-	}))
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("GET", "/anything", nil))
-	if rec.Code != http.StatusInternalServerError {
-		t.Fatalf("panicking handler answered %d", rec.Code)
+// TestBuildStateDurable covers the -wal startup paths: bulk seeding an
+// empty store, recovery taking precedence over the seed on reopen, and
+// the -wal/-load conflict.
+func TestBuildStateDurable(t *testing.T) {
+	e1, _, _ := writeTaskCSVs(t)
+	o := baseOptions()
+	o.bulk = e1
+	o.walDir = filepath.Join(t.TempDir(), "store")
+	o.checkpointEvery = 64
+
+	st, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if s.panics.Value() != 1 {
-		t.Fatalf("panic counter = %d", s.panics.Value())
+	if st.store == nil || st.res.Len() != 20 {
+		t.Fatalf("durable bulk seed: store=%v len=%d", st.store, st.res.Len())
+	}
+	if _, err := st.store.InsertBatch([][]entity.Attribute{{{Name: "name", Value: "extra"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the store recovers 21 entities; the bulk seed must NOT
+	// re-run on a non-empty store.
+	st2, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.closeStore()
+	if st2.res.Len() != 21 {
+		t.Fatalf("recovered %d entities, want 21", st2.res.Len())
+	}
+
+	conflicted := o
+	conflicted.load = "something.snap"
+	if _, err := buildState(conflicted); err == nil {
+		t.Fatal("-wal with -load must error")
+	}
+}
+
+// TestBuildStateShardedDurable covers the sharded -wal paths: seeding,
+// recovery across all shards, and the pinned-shard-count refusal.
+func TestBuildStateShardedDurable(t *testing.T) {
+	e1, _, _ := writeTaskCSVs(t)
+	o := baseOptions()
+	o.bulk = e1
+	o.shards = 3
+	o.walDir = filepath.Join(t.TempDir(), "store")
+	o.checkpointEvery = 64
+
+	st, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.store == nil || st.res.Len() != 20 {
+		t.Fatalf("sharded durable seed: store=%v len=%d", st.store, st.res.Len())
+	}
+	if _, err := st.store.InsertBatch([][]entity.Attribute{
+		{{Name: "name", Value: "extra one"}},
+		{{Name: "name", Value: "extra two"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.res.Len() != 22 {
+		t.Fatalf("sharded recovery: %d entities, want 22", st2.res.Len())
+	}
+	if err := st2.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a different shard count is refused, not silently
+	// re-partitioned.
+	wrong := o
+	wrong.shards = 5
+	if _, err := buildState(wrong); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard-count mismatch must error, got %v", err)
+	}
+}
+
+// TestTunedFlatStartup exercises the dense tuning path end to end.
+func TestTunedFlatStartup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense tuning is slow")
+	}
+	e1, e2, truth := writeTaskCSVs(t)
+	o := baseOptions()
+	o.bulk, o.tuneCSV, o.truthCSV, o.method = e1, e2, truth, "flat"
+	st, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.res.Config().Method != online.FlatKNN {
+		t.Fatalf("config: %s", st.res.Config().Describe())
+	}
+	if st.res.Config().Metric != knn.L2Squared {
+		t.Fatalf("metric: %v", st.res.Config().Metric)
 	}
 }
 
 // TestGracefulShutdownUnderWrites runs the real daemon on a real file
 // system, SIGTERMs it in the middle of a write burst, and proves the
 // contract: every request is acknowledged or rejected, and every
-// acknowledged write is present after restart.
+// acknowledged write is present after restart. The sharded subtest runs
+// the same protocol against a multi-WAL store.
 func TestGracefulShutdownUnderWrites(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testGracefulShutdown(t, shards)
+		})
+	}
+}
+
+func testGracefulShutdown(t *testing.T, shards int) {
 	dir := t.TempDir()
 	o := options{
 		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
-		clean: true, k: 3, threshold: 0.4,
+		clean: true, k: 3, threshold: 0.4, shards: shards,
 		walDir: filepath.Join(dir, "store"), checkpointEvery: 64,
 		writeQueue: 8, requestTimeout: 10 * time.Second,
 	}
@@ -417,7 +297,7 @@ func TestGracefulShutdownUnderWrites(t *testing.T) {
 			for i := 0; i < 400; i++ {
 				txt := fmt.Sprintf("writer %d entity %d canon camera", g, i)
 				body, _ := json.Marshal(map[string]any{"text": txt})
-				resp, err := http.Post(base+"/entities", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(base+"/v1/entities", "application/json", bytes.NewReader(body))
 				if err != nil {
 					return // connection refused/reset: daemon is gone
 				}
@@ -464,14 +344,24 @@ func TestGracefulShutdownUnderWrites(t *testing.T) {
 	}
 
 	// Restart the store: every acknowledged write must be there.
-	store, err := online.OpenStore(o.walDir, testServingConfig(), online.StoreOptions{})
-	if err != nil {
-		t.Fatalf("reopen after shutdown: %v", err)
+	var get func(id int64) ([]entity.Attribute, bool)
+	if shards > 1 {
+		store, err := online.OpenShardedStore(o.walDir, testServingConfig(), shards, online.StoreOptions{})
+		if err != nil {
+			t.Fatalf("reopen after shutdown: %v", err)
+		}
+		defer store.Close()
+		get = store.Resolver().Get
+	} else {
+		store, err := online.OpenStore(o.walDir, testServingConfig(), online.StoreOptions{})
+		if err != nil {
+			t.Fatalf("reopen after shutdown: %v", err)
+		}
+		defer store.Close()
+		get = store.Resolver().Get
 	}
-	defer store.Close()
-	res := store.Resolver()
 	for id, txt := range acked {
-		attrs, ok := res.Get(id)
+		attrs, ok := get(id)
 		if !ok {
 			t.Fatalf("acked entity %d lost across restart", id)
 		}
@@ -479,157 +369,5 @@ func TestGracefulShutdownUnderWrites(t *testing.T) {
 			t.Fatalf("acked entity %d came back as %v, want %q", id, attrs, txt)
 		}
 	}
-	t.Logf("verified %d acked writes across SIGTERM + restart", len(acked))
-}
-
-func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
-	t.Helper()
-	dir := t.TempDir()
-	task := datagen.Generate(datagen.QuickSpec(20, 40, 12, 5))
-	write := func(name string, fn func(f *os.File) error) string {
-		path := filepath.Join(dir, name)
-		f, err := os.Create(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer f.Close()
-		if err := fn(f); err != nil {
-			t.Fatal(err)
-		}
-		return path
-	}
-	e1 = write("e1.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E1) })
-	e2 = write("e2.csv", func(f *os.File) error { return entity.WriteCSV(f, task.E2) })
-	truth = write("truth.csv", func(f *os.File) error {
-		for _, p := range task.Truth.Pairs() {
-			if _, err := fmt.Fprintf(f, "%d,%d\n", p.Left, p.Right); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	return e1, e2, truth
-}
-
-// baseOptions are the flag defaults the CLI would apply, for tests that
-// drive buildResolver directly.
-func baseOptions() options {
-	return options{
-		method: "knnj", schema: "agnostic", model: "C3G",
-		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1,
-	}
-}
-
-// TestBuildResolverPaths covers the startup paths: bulk CSV load, tuned
-// startup, and snapshot resume.
-func TestBuildResolverPaths(t *testing.T) {
-	e1, e2, truth := writeTaskCSVs(t)
-
-	o := baseOptions()
-	o.bulk = e1
-	res, err := buildResolver(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Len() != 20 {
-		t.Fatalf("bulk load: %d entities", res.Len())
-	}
-
-	tunedOpt := baseOptions()
-	tunedOpt.bulk, tunedOpt.tuneCSV, tunedOpt.truthCSV = e1, e2, truth
-	tuned, err := buildResolver(tunedOpt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tuned.Len() != 20 {
-		t.Fatalf("tuned load: %d entities", tuned.Len())
-	}
-	if !strings.Contains(tuned.Config().Describe(), "method=knnj") {
-		t.Fatalf("tuned config: %s", tuned.Config().Describe())
-	}
-
-	snapPath := filepath.Join(t.TempDir(), "resolver.snap")
-	if err := res.SaveFile(nil, snapPath); err != nil {
-		t.Fatal(err)
-	}
-	resumed, err := buildResolver(options{load: snapPath})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resumed.Len() != res.Len() {
-		t.Fatalf("resumed %d entities, want %d", resumed.Len(), res.Len())
-	}
-
-	bad := baseOptions()
-	bad.bulk, bad.method = e1, "pbw"
-	if _, err := buildResolver(bad); err == nil {
-		t.Fatal("unservable method must error")
-	}
-	noTruth := baseOptions()
-	noTruth.bulk, noTruth.tuneCSV = e1, e2
-	if _, err := buildResolver(noTruth); err == nil {
-		t.Fatal("-tune without -truth must error")
-	}
-}
-
-// TestBuildStateDurable covers the -wal startup paths: bulk seeding an
-// empty store, recovery taking precedence over the seed on reopen, and
-// the -wal/-load conflict.
-func TestBuildStateDurable(t *testing.T) {
-	e1, _, _ := writeTaskCSVs(t)
-	o := baseOptions()
-	o.bulk = e1
-	o.walDir = filepath.Join(t.TempDir(), "store")
-	o.checkpointEvery = 64
-
-	res, store, err := buildState(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if store == nil || res.Len() != 20 {
-		t.Fatalf("durable bulk seed: store=%v len=%d", store, res.Len())
-	}
-	if _, err := store.Insert([]entity.Attribute{{Name: "name", Value: "extra"}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := store.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Reopen: the store recovers 21 entities; the bulk seed must NOT
-	// re-run on a non-empty store.
-	res2, store2, err := buildState(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer store2.Close()
-	if res2.Len() != 21 {
-		t.Fatalf("recovered %d entities, want 21", res2.Len())
-	}
-
-	conflicted := o
-	conflicted.load = "something.snap"
-	if _, _, err := buildState(conflicted); err == nil {
-		t.Fatal("-wal with -load must error")
-	}
-}
-
-// TestTunedFlatStartup exercises the dense tuning path end to end.
-func TestTunedFlatStartup(t *testing.T) {
-	if testing.Short() {
-		t.Skip("dense tuning is slow")
-	}
-	e1, e2, truth := writeTaskCSVs(t)
-	o := baseOptions()
-	o.bulk, o.tuneCSV, o.truthCSV, o.method = e1, e2, truth, "flat"
-	res, err := buildResolver(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Config().Method != online.FlatKNN {
-		t.Fatalf("config: %s", res.Config().Describe())
-	}
-	if res.Config().Metric != knn.L2Squared {
-		t.Fatalf("metric: %v", res.Config().Metric)
-	}
+	t.Logf("verified %d acked writes across SIGTERM + restart (shards=%d)", len(acked), shards)
 }

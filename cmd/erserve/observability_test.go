@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,225 +12,14 @@ import (
 	"testing"
 	"time"
 
-	"erfilter/internal/entity"
 	"erfilter/internal/metrics"
-	"erfilter/internal/online"
 )
 
-// TestTimeoutCountedAsError is the regression test for the serving-path
-// blind spot: a handler killed by the per-request deadline used to be
-// recorded as a 200 (the instrumentation sat inside the timeout wrapper
-// and never saw the 503 http.TimeoutHandler wrote), and the timeout body
-// went out as text/html. The middleware is now composed the other way —
-// instrument(timeoutJSON(handler)) — so the observation happens on the
-// outermost writer.
-func TestTimeoutCountedAsError(t *testing.T) {
-	s := newServer(online.NewResolver(testServingConfig()), nil, 0)
-	release := make(chan struct{})
-	defer close(release)
-	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case <-release:
-		case <-r.Context().Done():
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"never": "sent"})
-	})
-	// Compose exactly as handler() does for JSON endpoints.
-	h := s.instrument("slow", timeoutJSON(30*time.Millisecond, slow))
-
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("POST", "/slow", nil))
-
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("timed-out request answered %d, want 503", rec.Code)
-	}
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
-		t.Fatalf("timeout response Content-Type = %q, want application/json", ct)
-	}
-	var body struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
-		t.Fatalf("timeout body is not the JSON error envelope: %q (%v)", rec.Body.String(), err)
-	}
-
-	st := s.eps["slow"]
-	if got := st.errors.Value(); got != 1 {
-		t.Fatalf("timed-out request incremented the error counter by %d, want 1", got)
-	}
-	if got := st.hist.Count(); got != 1 {
-		t.Fatalf("timed-out request recorded %d latency observations, want 1", got)
-	}
-	// The recorded latency is the deadline the client waited out, not the
-	// inner handler's (unfinished) duration.
-	if snap := st.hist.Snapshot(); snap.Max < (30 * time.Millisecond).Nanoseconds() {
-		t.Fatalf("recorded latency %dns is shorter than the 30ms deadline", snap.Max)
-	}
-
-	// A fast request through the same chain keeps its own Content-Type
-	// and does not move the error counter.
-	rec = httptest.NewRecorder()
-	fast := s.instrument("fast", timeoutJSON(time.Second, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})))
-	fast.ServeHTTP(rec, httptest.NewRequest("GET", "/fast", nil))
-	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "text/plain" {
-		t.Fatalf("fast path: code=%d ct=%q", rec.Code, rec.Header().Get("Content-Type"))
-	}
-	if got := s.eps["fast"].errors.Value(); got != 0 {
-		t.Fatalf("fast request moved the error counter to %d", got)
-	}
-}
-
-// TestQueryLimit pins the candidate-list cap: an unbounded match set is
-// truncated to the requested (or default) limit and flagged, instead of
-// serializing every candidate a permissive eps admits.
-func TestQueryLimit(t *testing.T) {
-	ts, res := newTestServer(t)
-	for i := 0; i < 8; i++ {
-		res.Insert([]entity.Attribute{{Name: "name", Value: fmt.Sprintf("canon powershot a%d", i)}})
-	}
-
-	var q struct {
-		Candidates []struct{ ID int64 } `json:"candidates"`
-		Truncated  bool                 `json:"truncated"`
-	}
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"text": "canon powershot", "k": 8, "limit": 3,
-	}, &q); code != http.StatusOK {
-		t.Fatalf("limited query code=%d", code)
-	}
-	if len(q.Candidates) != 3 || !q.Truncated {
-		t.Fatalf("limit=3 returned %d candidates truncated=%v", len(q.Candidates), q.Truncated)
-	}
-
-	// Under the limit: the full candidate list, no truncation flag. (The
-	// kNN search keeps ties at the k-th score, so assert the bound, not
-	// an exact count.)
-	q.Candidates, q.Truncated = nil, false
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"text": "canon powershot", "k": 2, "limit": 100,
-	}, &q); code != http.StatusOK {
-		t.Fatalf("unlimited query code=%d", code)
-	}
-	if len(q.Candidates) == 0 || len(q.Candidates) > 8 || q.Truncated {
-		t.Fatalf("k=2 limit=100 returned %d candidates truncated=%v", len(q.Candidates), q.Truncated)
-	}
-
-	// A negative limit is a client error.
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"text": "canon", "limit": -1,
-	}, nil); code != http.StatusBadRequest {
-		t.Fatalf("negative limit code=%d", code)
-	}
-}
-
-// TestQueryTrace checks "trace":true returns the per-phase breakdown of
-// that one request without disturbing the normal response shape.
-func TestQueryTrace(t *testing.T) {
-	ts, res := newTestServer(t)
-	res.Insert([]entity.Attribute{{Name: "name", Value: "canon powershot a540"}})
-
-	var q struct {
-		Candidates []struct{ ID int64 } `json:"candidates"`
-		Trace      *struct {
-			Epoch      uint64 `json:"epoch"`
-			EncodeUS   int64  `json:"encode_us"`
-			SearchUS   int64  `json:"search_us"`
-			Candidates int    `json:"candidates"`
-		} `json:"trace"`
-	}
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"text": "canon powershot", "trace": true,
-	}, &q); code != http.StatusOK {
-		t.Fatalf("traced query code=%d", code)
-	}
-	if q.Trace == nil {
-		t.Fatal("trace requested but absent from the response")
-	}
-	if q.Trace.Candidates < len(q.Candidates) || q.Trace.EncodeUS < 0 || q.Trace.SearchUS < 0 {
-		t.Fatalf("implausible trace: %+v", *q.Trace)
-	}
-
-	q.Trace = nil
-	if code := doJSON(t, "POST", ts.URL+"/query", map[string]any{
-		"text": "canon powershot",
-	}, &q); code != http.StatusOK || q.Trace != nil {
-		t.Fatalf("untraced query: code=%d trace=%+v", code, q.Trace)
-	}
-}
-
-// TestStatusWriterFlusher pins that the instrumentation wrapper does not
-// hide http.Flusher from streaming handlers (/snapshot flushes while
-// writing the collection).
-func TestStatusWriterFlusher(t *testing.T) {
-	var _ http.Flusher = (*statusWriter)(nil) // interface is satisfied
-
-	rec := httptest.NewRecorder()
-	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
-	f, ok := any(sw).(http.Flusher)
-	if !ok {
-		t.Fatal("statusWriter does not satisfy http.Flusher")
-	}
-	f.Flush()
-	if !rec.Flushed {
-		t.Fatal("Flush did not reach the underlying writer")
-	}
-
-	// A non-flushing underlying writer must not panic.
-	sw = &statusWriter{ResponseWriter: nopWriter{httptest.NewRecorder()}, status: http.StatusOK}
-	sw.Flush()
-}
-
-// nopWriter hides every optional interface of the wrapped writer.
-type nopWriter struct{ w http.ResponseWriter }
-
-func (n nopWriter) Header() http.Header         { return n.w.Header() }
-func (n nopWriter) Write(b []byte) (int, error) { return n.w.Write(b) }
-func (n nopWriter) WriteHeader(code int)        { n.w.WriteHeader(code) }
-
-// TestPprofGating: the profiling endpoints exist only behind -pprof.
-func TestPprofGating(t *testing.T) {
-	s := newServer(online.NewResolver(testServingConfig()), nil, 0)
-	off := httptest.NewServer(s.handler(time.Second, false))
-	defer off.Close()
-	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("pprof reachable without -pprof: %d", resp.StatusCode)
-	}
-
-	s2 := newServer(online.NewResolver(testServingConfig()), nil, 0)
-	on := httptest.NewServer(s2.handler(time.Second, true))
-	defer on.Close()
-	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("pprof not served with -pprof: %d", resp.StatusCode)
-	}
-}
-
-// TestMetricsScrapeEndToEnd runs the real daemon (durable mode), drives
-// traffic through it, scrapes GET /metrics and validates the exposition
-// parses and carries the series the dashboards depend on: endpoint
-// latency histograms, WAL fsync/group-commit distributions and the
-// resolver's epoch counters. CI runs exactly this test against every
-// change as the /metrics contract gate.
-func TestMetricsScrapeEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	o := options{
-		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
-		clean: true, k: 3, threshold: 0.4,
-		walDir: filepath.Join(dir, "store"), checkpointEvery: 64,
-		writeQueue: 8, requestTimeout: 10 * time.Second,
-	}
+// scrapeDaemon boots the real daemon with o, drives traffic through fn,
+// scrapes /v1/metrics and returns the parsed samples. The daemon is torn
+// down with a SIGTERM before returning.
+func scrapeDaemon(t *testing.T, o options, traffic func(base string)) []metrics.Sample {
+	t.Helper()
 	addrc := make(chan string, 1)
 	o.ready = func(a string) { addrc <- a }
 	done := make(chan error, 1)
@@ -255,35 +43,15 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 		}
 	}()
 
-	// Traffic: inserts (WAL fsyncs, epoch publishes), queries (latency
-	// histograms), one guaranteed error (a 404 GET).
-	for i := 0; i < 5; i++ {
-		body, _ := json.Marshal(map[string]any{"text": fmt.Sprintf("canon powershot a%d", i)})
-		resp, err := http.Post(base+"/entities", "application/json", bytes.NewReader(body))
-		if err != nil || resp.StatusCode != http.StatusOK {
-			t.Fatalf("insert %d: %v %v", i, err, resp)
-		}
-		resp.Body.Close()
-	}
-	body, _ := json.Marshal(map[string]any{"text": "canon powershot"})
-	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("query: %v %v", err, resp)
-	}
-	resp.Body.Close()
-	if resp, err = http.Get(base + "/entities/999999"); err != nil || resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("missing get: %v %v", err, resp)
-	}
-	resp.Body.Close()
+	traffic(base)
 
-	// Scrape and validate.
-	resp, err = http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+		t.Fatalf("GET /v1/metrics: %d", resp.StatusCode)
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("exposition Content-Type = %q", ct)
@@ -292,28 +60,67 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("exposition does not parse: %v", err)
 	}
+	return samples
+}
 
-	mustHave := func(name string, labels map[string]string, min float64) {
-		t.Helper()
-		v, ok := metrics.Find(samples, name, labels)
-		if !ok {
-			t.Fatalf("scrape is missing %s%v", name, labels)
-		}
-		if v < min {
-			t.Fatalf("%s%v = %v, want >= %v", name, labels, v, min)
-		}
+func mustHave(t *testing.T, samples []metrics.Sample, name string, labels map[string]string, min float64) {
+	t.Helper()
+	v, ok := metrics.Find(samples, name, labels)
+	if !ok {
+		t.Fatalf("scrape is missing %s%v", name, labels)
 	}
-	mustHave("erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "insert"}, 5)
-	mustHave("erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "query"}, 1)
-	mustHave("erserve_http_request_errors_total", map[string]string{"endpoint": "get"}, 1)
-	mustHave("wal_fsync_duration_seconds_count", nil, 1)
-	mustHave("wal_commit_batch_records_count", nil, 1)
-	mustHave("wal_appended_records_total", nil, 5)
-	mustHave("online_epoch_publishes_total", nil, 1)
-	mustHave("online_query_duration_seconds_count", map[string]string{"method": "knnj"}, 1)
-	mustHave("online_entities", nil, 5)
-	mustHave("store_degraded", nil, 0)
-	mustHave("erserve_uptime_seconds", nil, 0)
+	if v < min {
+		t.Fatalf("%s%v = %v, want >= %v", name, labels, v, min)
+	}
+}
+
+// TestMetricsScrapeEndToEnd runs the real daemon (durable mode), drives
+// traffic through it, scrapes GET /v1/metrics and validates the
+// exposition parses and carries the series the dashboards depend on:
+// endpoint latency histograms, WAL fsync/group-commit distributions and
+// the resolver's epoch counters. CI runs exactly this test against every
+// change as the /metrics contract gate.
+func TestMetricsScrapeEndToEnd(t *testing.T) {
+	o := options{
+		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4, shards: 1,
+		walDir: filepath.Join(t.TempDir(), "store"), checkpointEvery: 64,
+		writeQueue: 8, requestTimeout: 10 * time.Second,
+	}
+	samples := scrapeDaemon(t, o, func(base string) {
+		// Traffic: inserts (WAL fsyncs, epoch publishes), queries (latency
+		// histograms), one guaranteed error (a 404 GET).
+		for i := 0; i < 5; i++ {
+			body, _ := json.Marshal(map[string]any{"text": fmt.Sprintf("canon powershot a%d", i)})
+			resp, err := http.Post(base+"/v1/entities", "application/json", bytes.NewReader(body))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("insert %d: %v %v", i, err, resp)
+			}
+			resp.Body.Close()
+		}
+		body, _ := json.Marshal(map[string]any{"text": "canon powershot"})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body)) // legacy alias still scrapes into the same series
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %v %v", err, resp)
+		}
+		resp.Body.Close()
+		if resp, err = http.Get(base + "/v1/entities/999999"); err != nil || resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing get: %v %v", err, resp)
+		}
+		resp.Body.Close()
+	})
+
+	mustHave(t, samples, "erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "insert"}, 5)
+	mustHave(t, samples, "erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "query"}, 1)
+	mustHave(t, samples, "erserve_http_request_errors_total", map[string]string{"endpoint": "get"}, 1)
+	mustHave(t, samples, "wal_fsync_duration_seconds_count", nil, 1)
+	mustHave(t, samples, "wal_commit_batch_records_count", nil, 1)
+	mustHave(t, samples, "wal_appended_records_total", nil, 5)
+	mustHave(t, samples, "online_epoch_publishes_total", nil, 1)
+	mustHave(t, samples, "online_query_duration_seconds_count", map[string]string{"method": "knnj"}, 1)
+	mustHave(t, samples, "online_entities", nil, 5)
+	mustHave(t, samples, "store_degraded", nil, 0)
+	mustHave(t, samples, "erserve_uptime_seconds", nil, 0)
 
 	// The insert latency histogram has a usable shape: sum > 0 and at
 	// least one finite bucket below +Inf.
@@ -321,4 +128,50 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 	if !ok || sum <= 0 {
 		t.Fatalf("insert latency sum = %v ok=%v", sum, ok)
 	}
+}
+
+// TestMetricsScrapeEndToEndSharded is the sharded-mode /metrics
+// contract: per-shard entity gauges and query histograms, shard-labeled
+// WAL series, the gather-merge histogram and the size-skew gauge all
+// appear in one exposition.
+func TestMetricsScrapeEndToEndSharded(t *testing.T) {
+	o := options{
+		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4, shards: 2,
+		walDir: filepath.Join(t.TempDir(), "store"), checkpointEvery: 64,
+		writeQueue: 8, requestTimeout: 10 * time.Second,
+	}
+	samples := scrapeDaemon(t, o, func(base string) {
+		ents := make([]map[string]any, 16)
+		for i := range ents {
+			ents[i] = map[string]any{"text": fmt.Sprintf("canon powershot a%d", i)}
+		}
+		body, _ := json.Marshal(map[string]any{"entities": ents})
+		resp, err := http.Post(base+"/v1/entities", "application/json", bytes.NewReader(body))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert: %v %v", err, resp)
+		}
+		resp.Body.Close()
+		qs, _ := json.Marshal(map[string]any{"queries": []map[string]any{
+			{"text": "canon powershot a3"}, {"text": "canon powershot a7"},
+		}})
+		if resp, err = http.Post(base+"/v1/query/batch", "application/json", bytes.NewReader(qs)); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch query: %v %v", err, resp)
+		}
+		resp.Body.Close()
+	})
+
+	mustHave(t, samples, "online_shards", nil, 2)
+	mustHave(t, samples, "online_entities", nil, 16)
+	mustHave(t, samples, "online_shard_size_skew", nil, 1)
+	mustHave(t, samples, "online_shard_entities", map[string]string{"shard": "0"}, 1)
+	mustHave(t, samples, "online_shard_entities", map[string]string{"shard": "1"}, 1)
+	mustHave(t, samples, "online_shard_query_duration_seconds_count", map[string]string{"shard": "0"}, 1)
+	mustHave(t, samples, "online_gather_merge_duration_seconds_count", nil, 1)
+	mustHave(t, samples, "wal_fsync_duration_seconds_count", map[string]string{"shard": "0"}, 1)
+	mustHave(t, samples, "wal_fsync_duration_seconds_count", map[string]string{"shard": "1"}, 1)
+	mustHave(t, samples, "store_checkpoint_duration_seconds_count", map[string]string{"shard": "0"}, 0)
+	mustHave(t, samples, "store_checkpoints_total", nil, 0)
+	mustHave(t, samples, "store_degraded", nil, 0)
+	mustHave(t, samples, "erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "query_batch"}, 1)
 }

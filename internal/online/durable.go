@@ -136,9 +136,14 @@ func loadOrCreate(fsys faultfs.FS, snapPath string, cfg Config) (*Resolver, erro
 }
 
 // replayRecord applies one WAL record during recovery. Callers hold
-// res.mu. Inserts below nextID are records a checkpoint already
-// absorbed (the crash-between-rename-and-trim window) and are skipped;
-// deletes of non-resident ids are no-ops for the same reason.
+// res.mu. Inserts of already-resident ids are records a checkpoint
+// already absorbed (the crash-between-rename-and-trim window) and are
+// skipped; deletes of non-resident ids are no-ops for the same reason.
+// Residency — not an id watermark — is the skip test because a sharded
+// store assigns globally monotonic ids that land in each shard's WAL
+// out of order. An absorbed insert whose entity was later deleted
+// replays as re-add followed by its own delete record (WAL order equals
+// application order), which nets out correctly.
 func replayRecord(res *Resolver, rec wal.Record) error {
 	switch rec.Type {
 	case walInsert:
@@ -146,11 +151,13 @@ func replayRecord(res *Resolver, rec wal.Record) error {
 		if err != nil {
 			return err
 		}
-		if id < res.nextID {
+		if _, ok := res.attrs[id]; ok {
 			return nil
 		}
 		res.addLocked(id, attrs)
-		res.nextID = id + 1
+		if id >= res.nextID {
+			res.nextID = id + 1
+		}
 	case walDelete:
 		id, err := decodeDelete(rec.Data)
 		if err != nil {
@@ -219,6 +226,22 @@ func (s *Store) Insert(attrs []entity.Attribute) (int64, error) {
 // InsertBatch durably adds many entities under one epoch publish and —
 // thanks to WAL group commit — typically one fsync.
 func (s *Store) InsertBatch(batch [][]entity.Attribute) ([]int64, error) {
+	return s.insertBatch(nil, batch)
+}
+
+// InsertAssigned durably inserts the batch under caller-assigned ids —
+// the sharded-store ingest path, where a global counter allocates ids
+// across shards. Callers guarantee the ids are unused; they need not
+// arrive in ascending order (replay handles out-of-order ids).
+func (s *Store) InsertAssigned(ids []int64, batch [][]entity.Attribute) error {
+	if len(ids) != len(batch) {
+		return fmt.Errorf("online: %d assigned ids for %d entities", len(ids), len(batch))
+	}
+	_, err := s.insertBatch(ids, batch)
+	return err
+}
+
+func (s *Store) insertBatch(assigned []int64, batch [][]entity.Attribute) ([]int64, error) {
 	if err := s.writeable(); err != nil {
 		return nil, err
 	}
@@ -230,11 +253,16 @@ func (s *Store) InsertBatch(batch [][]entity.Attribute) ([]int64, error) {
 	var werr error
 	for i, attrs := range batch {
 		id := r.nextID
+		if assigned != nil {
+			id = assigned[i]
+		}
 		copied := append([]entity.Attribute(nil), attrs...)
 		if seq, werr = s.log.AppendBuffered(walInsert, encodeInsert(id, copied)); werr != nil {
 			break
 		}
-		r.nextID++
+		if id >= r.nextID {
+			r.nextID = id + 1
+		}
 		r.addLocked(id, copied)
 		ids[i] = id
 	}

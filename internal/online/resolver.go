@@ -168,6 +168,22 @@ func (r *Resolver) InsertDataset(d *entity.Dataset) []int64 {
 	return r.InsertBatch(batch)
 }
 
+// InsertAssigned adds entities under caller-assigned ids in one epoch
+// publish — the sharded ingest path, where a global counter allocates
+// ids and routes each entity to exactly one shard. Callers guarantee
+// the ids are unused; they need not arrive in ascending order.
+func (r *Resolver) InsertAssigned(ids []int64, batch [][]entity.Attribute) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, attrs := range batch {
+		r.addLocked(ids[i], append([]entity.Attribute(nil), attrs...))
+		if ids[i] >= r.nextID {
+			r.nextID = ids[i] + 1
+		}
+	}
+	r.publishLocked()
+}
+
 func (r *Resolver) insertLocked(attrs []entity.Attribute) int64 {
 	id := r.nextID
 	r.nextID++
@@ -380,15 +396,72 @@ func (s *Snapshot) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 // QueryTraced answers exactly like Query and additionally returns the
 // per-phase timing breakdown of this one request.
 func (s *Snapshot) QueryTraced(attrs []entity.Attribute, opt QueryOptions) ([]Candidate, Trace) {
+	res := s.acquire()
+	defer s.release(res)
+	return s.queryOne(attrs, opt, res)
+}
+
+// QueryBatch answers many queries against the same snapshot with one
+// scratch/embedder pool checkout, amortizing the pool round-trip across
+// a request's worth of queries. Results are identical to len(batch)
+// individual Query calls. The returned Trace aggregates the batch:
+// encode/search durations and candidate counts are summed.
+func (s *Snapshot) QueryBatch(batch [][]entity.Attribute, opt QueryOptions) ([][]Candidate, Trace) {
+	agg := Trace{Epoch: s.epoch, Entities: s.count}
+	if len(batch) == 0 {
+		return nil, agg
+	}
+	res := s.acquire()
+	defer s.release(res)
+	out := make([][]Candidate, len(batch))
+	for i, attrs := range batch {
+		var tr Trace
+		out[i], tr = s.queryOne(attrs, opt, res)
+		agg.Encode += tr.Encode
+		agg.Search += tr.Search
+		agg.Candidates += tr.Candidates
+	}
+	return out, agg
+}
+
+// queryRes is the pooled per-query state — sparse scratch space or a
+// dense embedder, depending on the method — checked out once per query,
+// or once per batch so QueryBatch pays the pool traffic a single time.
+type queryRes struct {
+	sc  *sparse.Scratch
+	emb *vector.Embedder
+}
+
+func (s *Snapshot) acquire() queryRes {
+	if s.cfg.Method == FlatKNN {
+		// Pooled embedders keep their word-vector caches across queries,
+		// mirroring the writer-side r.emb; embedding is deterministic, so
+		// which pool member serves a query never changes the result.
+		s.tel.embedGets.Inc()
+		return queryRes{emb: s.embed.Get().(*vector.Embedder)}
+	}
+	s.tel.scratchGets.Inc()
+	return queryRes{sc: s.scratch.Get().(*sparse.Scratch)}
+}
+
+func (s *Snapshot) release(res queryRes) {
+	if res.emb != nil {
+		s.embed.Put(res.emb)
+	} else {
+		s.scratch.Put(res.sc)
+	}
+}
+
+func (s *Snapshot) queryOne(attrs []entity.Attribute, opt QueryOptions, res queryRes) ([]Candidate, Trace) {
 	s.queries.Add(1)
 	tr := Trace{Epoch: s.epoch, Entities: s.count}
-	out := s.query(attrs, opt, &tr)
+	out := s.query(attrs, opt, &tr, res)
 	tr.Candidates = len(out)
 	s.tel.queryNS.Observe(tr.Encode.Nanoseconds() + tr.Search.Nanoseconds())
 	return out, tr
 }
 
-func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace) []Candidate {
+func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace, res queryRes) []Candidate {
 	begin := time.Now()
 	txt := s.cfg.textOf(attrs)
 	k := s.cfg.K
@@ -397,19 +470,13 @@ func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace) 
 	}
 	switch s.cfg.Method {
 	case FlatKNN:
-		// Pooled embedders keep their word-vector caches across queries,
-		// mirroring the writer-side r.emb; embedding is deterministic, so
-		// which pool member serves a query never changes the result.
-		s.tel.embedGets.Inc()
-		e := s.embed.Get().(*vector.Embedder)
-		q := e.Text(txt)
-		s.embed.Put(e)
+		q := res.emb.Text(txt)
 		tr.Encode = time.Since(begin)
 		begin = time.Now()
-		res := s.kn.Search(q, k)
+		hits := s.kn.Search(q, k)
 		tr.Search = time.Since(begin)
-		out := make([]Candidate, len(res))
-		for i, h := range res {
+		out := make([]Candidate, len(hits))
+		for i, h := range hits {
 			out[i] = Candidate{ID: h.ID, Score: -h.Score}
 		}
 		return out
@@ -418,24 +485,21 @@ func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace) 
 		if opt.Threshold > 0 {
 			eps = opt.Threshold
 		}
-		return s.sparseQuery(txt, begin, tr, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+		return s.sparseQuery(txt, begin, tr, res.sc, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
 			return s.sp.RangeQuery(q, s.cfg.Measure, eps, sc)
 		})
 	default: // KNNJoin
-		return s.sparseQuery(txt, begin, tr, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+		return s.sparseQuery(txt, begin, tr, res.sc, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
 			return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
 		})
 	}
 }
 
-func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
+func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, sc *sparse.Scratch, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
 	q := encodeFrozen(s.dict, s.cfg.Model.Tokens(txt))
 	tr.Encode = time.Since(begin)
 	begin = time.Now()
-	s.tel.scratchGets.Inc()
-	sc := s.scratch.Get().(*sparse.Scratch)
 	ns := run(q, sc)
-	s.scratch.Put(sc)
 	tr.Search = time.Since(begin)
 	out := make([]Candidate, len(ns))
 	for i, n := range ns {

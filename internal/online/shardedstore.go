@@ -1,0 +1,250 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/faultfs"
+	"erfilter/internal/metrics"
+	"erfilter/internal/parallel"
+)
+
+// shardMetaName records the shard count a sharded store directory was
+// created with. Reopening with a different -shards is refused: shard
+// routing is a pure function of (id, shard count), so changing the
+// count would strand entities in WALs their shard no longer owns.
+// Re-sharding is a bulk operation — save a snapshot, load it into a
+// fresh directory at the new count — not a flag flip.
+const shardMetaName = "SHARDS"
+
+// ShardedStore is the durable sharded resolver: one independent Store
+// (its own WAL directory, its own checkpoints, its own degraded state)
+// per shard under dir/shard-<i>, glued together by the same global id
+// allocator and scatter-gather machinery as ShardedResolver. Recovery
+// replays every shard's WAL in parallel; SIGTERM-path Close checkpoints
+// all shards. A WAL failure degrades its own shard — and therefore the
+// whole store's write path — to read-only, while queries keep serving.
+type ShardedStore struct {
+	res    *ShardedResolver
+	stores []*Store
+}
+
+// OpenShardedStore opens (or initializes) the sharded durable resolver
+// in dir. The shard count is pinned by a meta file on first open;
+// subsequent opens must pass the same count. Each shard recovers
+// independently — snapshot load plus WAL replay run on one goroutine
+// per shard, so recovery time is bounded by the largest shard.
+func OpenShardedStore(dir string, cfg Config, shards int, opt StoreOptions) (*ShardedStore, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if opt.FS == nil {
+		opt.FS = faultfs.OS{}
+	}
+	if err := opt.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("online: creating sharded store dir: %w", err)
+	}
+	n, err := loadOrInitShardMeta(opt.FS, dir, shards)
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*Store, n)
+	err = parallel.ForEach(n, n, func(i int) error {
+		st, err := OpenStore(filepath.Join(dir, "shard-"+strconv.Itoa(i)), cfg, opt)
+		if err != nil {
+			return fmt.Errorf("online: opening shard %d: %w", i, err)
+		}
+		stores[i] = st
+		return nil
+	})
+	if err != nil {
+		for _, st := range stores {
+			if st != nil {
+				_ = st.Close()
+			}
+		}
+		return nil, err
+	}
+	resolvers := make([]*Resolver, n)
+	for i, st := range stores {
+		resolvers[i] = st.Resolver()
+	}
+	return &ShardedStore{res: newShardedOver(resolvers[0].Config(), resolvers), stores: stores}, nil
+}
+
+// loadOrInitShardMeta reads the pinned shard count, or atomically writes
+// it on the first open of the directory.
+func loadOrInitShardMeta(fsys faultfs.FS, dir string, shards int) (int, error) {
+	path := filepath.Join(dir, shardMetaName)
+	f, err := faultfs.Open(fsys, path)
+	if err == nil {
+		defer f.Close()
+		raw, rerr := io.ReadAll(f)
+		if rerr != nil {
+			return 0, fmt.Errorf("online: reading shard meta: %w", rerr)
+		}
+		v, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil || v < 1 {
+			return 0, fmt.Errorf("online: damaged shard meta %s: %q", path, raw)
+		}
+		if v != shards {
+			return 0, fmt.Errorf("online: store at %s was created with %d shards, not %d (re-shard by loading a snapshot into a fresh directory)", dir, v, shards)
+		}
+		return v, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("online: opening shard meta: %w", err)
+	}
+	err = writeFileAtomic(fsys, dir, shardMetaName+".tmp", shardMetaName, func(w io.Writer) error {
+		_, werr := fmt.Fprintf(w, "%d\n", shards)
+		return werr
+	})
+	if err != nil {
+		return 0, fmt.Errorf("online: writing shard meta: %w", err)
+	}
+	return shards, nil
+}
+
+// Resolver returns the sharded resolver for the read paths (Query,
+// Get, Snapshot, Stats, Save). All mutations must go through the store.
+func (s *ShardedStore) Resolver() *ShardedResolver { return s.res }
+
+// Shards returns the shard count.
+func (s *ShardedStore) Shards() int { return len(s.stores) }
+
+// Ready reports whether every shard accepts writes; the first degraded
+// shard's failure is returned.
+func (s *ShardedStore) Ready() (bool, error) {
+	for _, st := range s.stores {
+		if ok, err := st.Ready(); !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Insert durably adds one entity to its shard; see Store.Insert.
+func (s *ShardedStore) Insert(attrs []entity.Attribute) (int64, error) {
+	ids, err := s.InsertBatch([][]entity.Attribute{attrs})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// InsertBatch assigns globally monotonic ids, routes each entity to its
+// shard and commits the per-shard sub-batches in parallel — one WAL
+// append stream plus one group-committed fsync per touched shard. On
+// error the batch may be partially durable: sub-batches acknowledged by
+// healthy shards stay committed (ids are never reused and replay is
+// idempotent), and the first failing shard's error is returned.
+func (s *ShardedStore) InsertBatch(batch [][]entity.Attribute) ([]int64, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	n := len(s.stores)
+	base := s.res.nextID.Add(int64(len(batch))) - int64(len(batch))
+	ids := make([]int64, len(batch))
+	groupIDs := make([][]int64, n)
+	groups := make([][][]entity.Attribute, n)
+	for i := range batch {
+		id := base + int64(i)
+		ids[i] = id
+		sh := shardOf(id, n)
+		groupIDs[sh] = append(groupIDs[sh], id)
+		groups[sh] = append(groups[sh], batch[i])
+	}
+	err := parallel.ForEach(n, n, func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return s.stores[i].InsertAssigned(groupIDs[i], groups[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Delete durably tombstones an entity on its shard; see Store.Delete.
+func (s *ShardedStore) Delete(id int64) (bool, error) {
+	return s.stores[shardOf(id, len(s.stores))].Delete(id)
+}
+
+// Checkpoint checkpoints every shard in parallel. Every shard is
+// attempted regardless of other shards' failures; the first error (by
+// shard index) is returned.
+func (s *ShardedStore) Checkpoint() error {
+	errs := make([]error, len(s.stores))
+	_ = parallel.ForEach(len(s.stores), len(s.stores), func(i int) error {
+		errs[i] = s.stores[i].Checkpoint()
+		return nil
+	})
+	return errors.Join(errs...)
+}
+
+// Close checkpoints healthy shards and closes every WAL. The store must
+// not be used afterwards.
+func (s *ShardedStore) Close() error {
+	errs := make([]error, len(s.stores))
+	_ = parallel.ForEach(len(s.stores), len(s.stores), func(i int) error {
+		errs[i] = s.stores[i].Close()
+		return nil
+	})
+	return errors.Join(errs...)
+}
+
+// ShardedStoreStats aggregates the durability layer across shards for
+// the /stats endpoint.
+type ShardedStoreStats struct {
+	Shards      int          `json:"shards"`
+	Checkpoints uint64       `json:"checkpoints"`
+	Degraded    bool         `json:"degraded"`
+	Reason      string       `json:"reason,omitempty"`
+	PerShard    []StoreStats `json:"per_shard"`
+}
+
+// Stats summarizes the sharded durability layer.
+func (s *ShardedStore) Stats() ShardedStoreStats {
+	st := ShardedStoreStats{Shards: len(s.stores)}
+	for _, sh := range s.stores {
+		ss := sh.Stats()
+		st.PerShard = append(st.PerShard, ss)
+		st.Checkpoints += ss.Checkpoints
+		if ss.Degraded && !st.Degraded {
+			st.Degraded = true
+			st.Reason = ss.Reason
+		}
+	}
+	return st
+}
+
+// RegisterMetrics exposes the durability layer of every shard under a
+// shard label (WAL fsync/commit telemetry, checkpoint cost) plus
+// store-wide aggregate checkpoint and degraded series.
+func (s *ShardedStore) RegisterMetrics(reg *metrics.Registry) {
+	for i, st := range s.stores {
+		st := st
+		lbl := metrics.Labels{"shard": strconv.Itoa(i)}
+		st.log.RegisterMetrics(reg, lbl)
+		reg.RegisterHistogram("store_checkpoint_duration_seconds",
+			"End-to-end checkpoint cost: capture, rotate, write, rename, trim.", lbl, 1e-9, &st.ckptNS)
+	}
+	reg.CounterFunc("store_checkpoints_total",
+		"Completed snapshot checkpoints across all shards.", nil,
+		func() float64 { return float64(s.Stats().Checkpoints) })
+	reg.GaugeFunc("store_degraded",
+		"1 when any shard has fallen back to read-only after a WAL failure.", nil,
+		func() float64 {
+			if ok, _ := s.Ready(); !ok {
+				return 1
+			}
+			return 0
+		})
+}

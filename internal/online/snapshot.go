@@ -215,11 +215,31 @@ func (r *Resolver) Save(w io.Writer) error {
 // truncation or corruption of the stream — including a single flipped
 // bit anywhere — returns an error; no partial state is ever served.
 func Load(rd io.Reader) (*Resolver, error) {
+	c, nextID, ents, err := decodeSnapshot(rd)
+	if err != nil {
+		return nil, err
+	}
+	r := NewResolver(c)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range ents {
+		r.addLocked(e.id, e.attrs)
+	}
+	r.nextID = nextID
+	r.publishLocked()
+	return r, nil
+}
+
+// decodeSnapshot reads and fully validates a snapshot stream — checksum
+// included — before any caller builds index state from it, so a corrupt
+// snapshot can never leave a partially loaded resolver behind. Entities
+// come back in the stored strictly-ascending id order.
+func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, error) {
 	br := &binReader{r: bufio.NewReader(rd)}
 	magic := make([]byte, len(snapMagic))
 	br.bytes(magic)
 	if br.err == nil && string(magic) != snapMagic {
-		return nil, fmt.Errorf("online: not an erfilter snapshot (bad magic)")
+		return Config{}, 0, nil, fmt.Errorf("online: not an erfilter snapshot (bad magic)")
 	}
 
 	var c Config
@@ -234,21 +254,18 @@ func Load(rd io.Reader) (*Resolver, error) {
 	c.Dim = int(br.u32())
 	c.BestAttribute = br.str()
 	if br.err != nil {
-		return nil, fmt.Errorf("online: reading snapshot header: %w", br.err)
+		return Config{}, 0, nil, fmt.Errorf("online: reading snapshot header: %w", br.err)
 	}
 	if err := validateConfig(c); err != nil {
-		return nil, err
+		return Config{}, 0, nil, err
 	}
 
 	nextID := int64(br.u64())
 	count := br.u32()
 	if br.err != nil {
-		return nil, fmt.Errorf("online: reading snapshot counts: %w", br.err)
+		return Config{}, 0, nil, fmt.Errorf("online: reading snapshot counts: %w", br.err)
 	}
 
-	// Decode and validate the full stream — checksum included — before
-	// building any index state, so a corrupt snapshot can never leave a
-	// partially loaded resolver behind.
 	ents := make([]snapEntity, 0, min(int(count), 1<<16))
 	var prev int64 = -1
 	for i := uint32(0); i < count; i++ {
@@ -258,34 +275,25 @@ func Load(rd io.Reader) (*Resolver, error) {
 			br.err = fmt.Errorf("attribute count %d exceeds bound", nattrs)
 		}
 		if br.err != nil {
-			return nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+			return Config{}, 0, nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
 		}
 		attrs := make([]entity.Attribute, nattrs)
 		for j := range attrs {
 			attrs[j] = entity.Attribute{Name: br.str(), Value: br.str()}
 		}
 		if br.err != nil {
-			return nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+			return Config{}, 0, nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
 		}
 		if id <= prev || id >= nextID {
-			return nil, fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID)
+			return Config{}, 0, nil, fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID)
 		}
 		prev = id
 		ents = append(ents, snapEntity{id: id, attrs: attrs})
 	}
 	if br.checkTrailer(); br.err != nil {
-		return nil, fmt.Errorf("online: verifying snapshot: %w", br.err)
+		return Config{}, 0, nil, fmt.Errorf("online: verifying snapshot: %w", br.err)
 	}
-
-	r := NewResolver(c)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, e := range ents {
-		r.addLocked(e.id, e.attrs)
-	}
-	r.nextID = nextID
-	r.publishLocked()
-	return r, nil
+	return c, nextID, ents, nil
 }
 
 // addLocked indexes an entity under an explicit id (the snapshot replay

@@ -1,0 +1,860 @@
+// Package serve is the HTTP serving layer of the online resolver: the
+// versioned /v1 JSON API with its uniform error envelope, the
+// middleware stack (panic containment, per-endpoint instrumentation,
+// request deadlines, bounded write admission) and the route table —
+// importable, so tests and tools mount the exact production handler
+// without booting the daemon.
+//
+// Every non-2xx response, including deadline 503s, admission sheds and
+// the mux's own 404/405s, carries the same JSON envelope:
+//
+//	{"error":{"code":"<machine readable>","message":"<human readable>"}}
+//
+// Legacy unversioned routes (e.g. /query for /v1/query) answer
+// identically through the same instrumented handler, plus a
+// Deprecation header and a Link to the successor path.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/metrics"
+	"erfilter/internal/online"
+)
+
+// Snapshot is the immutable query surface of one published epoch —
+// satisfied by both *online.Snapshot and *online.ShardedSnapshot.
+type Snapshot interface {
+	Epoch() uint64
+	Len() int
+	QueryTraced(attrs []entity.Attribute, opt online.QueryOptions) ([]online.Candidate, online.Trace)
+	QueryBatch(batch [][]entity.Attribute, opt online.QueryOptions) ([][]online.Candidate, online.Trace)
+}
+
+// Resolver is the serving surface of a resolver (single or sharded).
+// The write methods are the volatile-mode path; with a durable Store
+// they are bypassed in favor of the store's WAL-backed ones.
+type Resolver interface {
+	Config() online.Config
+	Len() int
+	Get(id int64) ([]entity.Attribute, bool)
+	Save(w io.Writer) error
+	Snapshot() Snapshot
+	Stats() any
+	RegisterMetrics(reg *metrics.Registry)
+	InsertBatch(batch [][]entity.Attribute) ([]int64, error)
+	Delete(id int64) (bool, error)
+}
+
+// Store is the durable write path (single or sharded): WAL-backed
+// mutations, write readiness and durability stats.
+type Store interface {
+	InsertBatch(batch [][]entity.Attribute) ([]int64, error)
+	Delete(id int64) (bool, error)
+	Ready() (bool, error)
+	Stats() any
+	RegisterMetrics(reg *metrics.Registry)
+}
+
+// writer is the mutation surface the handlers use — the store when one
+// is configured, the resolver itself otherwise.
+type writer interface {
+	InsertBatch(batch [][]entity.Attribute) ([]int64, error)
+	Delete(id int64) (bool, error)
+}
+
+// WrapResolver adapts a single *online.Resolver to the serving surface.
+func WrapResolver(r *online.Resolver) Resolver { return singleResolver{r} }
+
+type singleResolver struct{ r *online.Resolver }
+
+func (a singleResolver) Config() online.Config                      { return a.r.Config() }
+func (a singleResolver) Len() int                                   { return a.r.Len() }
+func (a singleResolver) Get(id int64) ([]entity.Attribute, bool)    { return a.r.Get(id) }
+func (a singleResolver) Save(w io.Writer) error                     { return a.r.Save(w) }
+func (a singleResolver) Snapshot() Snapshot                         { return a.r.Snapshot() }
+func (a singleResolver) Stats() any                                 { return a.r.Stats() }
+func (a singleResolver) RegisterMetrics(reg *metrics.Registry)      { a.r.RegisterMetrics(reg) }
+func (a singleResolver) Delete(id int64) (bool, error)              { return a.r.Delete(id), nil }
+func (a singleResolver) InsertBatch(b [][]entity.Attribute) ([]int64, error) {
+	return a.r.InsertBatch(b), nil
+}
+
+// WrapSharded adapts an *online.ShardedResolver to the serving surface.
+func WrapSharded(r *online.ShardedResolver) Resolver { return shardedResolver{r} }
+
+type shardedResolver struct{ r *online.ShardedResolver }
+
+func (a shardedResolver) Config() online.Config                   { return a.r.Config() }
+func (a shardedResolver) Len() int                                { return a.r.Len() }
+func (a shardedResolver) Get(id int64) ([]entity.Attribute, bool) { return a.r.Get(id) }
+func (a shardedResolver) Save(w io.Writer) error                  { return a.r.Save(w) }
+func (a shardedResolver) Snapshot() Snapshot                      { return a.r.Snapshot() }
+func (a shardedResolver) Stats() any                              { return a.r.Stats() }
+func (a shardedResolver) RegisterMetrics(reg *metrics.Registry)   { a.r.RegisterMetrics(reg) }
+func (a shardedResolver) Delete(id int64) (bool, error)           { return a.r.Delete(id), nil }
+func (a shardedResolver) InsertBatch(b [][]entity.Attribute) ([]int64, error) {
+	return a.r.InsertBatch(b), nil
+}
+
+// WrapStore adapts a single *online.Store to the durable write surface.
+func WrapStore(s *online.Store) Store { return singleStore{s} }
+
+type singleStore struct{ s *online.Store }
+
+func (a singleStore) InsertBatch(b [][]entity.Attribute) ([]int64, error) { return a.s.InsertBatch(b) }
+func (a singleStore) Delete(id int64) (bool, error)                       { return a.s.Delete(id) }
+func (a singleStore) Ready() (bool, error)                                { return a.s.Ready() }
+func (a singleStore) Stats() any                                          { return a.s.Stats() }
+func (a singleStore) RegisterMetrics(reg *metrics.Registry)               { a.s.RegisterMetrics(reg) }
+
+// WrapShardedStore adapts an *online.ShardedStore to the durable write
+// surface.
+func WrapShardedStore(s *online.ShardedStore) Store { return shardedStore{s} }
+
+type shardedStore struct{ s *online.ShardedStore }
+
+func (a shardedStore) InsertBatch(b [][]entity.Attribute) ([]int64, error) {
+	return a.s.InsertBatch(b)
+}
+func (a shardedStore) Delete(id int64) (bool, error)         { return a.s.Delete(id) }
+func (a shardedStore) Ready() (bool, error)                  { return a.s.Ready() }
+func (a shardedStore) Stats() any                            { return a.s.Stats() }
+func (a shardedStore) RegisterMetrics(reg *metrics.Registry) { a.s.RegisterMetrics(reg) }
+
+// Error codes of the /v1 envelope. Machine-readable and stable; the
+// message is for humans and may change.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
+	CodeDegraded         = "degraded"
+	CodeInternal         = "internal"
+)
+
+// Options tune a server; the zero value is production-ready.
+type Options struct {
+	// WriteQueue is the max number of concurrently admitted write
+	// requests before shedding with 503 (default 64).
+	WriteQueue int
+	// RequestTimeout is the per-request deadline for JSON endpoints;
+	// /v1/snapshot and /v1/metrics are exempt. 0 disables the deadline.
+	RequestTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Server wires a resolver (and optionally a durable store) to the HTTP
+// route table with per-endpoint latency histograms, bounded write
+// admission and panic containment.
+type Server struct {
+	res   Resolver
+	store Store  // nil in volatile mode
+	write writer // store when durable, res otherwise
+
+	admit    chan struct{} // bounded write-admission tokens
+	start    time.Time
+	reg      *metrics.Registry
+	eps      map[string]*endpointStats
+	panics   *metrics.Counter
+	draining atomic.Bool
+	timeout  time.Duration
+	pprof    bool
+}
+
+// endpointStats are the latency histogram and error counter of one
+// endpoint. Count, mean, max and the p50/p95/p99 all derive from the
+// histogram — there is no separate counter to drift out of sync.
+type endpointStats struct {
+	hist   *metrics.Histogram
+	errors *metrics.Counter
+}
+
+// NewServer builds the serving state over a resolver and, in durable
+// mode, its store (pass nil for volatile serving).
+func NewServer(res Resolver, store Store, opt Options) *Server {
+	if opt.WriteQueue <= 0 {
+		opt.WriteQueue = 64
+	}
+	s := &Server{
+		res: res, store: store, admit: make(chan struct{}, opt.WriteQueue),
+		start: time.Now(), reg: metrics.NewRegistry(), eps: map[string]*endpointStats{},
+		timeout: opt.RequestTimeout, pprof: opt.Pprof,
+	}
+	s.write = res
+	if store != nil {
+		s.write = store
+	}
+	s.panics = s.reg.Counter("erserve_panics_total", "Handler panics recovered and answered with 500.", nil)
+	s.reg.GaugeFunc("erserve_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("erserve_write_queue_depth", "Admitted writes currently in flight.", nil,
+		func() float64 { return float64(len(s.admit)) })
+	s.reg.GaugeFunc("erserve_write_queue_capacity", "Write-admission queue capacity.", nil,
+		func() float64 { return float64(cap(s.admit)) })
+	s.reg.GaugeFunc("erserve_draining", "1 while shutting down, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	res.RegisterMetrics(s.reg)
+	if store != nil {
+		store.RegisterMetrics(s.reg)
+	}
+	return s
+}
+
+// SetDraining flips shutdown mode: /v1/readyz fails and writes are
+// refused, while reads keep serving until the listener closes.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Registry exposes the server's metrics registry (the /v1/metrics
+// source) for additional process-level series.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// route is one row of the serving surface. Every endpoint is registered
+// twice: at the canonical /v1 pattern and at the legacy unversioned
+// path, which runs the same instrumented handler plus a Deprecation
+// header pointing at the successor.
+type route struct {
+	method  string
+	pattern string // canonical path under /v1, with {id} wildcards
+	name    string // endpoint label for metrics
+	h       http.HandlerFunc
+	raw     bool // exempt from the JSON request deadline (streaming or must-stay-reachable)
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"POST", "/v1/query", "query", s.handleQuery, false},
+		{"POST", "/v1/query/batch", "query_batch", s.handleQueryBatch, false},
+		{"POST", "/v1/entities", "insert", s.admitWrite(s.handleInsert), false},
+		{"GET", "/v1/entities/{id}", "get", s.handleGet, false},
+		{"DELETE", "/v1/entities/{id}", "delete", s.admitWrite(s.handleDelete), false},
+		{"GET", "/v1/stats", "stats", s.handleStats, false},
+		{"GET", "/v1/healthz", "healthz", s.handleHealthz, false},
+		{"GET", "/v1/readyz", "readyz", s.handleReadyz, false},
+		{"GET", "/v1/snapshot", "snapshot", s.handleSnapshot, true},
+		{"GET", "/v1/metrics", "metrics", s.handleMetrics, true},
+	}
+}
+
+// Handler assembles the route tree. Each JSON endpoint is wrapped as
+// instrument(timeoutJSON(handler)) — the per-request deadline sits
+// *inside* the instrumentation, so a timed-out request is observed with
+// its real duration and its real 503. /v1/snapshot streams the whole
+// collection and /v1/metrics must stay reachable while handlers wedge,
+// so neither runs under the deadline (the server-level write timeout
+// bounds them instead). Unknown paths and method mismatches answer with
+// the JSON error envelope like every other error.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range s.routes() {
+		h := http.Handler(rt.h)
+		if !rt.raw {
+			h = timeoutJSON(s.timeout, h)
+		}
+		// One instrumented handler per endpoint, shared by both paths, so
+		// /query and /v1/query feed the same latency series.
+		inst := s.instrument(rt.name, h)
+		mux.Handle(rt.method+" "+rt.pattern, inst)
+		legacy := strings.TrimPrefix(rt.pattern, "/v1")
+		mux.Handle(rt.method+" "+legacy, deprecated(rt.pattern, inst))
+	}
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", s.instrument("unknown", http.HandlerFunc(s.handleUnknown)))
+	return s.recoverPanics(mux)
+}
+
+// statusWriter records the response status for the error counters. It
+// wraps the *outermost* writer of the middleware chain — outside
+// http.TimeoutHandler — so a timed-out request is recorded with the 503
+// the client actually received, never the inner handler's phantom 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers
+// (/v1/snapshot) can push bytes incrementally; a non-flushing
+// underlying writer makes it a no-op instead of a panic.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument is the outermost per-endpoint middleware: it observes the
+// latency and final status of every request into the endpoint's
+// histogram and error counter. It must wrap any timeout middleware, not
+// sit inside it — that ordering is what makes deadline kills visible.
+func (s *Server) instrument(name string, h http.Handler) http.HandlerFunc {
+	st := &endpointStats{
+		hist: s.reg.Histogram("erserve_http_request_duration_seconds",
+			"End-to-end request latency as the client saw it.",
+			metrics.Labels{"endpoint": name}, 1e-9),
+		errors: s.reg.Counter("erserve_http_request_errors_total",
+			"Requests answered with status >= 400, timeouts included.",
+			metrics.Labels{"endpoint": name}),
+	}
+	s.eps[name] = st
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h.ServeHTTP(sw, r)
+		st.hist.ObserveDuration(time.Since(begin))
+		if sw.status >= 400 {
+			st.errors.Inc()
+		}
+	}
+}
+
+// timeoutJSON bounds a JSON endpoint with http.TimeoutHandler and makes
+// the timeout response the standard envelope: the Content-Type is
+// pre-set on the real writer (the timeout path writes the body straight
+// through, while the success path copies the inner handler's headers
+// over it, so normal responses keep their own type).
+func timeoutJSON(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	th := http.TimeoutHandler(h, d, envelopeBody(CodeDeadlineExceeded, "request deadline exceeded"))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
+}
+
+// admitWrite gates mutating endpoints behind the bounded admission
+// queue: when every token is taken the request is shed immediately with
+// 503 + Retry-After instead of queueing unboundedly behind a slow disk.
+func (s *Server) admitWrite(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, CodeDraining, errors.New("server is shutting down"))
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, CodeOverloaded, errors.New("write queue full"))
+		}
+	}
+}
+
+// recoverPanics is the outermost middleware: a panicking handler answers
+// 500 and increments a counter instead of killing the connection (or,
+// without net/http's own recovery, the daemon).
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { //nolint:errorlint // sentinel by contract
+				panic(p)
+			}
+			s.panics.Inc()
+			fmt.Fprintf(os.Stderr, "erserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			writeErr(w, http.StatusInternalServerError, CodeInternal, errors.New("internal error"))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// deprecated marks a legacy unversioned route: the same handler, plus
+// the Deprecation header (RFC 9745) and a Link to the successor path.
+func deprecated(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errBody is the uniform envelope of every non-2xx response.
+type errBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func envelopeBody(code, message string) string {
+	var b errBody
+	b.Error.Code = code
+	b.Error.Message = message
+	raw, _ := json.Marshal(b)
+	return string(raw)
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	var b errBody
+	b.Error.Code = code
+	b.Error.Message = err.Error()
+	writeJSON(w, status, b)
+}
+
+// writeWriteError maps a durable-write failure: a degraded store is the
+// service being read-only, anything else is unavailability with the
+// store's own message. The write that *caused* the degradation returns
+// the raw disk error, not ErrDegraded, so the store's readiness is
+// consulted as well — by classification time the failure is sticky.
+func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
+	code := CodeInternal
+	if errors.Is(err, online.ErrDegraded) {
+		code = CodeDegraded
+	} else if s.store != nil {
+		if ok, _ := s.store.Ready(); !ok {
+			code = CodeDegraded
+		}
+	}
+	writeErr(w, http.StatusServiceUnavailable, code, err)
+}
+
+// entityPayload is the attribute form shared by inserts and queries.
+type entityPayload struct {
+	Attrs map[string]string `json:"attrs"`
+	Text  string            `json:"text"`
+}
+
+// attrs converts the payload to a deterministic attribute list. A bare
+// "text" value becomes a single attribute named after the resolver's
+// best attribute, so it works under both schema settings.
+func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
+	if len(p.Attrs) == 0 && p.Text == "" {
+		return nil, errors.New(`payload needs "attrs" or "text"`)
+	}
+	attrs := online.AttrsFromMap(p.Attrs)
+	if p.Text != "" {
+		name := cfg.BestAttribute
+		if name == "" {
+			name = "text"
+		}
+		attrs = append(attrs, entity.Attribute{Name: name, Value: p.Text})
+	}
+	return attrs, nil
+}
+
+// defaultQueryLimit caps the serialized candidate list when the request
+// does not choose its own limit: an EpsJoin query with a permissive eps
+// matches a large fraction of the collection, and without a cap the
+// handler would serialize (and the client download) all of it.
+// limit == 0 explicitly selects this default; limit < 0 is rejected.
+const defaultQueryLimit = 1000
+
+// maxBatchQueries bounds one /v1/query/batch request; larger workloads
+// split into multiple requests.
+const maxBatchQueries = 1024
+
+// resolveLimit validates the request's candidate cap: negative is a
+// client error, zero means "use the default".
+func resolveLimit(limit int) (int, error) {
+	if limit < 0 {
+		return 0, fmt.Errorf("limit must be >= 0, got %d", limit)
+	}
+	if limit == 0 {
+		return defaultQueryLimit, nil
+	}
+	return limit, nil
+}
+
+type candJSON struct {
+	ID    int64   `json:"id"`
+	Score float64 `json:"score"`
+}
+
+type traceJSON struct {
+	Epoch      uint64 `json:"epoch"`
+	EncodeUS   int64  `json:"encode_us"`
+	SearchUS   int64  `json:"search_us"`
+	Candidates int    `json:"candidates"`
+}
+
+func candList(cands []online.Candidate) []candJSON {
+	out := make([]candJSON, len(cands))
+	for i, c := range cands {
+		out[i] = candJSON{ID: c.ID, Score: c.Score}
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		entityPayload
+		K     int     `json:"k"`
+		Eps   float64 `json:"eps"`
+		Limit int     `json:"limit"`
+		Trace bool    `json:"trace"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	limit, err := resolveLimit(req.Limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	attrs, err := req.attrs(s.res.Config())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	snap := s.res.Snapshot()
+	cands, tr := snap.QueryTraced(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	truncated := len(cands) > limit
+	if truncated {
+		cands = cands[:limit]
+	}
+	out := struct {
+		Epoch      uint64     `json:"epoch"`
+		Entities   int        `json:"entities"`
+		Candidates []candJSON `json:"candidates"`
+		Truncated  bool       `json:"truncated,omitempty"`
+		Trace      *traceJSON `json:"trace,omitempty"`
+	}{
+		Epoch: snap.Epoch(), Entities: snap.Len(),
+		Candidates: candList(cands), Truncated: truncated,
+	}
+	if req.Trace {
+		out.Trace = &traceJSON{
+			Epoch:      tr.Epoch,
+			EncodeUS:   tr.Encode.Microseconds(),
+			SearchUS:   tr.Search.Microseconds(),
+			Candidates: tr.Candidates,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueryBatch answers many queries in one request against one
+// consistent snapshot, amortizing the per-query pool checkout (and, on
+// a sharded resolver, paying one scatter for the whole batch).
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Queries []entityPayload `json:"queries"`
+		K       int             `json:"k"`
+		Eps     float64         `json:"eps"`
+		Limit   int             `json:"limit"`
+		Trace   bool            `json:"trace"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New(`"queries" must not be empty`))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("%d queries exceeds the per-request cap of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	limit, err := resolveLimit(req.Limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	cfg := s.res.Config()
+	batch := make([][]entity.Attribute, len(req.Queries))
+	for i := range req.Queries {
+		attrs, err := req.Queries[i].attrs(cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		batch[i] = attrs
+	}
+	snap := s.res.Snapshot()
+	results, tr := snap.QueryBatch(batch, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	type result struct {
+		Candidates []candJSON `json:"candidates"`
+		Truncated  bool       `json:"truncated,omitempty"`
+	}
+	out := struct {
+		Epoch    uint64     `json:"epoch"`
+		Entities int        `json:"entities"`
+		Results  []result   `json:"results"`
+		Trace    *traceJSON `json:"trace,omitempty"`
+	}{Epoch: snap.Epoch(), Entities: snap.Len(), Results: make([]result, len(results))}
+	for i, cands := range results {
+		truncated := len(cands) > limit
+		if truncated {
+			cands = cands[:limit]
+		}
+		out.Results[i] = result{Candidates: candList(cands), Truncated: truncated}
+	}
+	if req.Trace {
+		out.Trace = &traceJSON{
+			Epoch:      tr.Epoch,
+			EncodeUS:   tr.Encode.Microseconds(),
+			SearchUS:   tr.Search.Microseconds(),
+			Candidates: tr.Candidates,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		entityPayload
+		Entities []entityPayload `json:"entities"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg := s.res.Config()
+	var batch [][]entity.Attribute
+	add := func(p *entityPayload) error {
+		attrs, err := p.attrs(cfg)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, attrs)
+		return nil
+	}
+	if len(req.Entities) > 0 {
+		for i := range req.Entities {
+			if err := add(&req.Entities[i]); err != nil {
+				writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("entity %d: %w", i, err))
+				return
+			}
+		}
+	} else if err := add(&req.entityPayload); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	ids, err := s.write.InsertBatch(batch)
+	if err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "epoch": s.res.Snapshot().Epoch()})
+}
+
+func pathID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	attrs, ok := s.res.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("entity %d not resident", id))
+		return
+	}
+	type attr struct {
+		Name  string `json:"name"`
+		Value string `json:"value"`
+	}
+	out := struct {
+		ID    int64  `json:"id"`
+		Attrs []attr `json:"attrs"`
+	}{ID: id, Attrs: make([]attr, len(attrs))}
+	for i, a := range attrs {
+		out.Attrs[i] = attr{Name: a.Name, Value: a.Value}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	ok, err := s.write.Delete(id)
+	if err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("entity %d not resident", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "epoch": s.res.Snapshot().Epoch()})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.res.Save(w); err != nil {
+		// Headers are already sent; the truncated stream fails the
+		// client-side checksum, so the replica never loads partial state.
+		fmt.Fprintln(os.Stderr, "erserve: streaming snapshot:", err)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
+	type ep struct {
+		Count     int64   `json:"count"`
+		Errors    int64   `json:"errors"`
+		MeanUS    float64 `json:"mean_us"`
+		P50US     float64 `json:"p50_us"`
+		P95US     float64 `json:"p95_us"`
+		P99US     float64 `json:"p99_us"`
+		MaxUS     float64 `json:"max_us"`
+		PerSecond float64 `json:"per_second"`
+	}
+	eps := map[string]ep{}
+	for name, st := range s.eps {
+		snap := st.hist.Snapshot()
+		e := ep{Count: snap.Count, Errors: st.errors.Value(), MaxUS: float64(snap.Max) / 1e3}
+		if snap.Count > 0 {
+			e.MeanUS = snap.Mean() / 1e3
+			e.P50US = float64(snap.Quantile(0.50)) / 1e3
+			e.P95US = float64(snap.Quantile(0.95)) / 1e3
+			e.P99US = float64(snap.Quantile(0.99)) / 1e3
+			e.PerSecond = float64(snap.Count) / uptime.Seconds()
+		}
+		eps[name] = e
+	}
+	out := map[string]any{
+		"resolver":  s.res.Stats(),
+		"endpoints": eps,
+		"uptime_s":  uptime.Seconds(),
+		"panics":    s.panics.Value(),
+		"write_queue": map[string]int{
+			"depth": len(s.admit), "capacity": cap(s.admit),
+		},
+	}
+	if s.store != nil {
+		out["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is write readiness: not ready while draining for
+// shutdown or while the store is degraded to read-only after a WAL disk
+// failure. Load balancers should route writes only to ready replicas;
+// reads keep working either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, CodeDraining, errors.New("draining: shutting down"))
+		return
+	}
+	if s.store != nil {
+		if ok, reason := s.store.Ready(); !ok {
+			writeErr(w, http.StatusServiceUnavailable, CodeDegraded, fmt.Errorf("degraded read-only: %w", reason))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ready")
+}
+
+// handleUnknown is the fallback for everything the route table does not
+// serve: a method mismatch on a known path answers 405 with an Allow
+// header, anything else 404 — both in the standard envelope. (The
+// catch-all registration means the mux's own text 405/404 bodies are
+// never emitted.)
+func (s *Server) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	if allow := s.allowedMethods(r.URL.Path); len(allow) > 0 {
+		w.Header().Set("Allow", strings.Join(allow, ", "))
+		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s", r.Method, r.URL.Path))
+		return
+	}
+	writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+}
+
+// allowedMethods reports which methods the route table serves at path
+// (canonical or legacy form).
+func (s *Server) allowedMethods(path string) []string {
+	var allow []string
+	for _, rt := range s.routes() {
+		if pathMatches(rt.pattern, path) || pathMatches(strings.TrimPrefix(rt.pattern, "/v1"), path) {
+			allow = append(allow, rt.method)
+		}
+	}
+	return allow
+}
+
+// pathMatches tests a concrete request path against a route pattern,
+// treating {name} segments as single-segment wildcards.
+func pathMatches(pattern, path string) bool {
+	ps := strings.Split(pattern, "/")
+	qs := strings.Split(path, "/")
+	if len(ps) != len(qs) {
+		return false
+	}
+	for i := range ps {
+		if strings.HasPrefix(ps[i], "{") && strings.HasSuffix(ps[i], "}") {
+			if qs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if ps[i] != qs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// handleMetrics serves the Prometheus text exposition of everything the
+// process measures: endpoint latency histograms, resolver telemetry
+// and, in durable mode, the WAL's fsync and group-commit distributions.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve: writing /metrics:", err)
+	}
+}
