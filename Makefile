@@ -8,13 +8,13 @@ RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/co
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
-CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/online ./internal/serve ./cmd/erserve
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/online ./internal/serve ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos shard scrape bench-tune bench-serve bench-wal bench-obs bench-shard
+.PHONY: check vet build test race chaos shard ann scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann
 
-## check: the full verification gate (vet, build, tests, race tests, chaos, shard)
-check: vet build test race chaos shard
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann)
+check: vet build test race chaos shard ann
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,13 @@ bench-wal:
 shard:
 	$(GO) test -race -count 1 -run 'Sharded' ./internal/online ./internal/serve ./cmd/erserve
 
+## ann: the approximate-tier gate — recall-floor property tests of the
+## incremental HNSW against the flat oracle (inserts, deletes past
+## compaction, save/load round-trips, shard counts 1..8) plus the codec
+## corruption suite, under the race detector
+ann:
+	$(GO) test -race -count 1 -run 'HNSW|ANN' ./internal/knn ./internal/online ./internal/serve ./cmd/erserve
+
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or
 ## missing series. CI runs this against every change.
@@ -68,3 +75,9 @@ bench-obs:
 ## throughput at 8 shards
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkSharded(Insert|Query)' -benchtime 1s ./internal/online
+
+## bench-ann: IncFlat vs IncHNSW scaling table (build time, query p50,
+## recall@10 against the flat oracle); the acceptance gate is >= 5x
+## query p50 at 100k entities with recall@10 >= 0.95
+bench-ann:
+	$(GO) run ./cmd/erbench -exp ann

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -44,6 +44,10 @@ func main() {
 		shards   = flag.Int("shards", 8, "max shard count for -exp serve (doubled from 1 up to this)")
 		serveN   = flag.Int("serve-entities", 20000, "collection size for -exp serve")
 		serveQ   = flag.Int("serve-queries", 5000, "query count for -exp serve")
+		annN     = flag.Int("ann-entities", 100000, "largest collection size for -exp ann (quartered down to 1000)")
+		annQ     = flag.Int("ann-queries", 200, "query count per size for -exp ann")
+		annDim   = flag.Int("ann-dim", 64, "vector dimensionality for -exp ann")
+		annEf    = flag.Int("ann-ef", 0, "HNSW query beam width for -exp ann (0 = default)")
 	)
 	flag.Parse()
 
@@ -74,6 +78,13 @@ func main() {
 
 	if *exp == "serve" {
 		if err := serveExperiment(out, *shards, *serveN, *serveQ); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "ann" {
+		if err := annExperiment(out, *annN, *annQ, *annDim, *annEf); err != nil {
 			fmt.Fprintln(os.Stderr, "erbench:", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	erserve -load resolver.snap                                  # resume from a snapshot
 //	erserve -bulk a.csv -wal /var/lib/erserve                    # durable: WAL + checkpoints
 //	erserve -bulk a.csv -wal /var/lib/erserve -shards 8          # sharded: parallel ingest
+//	erserve -bulk a.csv -method flat -knn-index hnsw             # approximate dense serving
 //
 // With -wal every mutation is written to a write-ahead log and fsynced
 // before it is acknowledged, so acked writes survive crashes and power
@@ -59,6 +60,7 @@ import (
 
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
+	"erfilter/internal/knn"
 	"erfilter/internal/online"
 	"erfilter/internal/serve"
 	"erfilter/internal/text"
@@ -83,6 +85,12 @@ type options struct {
 	workers   int
 	save      string
 	shards    int
+
+	knnIndex string
+	hnswM    int
+	hnswEfC  int
+	hnswEf   int
+	hnswSeed uint64
 
 	walDir          string
 	checkpointEvery int
@@ -112,6 +120,11 @@ func main() {
 	flag.Float64Var(&o.target, "target", tuning.DefaultTarget, "recall target for -tune")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for -tune grid searches (0 = NumCPU)")
 	flag.StringVar(&o.save, "save", "", "write a snapshot to this file on graceful shutdown")
+	flag.StringVar(&o.knnIndex, "knn-index", "flat", "dense index for -method flat: flat (exact) or hnsw (approximate, per-query escape hatch via \"approx\": false)")
+	flag.IntVar(&o.hnswM, "hnsw-m", 0, "HNSW graph degree (0 = default 16)")
+	flag.IntVar(&o.hnswEfC, "hnsw-efc", 0, "HNSW construction beam width (0 = default 100)")
+	flag.IntVar(&o.hnswEf, "hnsw-ef", 0, "HNSW query beam width (0 = default 64; raise for recall, lower for latency)")
+	flag.Uint64Var(&o.hnswSeed, "hnsw-seed", 0, "HNSW level-assignment seed (any value; same seed + same ops = same graph)")
 	flag.IntVar(&o.shards, "shards", 1, "hash-partition the resolver across this many independent shards (with -wal, one WAL directory per shard; pinned on first open)")
 	flag.StringVar(&o.walDir, "wal", "", "durable store directory: WAL every mutation, checkpoint, recover on restart")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
@@ -371,7 +384,35 @@ func resolveConfig(o options) (online.Config, *entity.Dataset, error) {
 			Clean: o.clean, Model: model, K: o.k, Threshold: o.threshold,
 		}
 	}
+	if err := applyDenseIndex(&cfg, o); err != nil {
+		return online.Config{}, nil, err
+	}
 	return cfg, ds, nil
+}
+
+// applyDenseIndex folds the -knn-index flag (and the HNSW knobs) into
+// the serving config. The approximate index only exists behind the
+// dense method; a tuned config keeps its tuned parameters and swaps
+// just the index.
+func applyDenseIndex(cfg *online.Config, o options) error {
+	if o.knnIndex == "" {
+		return nil
+	}
+	d, err := online.ParseDenseIndex(o.knnIndex)
+	if err != nil {
+		return err
+	}
+	if d == online.DenseFlat {
+		return nil
+	}
+	if cfg.Method != online.FlatKNN {
+		return fmt.Errorf("-knn-index %s requires -method flat, got -method %s", o.knnIndex, o.method)
+	}
+	cfg.Dense = d
+	cfg.HNSW = knn.HNSWParams{
+		M: o.hnswM, EfConstruction: o.hnswEfC, EfSearch: o.hnswEf, Seed: o.hnswSeed,
+	}
+	return nil
 }
 
 // tuneConfig runs the Problem-1 grid search for the method over the

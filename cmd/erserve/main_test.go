@@ -61,7 +61,7 @@ func writeTaskCSVs(t *testing.T) (e1, e2, truth string) {
 // drive buildState directly.
 func baseOptions() options {
 	return options{
-		method: "knnj", schema: "agnostic", model: "C3G",
+		method: "knnj", schema: "agnostic", model: "C3G", knnIndex: "flat",
 		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1, shards: 1,
 	}
 }
@@ -139,6 +139,62 @@ func TestBuildStatePaths(t *testing.T) {
 	noTruth.bulk, noTruth.tuneCSV = e1, e2
 	if _, err := buildState(noTruth); err == nil {
 		t.Fatal("-tune without -truth must error")
+	}
+}
+
+// TestBuildStateHNSW covers the -knn-index flag: an hnsw build serves
+// approximate dense queries, its snapshot resumes with the graph, the
+// knobs reach the config, and the flag combinations that cannot work
+// (hnsw under a sparse method, an unknown index name) error at startup.
+func TestBuildStateHNSW(t *testing.T) {
+	e1, _, _ := writeTaskCSVs(t)
+
+	o := baseOptions()
+	o.bulk, o.method, o.knnIndex = e1, "flat", "hnsw"
+	o.hnswM, o.hnswEf, o.hnswSeed = 8, 48, 42
+	st, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.res.Len() != 20 {
+		t.Fatalf("hnsw bulk load: %d entities", st.res.Len())
+	}
+	desc := st.res.Config().Describe()
+	if !strings.Contains(desc, "index=hnsw") || !strings.Contains(desc, "m=8") {
+		t.Fatalf("hnsw config not applied: %s", desc)
+	}
+	probe := []entity.Attribute{{Name: "text", Value: "probe"}}
+	approx, _ := st.res.Snapshot().QueryTraced(probe, online.QueryOptions{K: 3})
+	exact, _ := st.res.Snapshot().QueryTraced(probe, online.QueryOptions{K: 3, Exact: true})
+	if len(approx) == 0 || len(exact) == 0 {
+		t.Fatalf("hnsw serving returned no candidates (approx %d, exact %d)", len(approx), len(exact))
+	}
+
+	// The shutdown snapshot carries the graph and resumes as hnsw.
+	snapPath := filepath.Join(t.TempDir(), "hnsw.snap")
+	if err := st.saveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := buildState(options{load: snapPath, shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.res.Config().Describe(); !strings.Contains(got, "index=hnsw") {
+		t.Fatalf("resumed config lost the index: %s", got)
+	}
+	if resumed.res.Len() != st.res.Len() {
+		t.Fatalf("resumed %d entities, want %d", resumed.res.Len(), st.res.Len())
+	}
+
+	sparseHNSW := baseOptions()
+	sparseHNSW.bulk, sparseHNSW.knnIndex = e1, "hnsw"
+	if _, err := buildState(sparseHNSW); err == nil {
+		t.Fatal("-knn-index hnsw with a sparse method must error")
+	}
+	unknown := baseOptions()
+	unknown.bulk, unknown.method, unknown.knnIndex = e1, "flat", "annoy"
+	if _, err := buildState(unknown); err == nil {
+		t.Fatal("unknown -knn-index must error")
 	}
 }
 

@@ -3,6 +3,7 @@ package knn
 import (
 	"container/heap"
 	"math"
+	"sort"
 
 	"erfilter/internal/vector"
 )
@@ -58,13 +59,10 @@ func NewHNSW(vecs []vector.Vec, h HNSW) *HNSW {
 // Len returns the number of indexed vectors.
 func (h *HNSW) Len() int { return len(h.vecs) }
 
-// randomLevel samples a node's top layer geometrically.
+// randomLevel samples a node's top layer geometrically through the
+// shared seeded helper (see level.go).
 func (h *HNSW) randomLevel(id int32) int {
-	u := float64(vector.Mix64(uint64(id)+1, h.Seed)>>11) / (1 << 53)
-	if u <= 0 {
-		u = 1e-18
-	}
-	return int(-math.Log(u) * h.levelML)
+	return levelFor(uint64(id)+1, h.Seed, h.levelML)
 }
 
 func (h *HNSW) dist(vecs []vector.Vec, a vector.Vec, b int32) float64 {
@@ -143,12 +141,47 @@ func (h *HNSW) searchLayer(vecs []vector.Vec, q vector.Vec, entries []cand, ef, 
 	return out
 }
 
-// selectNeighbors keeps the m closest candidates (simple heuristic).
-func selectNeighbors(cands []cand, m int) []cand {
+// selectNeighbors implements the neighbor-selection heuristic of Malkov
+// & Yashunin (Algorithm 4). Scanning candidates best-first, a candidate
+// is kept only when it is closer to the query than to every neighbor
+// kept before it — a candidate that is not is "shadowed" by a kept
+// neighbor which can route to it. This preserves bridge links between
+// clusters: keeping simply the m closest fragments clustered data into
+// per-cluster islands that greedy search cannot cross. Shadowed
+// candidates backfill any remaining degree (the paper's
+// keepPrunedConnections), so diversity never costs connectivity.
+// between must return the distance between two indexed nodes; cands
+// must be sorted best (smallest d) first.
+func selectNeighbors(cands []cand, m int, between func(a, b int32) float64) []cand {
 	if len(cands) <= m {
 		return cands
 	}
-	return cands[:m]
+	kept := make([]cand, 0, m)
+	skipped := make([]cand, 0, len(cands))
+	for _, c := range cands {
+		if len(kept) == m {
+			break
+		}
+		shadowed := false
+		for _, r := range kept {
+			if between(c.id, r.id) < c.d {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			skipped = append(skipped, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	for _, c := range skipped {
+		if len(kept) == m {
+			break
+		}
+		kept = append(kept, c)
+	}
+	return kept
 }
 
 func (h *HNSW) insert(vecs []vector.Vec, id int32) {
@@ -180,7 +213,9 @@ func (h *HNSW) insert(vecs []vector.Vec, id int32) {
 		if l == 0 {
 			m = 2 * h.M
 		}
-		neighbors := selectNeighbors(found, m)
+		neighbors := selectNeighbors(found, m, func(a, b int32) float64 {
+			return h.Metric.score(vecs[a], vecs[b])
+		})
 		for _, n := range neighbors {
 			h.links[id][l] = append(h.links[id][l], n.id)
 			h.links[n.id][l] = append(h.links[n.id][l], id)
@@ -197,28 +232,35 @@ func (h *HNSW) insert(vecs []vector.Vec, id int32) {
 	}
 }
 
-// pruneNode trims a node's layer links back to its m closest neighbors.
+// pruneNode trims an over-connected node's layer links back to m, using
+// the same diversity heuristic as insertion (relative to the node's own
+// vector) so pruning cannot sever the bridge links insertion kept.
 func (h *HNSW) pruneNode(vecs []vector.Vec, id int32, layer, m int) {
 	links := h.links[id][layer]
 	cands := make([]cand, 0, len(links))
 	for _, n := range links {
 		cands = append(cands, cand{id: n, d: h.Metric.score(vecs[id], vecs[n])})
 	}
-	// Partial selection: m smallest.
-	for i := 0; i < m && i < len(cands); i++ {
-		best := i
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].d < cands[best].d {
-				best = j
-			}
-		}
-		cands[i], cands[best] = cands[best], cands[i]
-	}
+	sortCands(cands)
+	sel := selectNeighbors(cands, m, func(a, b int32) float64 {
+		return h.Metric.score(vecs[a], vecs[b])
+	})
 	kept := make([]int32, 0, m)
-	for i := 0; i < m && i < len(cands); i++ {
-		kept = append(kept, cands[i].id)
+	for _, c := range sel {
+		kept = append(kept, c.id)
 	}
 	h.links[id][layer] = kept
+}
+
+// sortCands orders candidates by (distance, id) — the deterministic
+// best-first order the selection heuristic scans in.
+func sortCands(cands []cand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
 }
 
 // Search implements Searcher.

@@ -1,0 +1,111 @@
+package knn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hnswSnapshotBytes builds a small but structurally rich graph (several
+// layers, tombstones, a compaction in the middle) and returns its
+// serialization. n trades richness against corpus size: the every-bit
+// test wants the stream short, the truncation test can afford more.
+func hnswSnapshotBytes(t testing.TB, n int64) []byte {
+	t.Helper()
+	idx := NewIncHNSW(L2Squared, HNSWParams{M: 4, Seed: 5})
+	for i := int64(0); i < n; i++ {
+		if err := idx.Add(i, hnswVec(uint64(i)+31, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < n; i += 7 {
+		idx.Remove(i)
+	}
+	idx.Compact()
+	for i := n; i < n+n/3; i++ {
+		if err := idx.Add(i, hnswVec(uint64(i)+31, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := n + 2; i < n+n/3; i += 5 {
+		idx.Remove(i)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHNSWLoadRejectsEveryTruncation: every proper prefix of a valid
+// snapshot must fail to load — cleanly, never a panic or a partial graph.
+func TestHNSWLoadRejectsEveryTruncation(t *testing.T) {
+	data := hnswSnapshotBytes(t, 48)
+	for n := 0; n < len(data); n++ {
+		idx, err := LoadHNSW(bytes.NewReader(data[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded successfully", n, len(data))
+		}
+		if idx != nil {
+			t.Fatalf("truncation to %d bytes returned a non-nil index alongside %v", n, err)
+		}
+	}
+}
+
+// TestHNSWLoadRejectsEveryBitFlip: flipping any single bit anywhere in
+// the snapshot must fail the load (the CRC covers everything before the
+// trailer; the trailer is checked against the recomputed CRC).
+func TestHNSWLoadRejectsEveryBitFlip(t *testing.T) {
+	data := hnswSnapshotBytes(t, 15)
+	mut := make([]byte, len(data))
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, data)
+			mut[i] ^= 1 << bit
+			idx, err := LoadHNSW(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d loaded successfully", i, bit)
+			}
+			if idx != nil {
+				t.Fatalf("bit flip at byte %d bit %d returned a non-nil index", i, bit)
+			}
+		}
+	}
+}
+
+// FuzzLoadHNSW drives arbitrary bytes through the loader. Invariants: no
+// panic, and anything accepted must re-save to exactly the bytes it was
+// loaded from (the codec is canonical and self-delimiting, so trailing
+// garbage past the stream is simply not consumed).
+func FuzzLoadHNSW(f *testing.F) {
+	valid := hnswSnapshotBytes(f, 24)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte(hnswMagic))
+	f.Add([]byte{})
+	empty := func() []byte {
+		var buf bytes.Buffer
+		if err := NewIncHNSW(DotProduct, HNSWParams{}).Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadHNSW(bytes.NewReader(data))
+		if err != nil {
+			if idx != nil {
+				t.Fatal("error with non-nil index")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			t.Fatalf("accepted snapshot failed to re-save: %v", err)
+		}
+		out := buf.Bytes()
+		if len(out) > len(data) || !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("accepted snapshot did not round-trip: %d bytes in, %d out", len(data), len(out))
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package knn
+
+import (
+	"math"
+
+	"erfilter/internal/vector"
+)
+
+// maxHNSWLevel caps the top layer any node can be assigned. With the
+// geometric layer distribution the cap is effectively unreachable (it
+// would need a 2^-53 draw under M=2), but it turns the snapshot codec's
+// per-node layer count into a hard, validatable bound.
+const maxHNSWLevel = 60
+
+// levelFor draws the top layer for a node as a pure function of (key,
+// seed): the geometric distribution of Malkov & Yashunin sampled from a
+// splitmix64 hash of the key. Both the batch and the incremental HNSW
+// builds draw levels through this one helper with an explicit seed — no
+// global RNG state anywhere — so concurrent builds of the same data are
+// identical, and a node re-inserted under the same external id (e.g. by
+// rebuild-compaction) lands on the same layer every time.
+func levelFor(key, seed uint64, ml float64) int {
+	u := float64(vector.Mix64(key, seed)>>11) / (1 << 53)
+	if u <= 0 {
+		u = 1e-18
+	}
+	l := int(-math.Log(u) * ml)
+	if l > maxHNSWLevel {
+		l = maxHNSWLevel
+	}
+	return l
+}

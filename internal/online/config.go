@@ -48,6 +48,38 @@ func (m Method) String() string {
 	return "unknown"
 }
 
+// DenseIndex selects the incremental index structure behind FlatKNN's
+// dense queries: the exact flat scan or the approximate HNSW graph.
+type DenseIndex uint8
+
+const (
+	// DenseFlat scans every live vector per query — exact, O(n).
+	DenseFlat DenseIndex = iota
+	// DenseHNSW runs a beam search over an incremental HNSW graph —
+	// approximate, sub-linear, recall governed by the ef knob.
+	DenseHNSW
+)
+
+// String implements fmt.Stringer.
+func (d DenseIndex) String() string {
+	if d == DenseHNSW {
+		return "hnsw"
+	}
+	return "flat"
+}
+
+// ParseDenseIndex converts a dense index name used by cmd flags
+// (-knn-index) to a DenseIndex.
+func ParseDenseIndex(s string) (DenseIndex, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "flat", "exact":
+		return DenseFlat, nil
+	case "hnsw", "ann":
+		return DenseHNSW, nil
+	}
+	return 0, fmt.Errorf("online: unknown dense index %q", s)
+}
+
 // ParseMethod converts a method name used by cmd flags and the snapshot
 // format to a Method.
 func ParseMethod(s string) (Method, error) {
@@ -88,6 +120,12 @@ type Config struct {
 	Metric knn.Metric
 	// Dim is the embedding dimensionality of FlatKNN (0 = vector.Dim).
 	Dim int
+	// Dense selects the incremental index behind FlatKNN: the exact
+	// flat scan (default) or the approximate HNSW graph.
+	Dense DenseIndex
+	// HNSW tunes the graph when Dense is DenseHNSW; zero fields take
+	// the knn package defaults.
+	HNSW knn.HNSWParams
 }
 
 // normalize fills defaults.
@@ -98,7 +136,22 @@ func (c Config) normalize() Config {
 	if c.Dim <= 0 {
 		c.Dim = vector.Dim
 	}
+	if c.Method == FlatKNN && c.Dense == DenseHNSW {
+		// Pin the concrete graph parameters now: they are persisted in
+		// snapshots and must not drift if the knn defaults ever change.
+		c.HNSW = c.HNSW.Normalized()
+	}
 	return c
+}
+
+// methodLabel is the metrics "method" label: dense configurations are
+// split by index structure so flat and hnsw latency distributions never
+// mix in one series.
+func (c Config) methodLabel() string {
+	if c.Method == FlatKNN && c.Dense == DenseHNSW {
+		return "hnsw"
+	}
+	return c.Method.String()
 }
 
 // Describe renders the configuration deterministically for logs and the
@@ -115,7 +168,11 @@ func (c Config) Describe() string {
 	case EpsJoin:
 		parts = append(parts, "model="+c.Model.String(), "measure="+c.Measure.String(), fmt.Sprintf("t=%.2f", c.Threshold))
 	case FlatKNN:
-		parts = append(parts, fmt.Sprintf("metric=%s", c.Metric), fmt.Sprintf("k=%d", c.K), fmt.Sprintf("dim=%d", c.Dim))
+		parts = append(parts, fmt.Sprintf("metric=%s", c.Metric), fmt.Sprintf("k=%d", c.K), fmt.Sprintf("dim=%d", c.Dim), "index="+c.Dense.String())
+		if c.Dense == DenseHNSW {
+			p := c.HNSW.Normalized()
+			parts = append(parts, fmt.Sprintf("m=%d", p.M), fmt.Sprintf("efc=%d", p.EfConstruction), fmt.Sprintf("ef=%d", p.EfSearch))
+		}
 	}
 	return strings.Join(parts, " ")
 }

@@ -92,7 +92,8 @@ func FuzzLoad(f *testing.F) {
 		tail[len(tail)-2] ^= 0x01
 		f.Add(tail)
 	}
-	f.Add([]byte("ERSNAP\x02\n"))
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("ERSNAP\x02\n")) // the retired v2 magic must be rejected cleanly
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := Load(bytes.NewReader(data))

@@ -362,7 +362,7 @@ func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	r := s.res
 	r.mu.Lock()
-	cfg, nextID, ents := r.captureLocked()
+	cfg, nextID, ents, graph := r.captureLocked()
 	r.mu.Unlock()
 	boundary, err := s.log.Rotate()
 	if err == nil {
@@ -375,7 +375,7 @@ func (s *Store) Checkpoint() error {
 	}
 
 	if err := writeFileAtomic(s.fs, s.dir, tempName, snapName, func(w io.Writer) error {
-		return writeSnapshot(w, cfg, nextID, ents)
+		return writeSnapshot(w, cfg, nextID, ents, graph)
 	}); err != nil {
 		return fmt.Errorf("online: checkpoint snapshot: %w", err)
 	}

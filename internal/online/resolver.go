@@ -29,7 +29,44 @@ type QueryOptions struct {
 	K int
 	// Threshold overrides the ε-Join similarity threshold when > 0.
 	Threshold float64
+	// Ef overrides the beam width of approximate dense (HNSW) queries
+	// when > 0: wider beams trade latency for recall. Ignored by every
+	// exact index.
+	Ef int
+	// Exact forces a brute-force scan over the live vectors even when
+	// the resolver serves an approximate index — the per-query escape
+	// hatch when a caller needs oracle answers (and the equivalence the
+	// crash-recovery tests assert). Ignored by already-exact indexes.
+	Exact bool
 }
+
+// denseIndex is the pluggable write-side seam over the incremental dense
+// indexes: IncFlat (exact) and IncHNSW (approximate) both satisfy it, so
+// every write path — inserts, deletes, compaction, WAL replay — is
+// index-agnostic.
+type denseIndex interface {
+	Add(id int64, v vector.Vec) error
+	Remove(id int64) bool
+	Compact()
+	Len() int
+	Dead() int
+	Freeze() denseSnap
+}
+
+// denseSnap is the read-side counterpart: an immutable snapshot any
+// number of goroutines may search.
+type denseSnap interface {
+	Len() int
+	Search(q vector.Vec, k int) []knn.IncResult
+}
+
+type flatDense struct{ *knn.IncFlat }
+
+func (f flatDense) Freeze() denseSnap { return f.IncFlat.Freeze() }
+
+type hnswDense struct{ *knn.IncHNSW }
+
+func (h hnswDense) Freeze() denseSnap { return h.IncHNSW.Freeze() }
 
 // Stats is a point-in-time summary of a resolver.
 type Stats struct {
@@ -75,7 +112,7 @@ type Resolver struct {
 	// Exactly one of sp (sparse methods) or kn (dense) is non-nil.
 	vocab *Vocab
 	sp    *sparse.IncIndex
-	kn    *knn.IncFlat
+	kn    denseIndex
 	emb   *vector.Embedder // writer-side embedding cache (dense only)
 
 	snap    atomic.Pointer[Snapshot]
@@ -99,6 +136,15 @@ type telemetry struct {
 	scratchMisses *metrics.Counter   // ... that allocated fresh
 	embedGets     *metrics.Counter   // dense embedder pool fetches
 	embedMisses   *metrics.Counter   // ... that allocated fresh
+
+	// ANN serving telemetry (hnsw only). Every recallProbePeriod-th
+	// approximate query also runs the exact oracle and scores overlap,
+	// so live recall is observable as hits/want without paying the
+	// brute-force cost on every request.
+	exactQueries *metrics.Counter // queries forced to the exact path
+	recallHits   *metrics.Counter // probe results at/above the oracle cutoff
+	recallWant   *metrics.Counter // probe oracle result count
+	probeTick    uint64           // atomic; probe sampling counter
 }
 
 func newTelemetry() *telemetry {
@@ -109,8 +155,16 @@ func newTelemetry() *telemetry {
 		scratchMisses: &metrics.Counter{},
 		embedGets:     &metrics.Counter{},
 		embedMisses:   &metrics.Counter{},
+		exactQueries:  &metrics.Counter{},
+		recallHits:    &metrics.Counter{},
+		recallWant:    &metrics.Counter{},
 	}
 }
+
+// recallProbePeriod is the sampling stride of the live recall probe: one
+// in this many approximate queries is double-checked against the exact
+// oracle. Probing is disabled whenever the recall counters are nil.
+const recallProbePeriod = 64
 
 // NewResolver creates an empty resolver serving the configuration and
 // publishes its epoch-0 snapshot.
@@ -121,7 +175,11 @@ func NewResolver(cfg Config) *Resolver {
 	r.scratch.New = func() any { tel.scratchMisses.Inc(); return &sparse.Scratch{} }
 	r.embed.New = func() any { tel.embedMisses.Inc(); return vector.NewEmbedder(cfg.Dim) }
 	if cfg.Method == FlatKNN {
-		r.kn = knn.NewIncFlat(cfg.Metric)
+		if cfg.Dense == DenseHNSW {
+			r.kn = hnswDense{knn.NewIncHNSW(cfg.Metric, cfg.HNSW)}
+		} else {
+			r.kn = flatDense{knn.NewIncFlat(cfg.Metric)}
+		}
 		r.emb = vector.NewEmbedder(cfg.Dim)
 	} else {
 		r.sp = sparse.NewIncIndex()
@@ -312,7 +370,7 @@ func (r *Resolver) Stats() Stats {
 // freeze cost of each publish, and the hit rates of the query-side
 // scratch/embedder pools (hits = gets - misses).
 func (r *Resolver) RegisterMetrics(reg *metrics.Registry) {
-	method := metrics.Labels{"method": r.cfg.Method.String()}
+	method := metrics.Labels{"method": r.cfg.methodLabel()}
 	reg.RegisterHistogram("online_query_duration_seconds",
 		"Per-query latency (text assembly + index search).", method, 1e-9, r.tel.queryNS)
 	reg.RegisterHistogram("online_publish_freeze_duration_seconds",
@@ -340,6 +398,14 @@ func (r *Resolver) RegisterMetrics(reg *metrics.Registry) {
 			"Query-side embedder pool fetches.", nil, r.tel.embedGets)
 		reg.RegisterCounter("online_embedder_pool_misses_total",
 			"Embedder pool fetches that allocated a fresh embedder.", nil, r.tel.embedMisses)
+		if r.cfg.Dense == DenseHNSW {
+			reg.RegisterCounter("online_ann_exact_queries_total",
+				"Dense queries forced to the exact brute-force path.", nil, r.tel.exactQueries)
+			reg.RegisterCounter("online_ann_recall_probe_hits_total",
+				"Sampled-probe approximate results at or above the oracle cutoff.", nil, r.tel.recallHits)
+			reg.RegisterCounter("online_ann_recall_probe_expected_total",
+				"Sampled-probe oracle result count (recall = hits/expected).", nil, r.tel.recallWant)
+		}
 	} else {
 		reg.RegisterCounter("online_scratch_pool_gets_total",
 			"Query-side sparse scratch pool fetches.", nil, r.tel.scratchGets)
@@ -357,7 +423,7 @@ type Snapshot struct {
 	count   int
 	dict    map[string]int32
 	sp      *sparse.IncSnapshot
-	kn      *knn.FlatSnapshot
+	kn      denseSnap
 	queries *atomic.Uint64
 	scratch *sync.Pool
 	embed   *sync.Pool
@@ -473,7 +539,7 @@ func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace, 
 		q := res.emb.Text(txt)
 		tr.Encode = time.Since(begin)
 		begin = time.Now()
-		hits := s.kn.Search(q, k)
+		hits := s.denseSearch(q, k, opt)
 		tr.Search = time.Since(begin)
 		out := make([]Candidate, len(hits))
 		for i, h := range hits {
@@ -493,6 +559,54 @@ func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace, 
 			return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
 		})
 	}
+}
+
+// denseSearch dispatches a dense query to the snapshot's index. Exact
+// indexes ignore the ANN knobs; on an HNSW snapshot opt.Exact falls back
+// to the brute-force oracle, opt.Ef widens the beam, and a sampled
+// fraction of approximate queries is double-checked against the oracle
+// to feed the live recall counters.
+func (s *Snapshot) denseSearch(q vector.Vec, k int, opt QueryOptions) []knn.IncResult {
+	hs, ok := s.kn.(*knn.HNSWSnapshot)
+	if !ok {
+		return s.kn.Search(q, k)
+	}
+	if opt.Exact {
+		s.tel.exactQueries.Inc()
+		return hs.SearchExact(q, k)
+	}
+	hits := hs.SearchEf(q, k, opt.Ef)
+	s.maybeProbeRecall(hs, q, k, hits)
+	return hits
+}
+
+// maybeProbeRecall runs the exact oracle for one in recallProbePeriod
+// approximate queries and accumulates tie-tolerant overlap@k: a hit is
+// any approximate result scoring at or above the oracle's k-th best.
+func (s *Snapshot) maybeProbeRecall(hs *knn.HNSWSnapshot, q vector.Vec, k int, approx []knn.IncResult) {
+	t := s.tel
+	if t.recallHits == nil || t.recallWant == nil {
+		return
+	}
+	if atomic.AddUint64(&t.probeTick, 1)%recallProbePeriod != 0 {
+		return
+	}
+	exact := hs.SearchExact(q, k)
+	if len(exact) == 0 {
+		return
+	}
+	cutoff := exact[len(exact)-1].Score
+	hit := 0
+	for _, r := range approx {
+		if r.Score <= cutoff {
+			hit++
+		}
+	}
+	if hit > len(exact) {
+		hit = len(exact)
+	}
+	t.recallHits.Add(int64(hit))
+	t.recallWant.Add(int64(len(exact)))
 }
 
 func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, sc *sparse.Scratch, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {

@@ -26,6 +26,7 @@ func testConfigs() map[string]Config {
 		"knnj":    {Method: KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 2, Clean: true},
 		"epsjoin": {Method: EpsJoin, Model: c3g, Measure: sparse.Jaccard, Threshold: 0.3, Clean: true},
 		"flat":    {Method: FlatKNN, K: 2, Metric: knn.L2Squared, Dim: 32},
+		"hnsw":    {Method: FlatKNN, K: 2, Metric: knn.L2Squared, Dim: 32, Dense: DenseHNSW, HNSW: knn.HNSWParams{Seed: 1}},
 	}
 }
 

@@ -255,13 +255,15 @@ func (sr *ShardedResolver) Save(w io.Writer) error {
 	var ents []snapEntity
 	for _, r := range sr.shards {
 		r.mu.Lock()
-		_, _, se := r.captureLocked()
+		_, _, se, _ := r.captureLocked()
 		r.mu.Unlock()
 		ents = append(ents, se...)
 	}
 	// Read the id counter after the captures: every captured id was
 	// assigned before its capture, so the counter already exceeds it.
-	return writeSnapshot(w, sr.cfg, sr.nextID.Load(), ents)
+	// No graph section: per-shard graphs are topology-bound, so a
+	// sharded snapshot always restores by replay.
+	return writeSnapshot(w, sr.cfg, sr.nextID.Load(), ents, nil)
 }
 
 // SaveFile writes the sharded snapshot to path atomically (temp file +
@@ -279,7 +281,9 @@ func (sr *ShardedResolver) SaveFile(fsys faultfs.FS, path string) error {
 // by Save (sharded or not): entities keep their ids and re-route to
 // shards under the new count, so re-sharding is exactly a save/load.
 func LoadSharded(rd io.Reader, n int) (*ShardedResolver, error) {
-	c, nextID, ents, err := decodeSnapshot(rd)
+	// A single-resolver snapshot may embed a graph section; re-sharding
+	// discards it (decode still validates it) and rebuilds per shard.
+	c, nextID, ents, _, err := decodeSnapshot(rd)
 	if err != nil {
 		return nil, err
 	}

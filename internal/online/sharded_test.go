@@ -124,6 +124,15 @@ func TestShardedEquivalenceQuick(t *testing.T) {
 		trials = 2
 	}
 	for name, cfg := range testConfigs() {
+		if cfg.Dense == DenseHNSW {
+			// Per-shard HNSW graphs see different insertion orders than
+			// the single resolver's one graph, so approximate answers are
+			// not byte-identical across topologies (any agreement at this
+			// scale is incidental). The ANN tier is instead held to exact
+			// equivalence under QueryOptions{Exact: true} and a recall
+			// floor in TestShardedHNSWRecallGateQuick.
+			continue
+		}
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			check := func(seed int64) bool {

@@ -17,18 +17,25 @@ import (
 
 // The on-disk snapshot format is pure stdlib and deliberately minimal: a
 // magic header, the tuned configuration, every resident entity's id and
-// attributes in ascending-id order, and a CRC32-C trailer over the whole
-// stream. Token sets, vocabularies and embeddings are *not* stored —
-// they are deterministic functions of the entity texts and the
-// configuration, so Load rebuilds them by replaying the entities in id
-// order. Replay order equals the original insertion order (ids are
-// monotonic and never reused), which is what makes a loaded resolver
-// answer queries byte-identically to the one saved. The trailer makes
-// corruption detection unconditional: any truncation or bit flip
-// anywhere in the stream fails Load instead of silently loading a
-// damaged resolver.
+// attributes in ascending-id order, an optional dense-graph section, and
+// a CRC32-C trailer over the whole stream. Token sets, vocabularies and
+// embeddings are *not* stored — they are deterministic functions of the
+// entity texts and the configuration, so Load rebuilds them by replaying
+// the entities in id order. Replay order equals the original insertion
+// order (ids are monotonic and never reused), which is what makes a
+// loaded resolver answer queries byte-identically to the one saved.
+//
+// The HNSW graph is the one structure replay cannot reproduce (replaying
+// into a half-built graph routes differently than the original inserts
+// did), so v3 embeds the graph section — the knn package's own
+// checksummed stream — inline when a single resolver or store shard
+// saves; its bytes also flow through the outer CRC. A sharded
+// topology-independent save omits the section and Load rebuilds by
+// replay instead. The trailer makes corruption detection unconditional:
+// any truncation or bit flip anywhere in the stream fails Load instead
+// of silently loading a damaged resolver.
 const (
-	snapMagic   = "ERSNAP\x02\n"
+	snapMagic   = "ERSNAP\x03\n"
 	maxSnapStr  = 1 << 24 // sanity bound for length-prefixed strings
 	maxSnapAttr = 1 << 20 // sanity bound for attributes per entity
 )
@@ -151,18 +158,49 @@ type snapEntity struct {
 
 // captureLocked collects the writer-side state a snapshot needs. Callers
 // hold r.mu; the attribute slices are shared, which is safe because they
-// are copied on insert and never mutated while resident.
-func (r *Resolver) captureLocked() (Config, int64, []snapEntity) {
+// are copied on insert and never mutated while resident. For an
+// HNSW-backed resolver the capture includes a frozen graph snapshot —
+// an O(n) header copy, not a serialization; the expensive streaming
+// happens outside the lock.
+func (r *Resolver) captureLocked() (Config, int64, []snapEntity, *knn.HNSWSnapshot) {
 	ents := make([]snapEntity, 0, len(r.attrs))
 	for id, attrs := range r.attrs {
 		ents = append(ents, snapEntity{id: id, attrs: attrs})
 	}
-	return r.cfg, r.nextID, ents
+	var graph *knn.HNSWSnapshot
+	if g, ok := r.kn.(hnswDense); ok {
+		graph = g.IncHNSW.Freeze()
+	}
+	return r.cfg, r.nextID, ents, graph
+}
+
+// graphWriter and graphReader adapt the outer CRC'd stream as plain
+// io.Writer/io.Reader, so the embedded knn graph section — which carries
+// its own magic and checksum — also counts toward the outer trailer.
+type graphWriter struct{ b *binWriter }
+
+func (g graphWriter) Write(p []byte) (int, error) {
+	g.b.bytes(p)
+	if g.b.err != nil {
+		return 0, g.b.err
+	}
+	return len(p), nil
+}
+
+type graphReader struct{ b *binReader }
+
+func (g graphReader) Read(p []byte) (int, error) {
+	g.b.bytes(p)
+	if g.b.err != nil {
+		return 0, g.b.err
+	}
+	return len(p), nil
 }
 
 // writeSnapshot streams one consistent captured state in the snapshot
-// format; ents may be unsorted and is sorted in place.
-func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity) error {
+// format; ents may be unsorted and is sorted in place. graph is nil for
+// every configuration except a directly-saved HNSW resolver.
+func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity, graph *knn.HNSWSnapshot) error {
 	sort.Slice(ents, func(i, j int) bool { return ents[i].id < ents[j].id })
 
 	bw := &binWriter{w: bufio.NewWriter(w)}
@@ -178,6 +216,11 @@ func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity) error
 	bw.f64(c.Threshold)
 	bw.u32(uint32(c.Dim))
 	bw.str(c.BestAttribute)
+	bw.u8(uint8(c.Dense))
+	bw.u32(uint32(c.HNSW.M))
+	bw.u32(uint32(c.HNSW.EfConstruction))
+	bw.u32(uint32(c.HNSW.EfSearch))
+	bw.u64(c.HNSW.Seed)
 
 	bw.u64(uint64(nextID))
 	bw.u32(uint32(len(ents)))
@@ -188,6 +231,16 @@ func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity) error
 			bw.str(a.Name)
 			bw.str(a.Value)
 		}
+	}
+	if graph != nil {
+		bw.u8(1)
+		if bw.err == nil {
+			if err := graph.Save(graphWriter{bw}); err != nil && bw.err == nil {
+				bw.err = err
+			}
+		}
+	} else {
+		bw.u8(0)
 	}
 	bw.trailer()
 	if bw.err != nil {
@@ -204,26 +257,36 @@ func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity) error
 // one epoch. Concurrent queries are unaffected throughout.
 func (r *Resolver) Save(w io.Writer) error {
 	r.mu.Lock()
-	c, nextID, ents := r.captureLocked()
+	c, nextID, ents, graph := r.captureLocked()
 	r.mu.Unlock()
-	return writeSnapshot(w, c, nextID, ents)
+	return writeSnapshot(w, c, nextID, ents, graph)
 }
 
 // Load reconstructs a resolver from a snapshot written by Save. The
-// incremental indexes are rebuilt by replaying the entities in id order,
-// so the loaded resolver returns byte-identical query results. Any
-// truncation or corruption of the stream — including a single flipped
-// bit anywhere — returns an error; no partial state is ever served.
+// incremental indexes are rebuilt by replaying the entities in id order
+// — or, when the snapshot embeds an HNSW graph section, restored
+// verbatim (tombstones, adjacency and all), so the loaded resolver
+// returns byte-identical query results either way. Any truncation or
+// corruption of the stream — including a single flipped bit anywhere —
+// returns an error; no partial state is ever served.
 func Load(rd io.Reader) (*Resolver, error) {
-	c, nextID, ents, err := decodeSnapshot(rd)
+	c, nextID, ents, graph, err := decodeSnapshot(rd)
 	if err != nil {
 		return nil, err
 	}
 	r := NewResolver(c)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range ents {
-		r.addLocked(e.id, e.attrs)
+	if graph != nil {
+		r.kn = hnswDense{graph}
+		for _, e := range ents {
+			r.attrs[e.id] = e.attrs
+			r.inserts++
+		}
+	} else {
+		for _, e := range ents {
+			r.addLocked(e.id, e.attrs)
+		}
 	}
 	r.nextID = nextID
 	r.publishLocked()
@@ -233,13 +296,19 @@ func Load(rd io.Reader) (*Resolver, error) {
 // decodeSnapshot reads and fully validates a snapshot stream — checksum
 // included — before any caller builds index state from it, so a corrupt
 // snapshot can never leave a partially loaded resolver behind. Entities
-// come back in the stored strictly-ascending id order.
-func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, error) {
+// come back in the stored strictly-ascending id order; the returned
+// graph is non-nil only for an HNSW snapshot that embeds its section,
+// and is validated against the entity set and the configuration before
+// anything is returned.
+func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, *knn.IncHNSW, error) {
+	fail := func(err error) (Config, int64, []snapEntity, *knn.IncHNSW, error) {
+		return Config{}, 0, nil, nil, err
+	}
 	br := &binReader{r: bufio.NewReader(rd)}
 	magic := make([]byte, len(snapMagic))
 	br.bytes(magic)
 	if br.err == nil && string(magic) != snapMagic {
-		return Config{}, 0, nil, fmt.Errorf("online: not an erfilter snapshot (bad magic)")
+		return fail(fmt.Errorf("online: not an erfilter snapshot (bad magic)"))
 	}
 
 	var c Config
@@ -253,17 +322,24 @@ func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, error) {
 	c.Threshold = br.f64()
 	c.Dim = int(br.u32())
 	c.BestAttribute = br.str()
+	c.Dense = DenseIndex(br.u8())
+	c.HNSW = knn.HNSWParams{
+		M:              int(br.u32()),
+		EfConstruction: int(br.u32()),
+		EfSearch:       int(br.u32()),
+		Seed:           br.u64(),
+	}
 	if br.err != nil {
-		return Config{}, 0, nil, fmt.Errorf("online: reading snapshot header: %w", br.err)
+		return fail(fmt.Errorf("online: reading snapshot header: %w", br.err))
 	}
 	if err := validateConfig(c); err != nil {
-		return Config{}, 0, nil, err
+		return fail(err)
 	}
 
 	nextID := int64(br.u64())
 	count := br.u32()
 	if br.err != nil {
-		return Config{}, 0, nil, fmt.Errorf("online: reading snapshot counts: %w", br.err)
+		return fail(fmt.Errorf("online: reading snapshot counts: %w", br.err))
 	}
 
 	ents := make([]snapEntity, 0, min(int(count), 1<<16))
@@ -275,25 +351,72 @@ func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, error) {
 			br.err = fmt.Errorf("attribute count %d exceeds bound", nattrs)
 		}
 		if br.err != nil {
-			return Config{}, 0, nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+			return fail(fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err))
 		}
 		attrs := make([]entity.Attribute, nattrs)
 		for j := range attrs {
 			attrs[j] = entity.Attribute{Name: br.str(), Value: br.str()}
 		}
 		if br.err != nil {
-			return Config{}, 0, nil, fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err)
+			return fail(fmt.Errorf("online: reading snapshot entity %d: %w", i, br.err))
 		}
 		if id <= prev || id >= nextID {
-			return Config{}, 0, nil, fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID)
+			return fail(fmt.Errorf("online: snapshot entity ids not strictly increasing below next id (%d after %d, next %d)", id, prev, nextID))
 		}
 		prev = id
 		ents = append(ents, snapEntity{id: id, attrs: attrs})
 	}
-	if br.checkTrailer(); br.err != nil {
-		return Config{}, 0, nil, fmt.Errorf("online: verifying snapshot: %w", br.err)
+
+	var graph *knn.IncHNSW
+	switch hasGraph := br.u8(); {
+	case br.err != nil:
+		return fail(fmt.Errorf("online: reading snapshot graph flag: %w", br.err))
+	case hasGraph > 1:
+		return fail(fmt.Errorf("online: snapshot has bad graph flag %d", hasGraph))
+	case hasGraph == 1:
+		if c.Dense != DenseHNSW {
+			return fail(fmt.Errorf("online: snapshot embeds a graph section under a %s dense index", c.Dense))
+		}
+		var err error
+		graph, err = knn.LoadHNSW(graphReader{br})
+		if err != nil {
+			return fail(fmt.Errorf("online: reading snapshot graph section: %w", err))
+		}
 	}
-	return c, nextID, ents, nil
+	if br.checkTrailer(); br.err != nil {
+		return fail(fmt.Errorf("online: verifying snapshot: %w", br.err))
+	}
+	if graph != nil {
+		if err := validateGraph(c, graph, ents); err != nil {
+			return fail(err)
+		}
+	}
+	return c, nextID, ents, graph, nil
+}
+
+// validateGraph cross-checks an embedded graph section against the
+// snapshot it rode in on: same tuning, same metric, same dimensionality,
+// and exactly the entity set as its live vectors. (Vector values are
+// covered by the checksums, not recomputed.)
+func validateGraph(c Config, graph *knn.IncHNSW, ents []snapEntity) error {
+	if graph.Params() != c.HNSW.Normalized() {
+		return fmt.Errorf("online: snapshot graph params %+v disagree with config %+v", graph.Params(), c.HNSW.Normalized())
+	}
+	if graph.Metric() != c.Metric {
+		return fmt.Errorf("online: snapshot graph metric %s disagrees with config %s", graph.Metric(), c.Metric)
+	}
+	if graph.Len() > 0 && graph.Dim() != c.Dim {
+		return fmt.Errorf("online: snapshot graph dim %d disagrees with config %d", graph.Dim(), c.Dim)
+	}
+	if graph.Len() != len(ents) {
+		return fmt.Errorf("online: snapshot graph holds %d live vectors for %d entities", graph.Len(), len(ents))
+	}
+	for _, e := range ents {
+		if !graph.Has(e.id) {
+			return fmt.Errorf("online: snapshot graph is missing entity %d", e.id)
+		}
+	}
+	return nil
 }
 
 // addLocked indexes an entity under an explicit id (the snapshot replay
@@ -324,10 +447,27 @@ func validateConfig(c Config) error {
 	if c.Setting != entity.SchemaAgnostic && c.Setting != entity.SchemaBased {
 		return fmt.Errorf("online: snapshot has unknown schema setting %d", c.Setting)
 	}
+	if c.Dense > DenseHNSW {
+		return fmt.Errorf("online: snapshot has unknown dense index %d", c.Dense)
+	}
+	if c.Method != FlatKNN && c.Dense != DenseFlat {
+		return fmt.Errorf("online: snapshot pairs sparse method %s with dense index %s", c.Method, c.Dense)
+	}
 	switch c.Method {
 	case FlatKNN:
 		if c.Metric != knn.DotProduct && c.Metric != knn.L2Squared {
 			return fmt.Errorf("online: snapshot has unknown metric %d", c.Metric)
+		}
+		if c.Dense == DenseHNSW {
+			if c.HNSW.M < 1 || c.HNSW.M > 1<<10 {
+				return fmt.Errorf("online: snapshot has hnsw M %d out of range", c.HNSW.M)
+			}
+			if c.HNSW.EfConstruction < 1 || c.HNSW.EfConstruction > 1<<20 {
+				return fmt.Errorf("online: snapshot has hnsw efConstruction %d out of range", c.HNSW.EfConstruction)
+			}
+			if c.HNSW.EfSearch < 1 || c.HNSW.EfSearch > 1<<20 {
+				return fmt.Errorf("online: snapshot has hnsw efSearch %d out of range", c.HNSW.EfSearch)
+			}
 		}
 	default: // sparse methods carry a representation model and a measure
 		if c.Model.N < 1 || c.Model.N > 5 {

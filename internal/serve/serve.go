@@ -80,14 +80,14 @@ func WrapResolver(r *online.Resolver) Resolver { return singleResolver{r} }
 
 type singleResolver struct{ r *online.Resolver }
 
-func (a singleResolver) Config() online.Config                      { return a.r.Config() }
-func (a singleResolver) Len() int                                   { return a.r.Len() }
-func (a singleResolver) Get(id int64) ([]entity.Attribute, bool)    { return a.r.Get(id) }
-func (a singleResolver) Save(w io.Writer) error                     { return a.r.Save(w) }
-func (a singleResolver) Snapshot() Snapshot                         { return a.r.Snapshot() }
-func (a singleResolver) Stats() any                                 { return a.r.Stats() }
-func (a singleResolver) RegisterMetrics(reg *metrics.Registry)      { a.r.RegisterMetrics(reg) }
-func (a singleResolver) Delete(id int64) (bool, error)              { return a.r.Delete(id), nil }
+func (a singleResolver) Config() online.Config                   { return a.r.Config() }
+func (a singleResolver) Len() int                                { return a.r.Len() }
+func (a singleResolver) Get(id int64) ([]entity.Attribute, bool) { return a.r.Get(id) }
+func (a singleResolver) Save(w io.Writer) error                  { return a.r.Save(w) }
+func (a singleResolver) Snapshot() Snapshot                      { return a.r.Snapshot() }
+func (a singleResolver) Stats() any                              { return a.r.Stats() }
+func (a singleResolver) RegisterMetrics(reg *metrics.Registry)   { a.r.RegisterMetrics(reg) }
+func (a singleResolver) Delete(id int64) (bool, error)           { return a.r.Delete(id), nil }
 func (a singleResolver) InsertBatch(b [][]entity.Attribute) ([]int64, error) {
 	return a.r.InsertBatch(b), nil
 }
@@ -491,6 +491,17 @@ const defaultQueryLimit = 1000
 // split into multiple requests.
 const maxBatchQueries = 1024
 
+// resolveANN validates the ANN knobs of a query request: "ef" widens
+// the beam of an approximate (HNSW) index, "approx": false forces the
+// exact brute-force oracle for that one query. Both are no-ops on an
+// already-exact index, so clients can send them unconditionally.
+func resolveANN(ef int, approx *bool) (online.QueryOptions, error) {
+	if ef < 0 {
+		return online.QueryOptions{}, fmt.Errorf("ef must be >= 0, got %d", ef)
+	}
+	return online.QueryOptions{Ef: ef, Exact: approx != nil && !*approx}, nil
+}
+
 // resolveLimit validates the request's candidate cap: negative is a
 // client error, zero means "use the default".
 func resolveLimit(limit int) (int, error) {
@@ -526,13 +537,20 @@ func candList(cands []online.Candidate) []candJSON {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		entityPayload
-		K     int     `json:"k"`
-		Eps   float64 `json:"eps"`
-		Limit int     `json:"limit"`
-		Trace bool    `json:"trace"`
+		K      int     `json:"k"`
+		Eps    float64 `json:"eps"`
+		Ef     int     `json:"ef"`
+		Approx *bool   `json:"approx"`
+		Limit  int     `json:"limit"`
+		Trace  bool    `json:"trace"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	opt, err := resolveANN(req.Ef, req.Approx)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	limit, err := resolveLimit(req.Limit)
@@ -545,8 +563,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
+	opt.K, opt.Threshold = req.K, req.Eps
 	snap := s.res.Snapshot()
-	cands, tr := snap.QueryTraced(attrs, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	cands, tr := snap.QueryTraced(attrs, opt)
 	truncated := len(cands) > limit
 	if truncated {
 		cands = cands[:limit]
@@ -580,11 +599,18 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Queries []entityPayload `json:"queries"`
 		K       int             `json:"k"`
 		Eps     float64         `json:"eps"`
+		Ef      int             `json:"ef"`
+		Approx  *bool           `json:"approx"`
 		Limit   int             `json:"limit"`
 		Trace   bool            `json:"trace"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	opt, err := resolveANN(req.Ef, req.Approx)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -611,8 +637,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = attrs
 	}
+	opt.K, opt.Threshold = req.K, req.Eps
 	snap := s.res.Snapshot()
-	results, tr := snap.QueryBatch(batch, online.QueryOptions{K: req.K, Threshold: req.Eps})
+	results, tr := snap.QueryBatch(batch, opt)
 	type result struct {
 		Candidates []candJSON `json:"candidates"`
 		Truncated  bool       `json:"truncated,omitempty"`
