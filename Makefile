@@ -4,17 +4,17 @@ GO ?= go
 # online serving path; these run a second time under the race detector.
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
-	./internal/wal ./internal/metrics ./internal/serve ./cmd/erserve
+	./internal/wal ./internal/metrics ./internal/segment ./internal/serve ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
-CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/online ./internal/serve ./cmd/erserve
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos shard ann scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann
+.PHONY: check vet build test race chaos shard ann lsm scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm
 
-## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann)
-check: vet build test race chaos shard ann
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm)
+check: vet build test race chaos shard ann lsm
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,14 @@ shard:
 ann:
 	$(GO) test -race -count 1 -run 'HNSW|ANN' ./internal/knn ./internal/online ./internal/serve ./cmd/erserve
 
+## lsm: the on-disk segment-tier gate — property tests proving the
+## disk-backed resolver is byte-identical to the in-memory oracle
+## (deletes past merge GC, mid-stream flushes, save/load, shard counts
+## 1..8, crash recovery over torn-tail WALs), plus the segment and
+## manifest corruption suites, under the race detector
+lsm:
+	$(GO) test -race -count 1 -run 'Segment|Manifest|Tier|DiskStore|Storage|ValidateOptions' ./internal/segment ./internal/online ./cmd/erserve
+
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or
 ## missing series. CI runs this against every change.
@@ -81,3 +89,10 @@ bench-shard:
 ## query p50 at 100k entities with recall@10 >= 0.95
 bench-ann:
 	$(GO) run ./cmd/erbench -exp ann
+
+## bench-lsm: all-in-memory vs disk-backed resolver over the same
+## workload (ingest, query p50, index heap after GC, segment count and
+## on-disk bytes); the run fails unless every answer is byte-identical
+## and the dataset is >= 4x the memtable cap
+bench-lsm:
+	$(GO) run ./cmd/erbench -exp lsm

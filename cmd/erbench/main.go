@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -48,6 +48,10 @@ func main() {
 		annQ     = flag.Int("ann-queries", 200, "query count per size for -exp ann")
 		annDim   = flag.Int("ann-dim", 64, "vector dimensionality for -exp ann")
 		annEf    = flag.Int("ann-ef", 0, "HNSW query beam width for -exp ann (0 = default)")
+		lsmN     = flag.Int("lsm-entities", 120000, "collection size for -exp lsm (must be >= 4x -lsm-cap)")
+		lsmQ     = flag.Int("lsm-queries", 300, "query count for -exp lsm")
+		lsmCap   = flag.Int("lsm-cap", 25000, "memtable cap for -exp lsm's disk resolver")
+		lsmFanin = flag.Int("lsm-fanin", 6, "segment merge fan-in for -exp lsm")
 	)
 	flag.Parse()
 
@@ -85,6 +89,13 @@ func main() {
 	}
 	if *exp == "ann" {
 		if err := annExperiment(out, *annN, *annQ, *annDim, *annEf); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "lsm" {
+		if err := lsmExperiment(out, *lsmN, *lsmQ, *lsmCap, *lsmFanin); err != nil {
 			fmt.Fprintln(os.Stderr, "erbench:", err)
 			os.Exit(1)
 		}

@@ -10,6 +10,8 @@
 //	erserve -bulk a.csv -wal /var/lib/erserve                    # durable: WAL + checkpoints
 //	erserve -bulk a.csv -wal /var/lib/erserve -shards 8          # sharded: parallel ingest
 //	erserve -bulk a.csv -method flat -knn-index hnsw             # approximate dense serving
+//	erserve -bulk a.csv -storage disk -segment-dir /var/lib/seg  # beyond-RAM: on-disk segment tier
+//	erserve -bulk a.csv -wal /var/lib/erserve -storage disk      # durable + bounded memtable
 //
 // With -wal every mutation is written to a write-ahead log and fsynced
 // before it is acknowledged, so acked writes survive crashes and power
@@ -23,6 +25,14 @@
 // per-shard top-k lists deterministically, so answers are identical to
 // an unsharded resolver; the shard count is pinned in the store
 // directory on first open.
+//
+// With -storage disk the resolver keeps only a bounded memtable
+// (-memtable-cap entities) in RAM and flushes overflow to immutable
+// mmap'd segment files compacted in the background (-merge-fanin),
+// answering byte-identically to -storage memory. Volatile runs need
+// -segment-dir; with -wal the tier lives under the store directory and
+// checkpoints double as flushes. Exact indexes only (no -knn-index
+// hnsw).
 //
 // The HTTP surface is versioned under /v1 (legacy unversioned paths
 // answer identically plus a Deprecation header); every non-2xx response
@@ -92,6 +102,11 @@ type options struct {
 	hnswEf   int
 	hnswSeed uint64
 
+	storage     string
+	segmentDir  string
+	memtableCap int
+	mergeFanin  int
+
 	walDir          string
 	checkpointEvery int
 	writeQueue      int
@@ -125,6 +140,10 @@ func main() {
 	flag.IntVar(&o.hnswEfC, "hnsw-efc", 0, "HNSW construction beam width (0 = default 100)")
 	flag.IntVar(&o.hnswEf, "hnsw-ef", 0, "HNSW query beam width (0 = default 64; raise for recall, lower for latency)")
 	flag.Uint64Var(&o.hnswSeed, "hnsw-seed", 0, "HNSW level-assignment seed (any value; same seed + same ops = same graph)")
+	flag.StringVar(&o.storage, "storage", "memory", "index storage: memory (all-RAM) or disk (bounded memtable + on-disk segment tier; exact indexes only)")
+	flag.StringVar(&o.segmentDir, "segment-dir", "", "segment-tier directory for -storage disk without -wal (a durable store keeps its segments under the -wal directory)")
+	flag.IntVar(&o.memtableCap, "memtable-cap", 32768, "with -storage disk, flush the memtable to a segment at this many entities")
+	flag.IntVar(&o.mergeFanin, "merge-fanin", 8, "with -storage disk, fold this many segments per background compaction (minimum 2)")
 	flag.IntVar(&o.shards, "shards", 1, "hash-partition the resolver across this many independent shards (with -wal, one WAL directory per shard; pinned on first open)")
 	flag.StringVar(&o.walDir, "wal", "", "durable store directory: WAL every mutation, checkpoint, recover on restart")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
@@ -132,18 +151,63 @@ func main() {
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/v1/snapshot is exempt)")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	flag.Parse()
-	if o.workers < 0 {
-		fmt.Fprintf(os.Stderr, "erserve: -workers must be >= 0 (0 selects all CPUs), got %d\n", o.workers)
-		os.Exit(2)
-	}
-	if o.shards < 1 {
-		fmt.Fprintf(os.Stderr, "erserve: -shards must be >= 1, got %d\n", o.shards)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateOptions(o, set); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}
+}
+
+// validateOptions rejects flag values that can only misconfigure the
+// daemon, before any file or index is touched. set holds the names of
+// flags the user passed explicitly: the HNSW knobs default to 0 meaning
+// "use the library default", so a zero is only an error when typed.
+func validateOptions(o options, set map[string]bool) error {
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 selects all CPUs), got %d", o.workers)
+	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"hnsw-m", o.hnswM}, {"hnsw-efc", o.hnswEfC}, {"hnsw-ef", o.hnswEf}} {
+		if set[f.name] && f.val <= 0 {
+			return fmt.Errorf("-%s must be > 0 when set (omit it for the default), got %d", f.name, f.val)
+		}
+	}
+	if o.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (0 checkpoints only on shutdown), got %d", o.checkpointEvery)
+	}
+	if o.memtableCap <= 0 {
+		return fmt.Errorf("-memtable-cap must be > 0, got %d", o.memtableCap)
+	}
+	if o.mergeFanin < 2 {
+		return fmt.Errorf("-merge-fanin must be >= 2, got %d", o.mergeFanin)
+	}
+	kind, err := online.ParseStorage(o.storage)
+	if err != nil {
+		return fmt.Errorf("-storage must be memory or disk, got %q", o.storage)
+	}
+	if kind == online.StorageDisk && o.knnIndex == "hnsw" {
+		return fmt.Errorf("-storage disk serves the exact dense index only; drop -knn-index hnsw")
+	}
+	if kind == online.StorageDisk && o.walDir == "" && o.segmentDir == "" {
+		return fmt.Errorf("-storage disk without -wal requires -segment-dir for the segment tier")
+	}
+	if o.segmentDir != "" && o.walDir != "" {
+		return fmt.Errorf("-segment-dir conflicts with -wal: a durable store keeps its segments under the -wal directory")
+	}
+	if o.segmentDir != "" && kind != online.StorageDisk {
+		return fmt.Errorf("-segment-dir requires -storage disk")
+	}
+	return nil
 }
 
 func run(o options) error {
@@ -157,6 +221,9 @@ func run(o options) error {
 	}
 	if o.shards > 1 {
 		mode += fmt.Sprintf(", shards=%d", o.shards)
+	}
+	if k, _ := online.ParseStorage(o.storage); k == online.StorageDisk {
+		mode += ", storage=disk"
 	}
 	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s [%s]\n",
 		st.res.Config().Describe(), st.res.Len(), o.addr, mode)
@@ -204,16 +271,18 @@ func run(o options) error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	if st.closeStore != nil {
-		if err := st.closeStore(); err != nil {
-			return fmt.Errorf("closing store: %w", err)
-		}
-	}
+	// The shutdown snapshot streams first: closing a disk-backed resolver
+	// unmaps its segment readers, after which there is nothing to save.
 	if o.save != "" {
 		if err := st.saveFile(o.save); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "erserve: snapshot saved to %s\n", o.save)
+	}
+	if st.closeStore != nil {
+		if err := st.closeStore(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
 	}
 	return nil
 }
@@ -293,11 +362,28 @@ func buildState(o options) (state, error) {
 // bulk-loaded; -shards routes it through the sharded resolver.
 func buildVolatile(o options) (state, error) {
 	if o.load != "" {
+		kind, err := online.ParseStorage(o.storage)
+		if err != nil {
+			return state{}, err
+		}
 		f, err := os.Open(o.load)
 		if err != nil {
 			return state{}, err
 		}
 		defer f.Close()
+		if kind == online.StorageDisk {
+			if o.shards > 1 {
+				return state{}, fmt.Errorf("-load with -storage disk does not support -shards: load unsharded, or seed a sharded durable store from CSV")
+			}
+			res, err := online.LoadStorage(f, online.Config{
+				Storage: online.StorageDisk, SegmentDir: o.segmentDir,
+				MemtableCap: o.memtableCap, MergeFanin: o.mergeFanin,
+			})
+			if err != nil {
+				return state{}, err
+			}
+			return diskVolatile(res), nil
+		}
 		if o.shards > 1 {
 			sr, err := online.LoadSharded(f, o.shards)
 			if err != nil {
@@ -314,6 +400,28 @@ func buildVolatile(o options) (state, error) {
 	cfg, ds, err := resolveConfig(o)
 	if err != nil {
 		return state{}, err
+	}
+	if cfg.Storage == online.StorageDisk {
+		if o.shards > 1 {
+			sr, err := online.OpenSharded(cfg, o.shards)
+			if err != nil {
+				return state{}, err
+			}
+			if ds != nil {
+				sr.InsertDataset(ds)
+			}
+			st := shardedVolatile(sr)
+			st.closeStore = sr.Close
+			return st, nil
+		}
+		res, err := online.OpenResolver(cfg)
+		if err != nil {
+			return state{}, err
+		}
+		if ds != nil {
+			res.InsertDataset(ds)
+		}
+		return diskVolatile(res), nil
 	}
 	if o.shards > 1 {
 		sr := online.NewSharded(cfg, o.shards)
@@ -334,6 +442,15 @@ func singleVolatile(res *online.Resolver) state {
 		res:      serve.WrapResolver(res),
 		saveFile: func(p string) error { return res.SaveFile(nil, p) },
 	}
+}
+
+// diskVolatile wraps a disk-backed resolver without a WAL: volatile (the
+// memtable dies with the process; segments persist), but the tier's mmap
+// readers and merge goroutine need the shutdown Close hook.
+func diskVolatile(res *online.Resolver) state {
+	st := singleVolatile(res)
+	st.closeStore = res.Close
+	return st
 }
 
 func shardedVolatile(sr *online.ShardedResolver) state {
@@ -387,7 +504,31 @@ func resolveConfig(o options) (online.Config, *entity.Dataset, error) {
 	if err := applyDenseIndex(&cfg, o); err != nil {
 		return online.Config{}, nil, err
 	}
+	if err := applyStorage(&cfg, o); err != nil {
+		return online.Config{}, nil, err
+	}
 	return cfg, ds, nil
+}
+
+// applyStorage folds the -storage flags into the serving config.
+// Deployment shape only: these fields never enter snapshots, and a
+// segment tier's manifest pins its own semantic config on reopen.
+func applyStorage(cfg *online.Config, o options) error {
+	kind, err := online.ParseStorage(o.storage)
+	if err != nil {
+		return err
+	}
+	if kind != online.StorageDisk {
+		return nil
+	}
+	if cfg.Dense == online.DenseHNSW {
+		return fmt.Errorf("-storage disk serves the exact dense index only (use -knn-index flat)")
+	}
+	cfg.Storage = kind
+	cfg.SegmentDir = o.segmentDir
+	cfg.MemtableCap = o.memtableCap
+	cfg.MergeFanin = o.mergeFanin
+	return nil
 }
 
 // applyDenseIndex folds the -knn-index flag (and the HNSW knobs) into

@@ -63,6 +63,62 @@ func baseOptions() options {
 	return options{
 		method: "knnj", schema: "agnostic", model: "C3G", knnIndex: "flat",
 		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1, shards: 1,
+		storage: "memory", memtableCap: 32768, mergeFanin: 8,
+	}
+}
+
+// TestValidateOptions audits the flag validation: every rejected value
+// names its flag, and the combinations that cannot work together are
+// refused before any file is touched.
+func TestValidateOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(o *options)
+		set  []string
+		want string // substring of the error; "" means valid
+	}{
+		{"defaults", func(o *options) {}, nil, ""},
+		{"negative workers", func(o *options) { o.workers = -1 }, nil, "-workers"},
+		{"zero shards", func(o *options) { o.shards = 0 }, nil, "-shards"},
+		{"hnsw-m zero when set", func(o *options) { o.hnswM = 0 }, []string{"hnsw-m"}, "-hnsw-m"},
+		{"hnsw-m zero unset is default", func(o *options) { o.hnswM = 0 }, nil, ""},
+		{"hnsw-efc negative when set", func(o *options) { o.hnswEfC = -4 }, []string{"hnsw-efc"}, "-hnsw-efc"},
+		{"hnsw-ef zero when set", func(o *options) { o.hnswEf = 0 }, []string{"hnsw-ef"}, "-hnsw-ef"},
+		{"negative checkpoint-every", func(o *options) { o.checkpointEvery = -1 }, nil, "-checkpoint-every"},
+		{"zero memtable-cap", func(o *options) { o.memtableCap = 0 }, nil, "-memtable-cap"},
+		{"merge-fanin below two", func(o *options) { o.mergeFanin = 1 }, nil, "-merge-fanin"},
+		{"unknown storage", func(o *options) { o.storage = "floppy" }, nil, "-storage"},
+		{"disk with hnsw index", func(o *options) {
+			o.storage, o.method, o.knnIndex = "disk", "flat", "hnsw"
+			o.segmentDir = "seg"
+		}, nil, "exact"},
+		{"volatile disk without segment-dir", func(o *options) { o.storage = "disk" }, nil, "-segment-dir"},
+		{"segment-dir with wal", func(o *options) {
+			o.storage, o.segmentDir, o.walDir = "disk", "seg", "store"
+		}, nil, "conflicts"},
+		{"segment-dir without disk", func(o *options) { o.segmentDir = "seg" }, nil, "requires -storage disk"},
+		{"durable disk", func(o *options) { o.storage, o.walDir = "disk", "store" }, nil, ""},
+		{"volatile disk", func(o *options) { o.storage, o.segmentDir = "disk", "seg" }, nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mut(&o)
+			set := map[string]bool{}
+			for _, name := range tc.set {
+				set[name] = true
+			}
+			err := validateOptions(o, set)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
 	}
 }
 
@@ -284,6 +340,102 @@ func TestBuildStateShardedDurable(t *testing.T) {
 	wrong.shards = 5
 	if _, err := buildState(wrong); err == nil || !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("shard-count mismatch must error, got %v", err)
+	}
+}
+
+// TestBuildStateDiskTier covers the -storage disk startup paths:
+// volatile bulk load over a segment tier, snapshot load into a fresh
+// tier, sharded volatile disk, the unsupported sharded-load combination
+// and the durable disk store.
+func TestBuildStateDiskTier(t *testing.T) {
+	e1, _, _ := writeTaskCSVs(t)
+
+	o := baseOptions()
+	o.bulk = e1
+	o.storage = "disk"
+	o.segmentDir = filepath.Join(t.TempDir(), "seg")
+	o.memtableCap = 8
+	o.mergeFanin = 2
+	st, err := buildState(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.res.Len() != 20 || st.store != nil || st.closeStore == nil {
+		t.Fatalf("disk bulk load: len=%d store=%v close=%v", st.res.Len(), st.store, st.closeStore != nil)
+	}
+	snapPath := filepath.Join(t.TempDir(), "disk.snap")
+	if err := st.saveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot loads back into a fresh tier directory.
+	lo := options{
+		load: snapPath, shards: 1, storage: "disk",
+		segmentDir: filepath.Join(t.TempDir(), "seg2"), memtableCap: 8, mergeFanin: 2,
+	}
+	lst, err := buildState(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.res.Len() != 20 {
+		t.Fatalf("disk load: %d entities, want 20", lst.res.Len())
+	}
+	if err := lst.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	badLoad := lo
+	badLoad.shards = 2
+	badLoad.segmentDir = filepath.Join(t.TempDir(), "seg3")
+	if _, err := buildState(badLoad); err == nil {
+		t.Fatal("-load with -storage disk and -shards must error")
+	}
+
+	so := o
+	so.shards = 3
+	so.segmentDir = filepath.Join(t.TempDir(), "sharded-seg")
+	sst, err := buildState(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.res.Len() != 20 {
+		t.Fatalf("sharded disk bulk load: %d entities", sst.res.Len())
+	}
+	if err := sst.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable disk: the WAL directory owns the tier; reopen recovers.
+	do := baseOptions()
+	do.bulk = e1
+	do.storage = "disk"
+	do.memtableCap = 8
+	do.mergeFanin = 2
+	do.walDir = filepath.Join(t.TempDir(), "store")
+	do.checkpointEvery = 64
+	dst, err := buildState(do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.store == nil || dst.res.Len() != 20 {
+		t.Fatalf("durable disk seed: store=%v len=%d", dst.store, dst.res.Len())
+	}
+	if _, err := dst.store.InsertBatch([][]entity.Attribute{{{Name: "name", Value: "extra"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+	dst2, err := buildState(do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst2.closeStore()
+	if dst2.res.Len() != 21 {
+		t.Fatalf("durable disk recovery: %d entities, want 21", dst2.res.Len())
 	}
 }
 

@@ -130,6 +130,62 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestMetricsScrapeEndToEndDiskTier is the -storage disk /metrics
+// contract: a durable daemon with a tiny memtable cap flushes several
+// segments under real traffic, and one scrape carries the tier's
+// gauges (live segments, disk bytes, tombstones), the flush/merge
+// counters and duration histograms, and the per-query segments-scanned
+// counter next to the WAL and endpoint series.
+func TestMetricsScrapeEndToEndDiskTier(t *testing.T) {
+	o := options{
+		addr: "127.0.0.1:0", method: "knnj", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.4, shards: 1,
+		storage: "disk", memtableCap: 4, mergeFanin: 2,
+		walDir: filepath.Join(t.TempDir(), "store"), checkpointEvery: 64,
+		writeQueue: 8, requestTimeout: 10 * time.Second,
+	}
+	samples := scrapeDaemon(t, o, func(base string) {
+		// 12 inserts at cap 4: every fourth insert checkpoints the WAL
+		// into a fresh segment. Then delete a flushed entity (a tier
+		// tombstone) and query (scanning the live segments).
+		for i := 0; i < 12; i++ {
+			body, _ := json.Marshal(map[string]any{"text": fmt.Sprintf("canon powershot a%d", i)})
+			resp, err := http.Post(base+"/v1/entities", "application/json", bytes.NewReader(body))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("insert %d: %v %v", i, err, resp)
+			}
+			resp.Body.Close()
+		}
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/entities/1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete: %v %v", err, resp)
+		}
+		resp.Body.Close()
+		body, _ := json.Marshal(map[string]any{"text": "canon powershot"})
+		if resp, err = http.Post(base+"/v1/query", "application/json", bytes.NewReader(body)); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %v %v", err, resp)
+		}
+		resp.Body.Close()
+	})
+
+	mustHave(t, samples, "segment_live_segments", nil, 1)
+	mustHave(t, samples, "segment_disk_bytes", nil, 1)
+	mustHave(t, samples, "segment_flushes_total", nil, 2)
+	mustHave(t, samples, "segment_flush_duration_seconds_count", nil, 2)
+	mustHave(t, samples, "segment_query_segments_scanned_total", nil, 1)
+	// Merge series must be present in the exposition even when the
+	// background compactor has not fired by scrape time.
+	mustHave(t, samples, "segment_merges_total", nil, 0)
+	mustHave(t, samples, "segment_merge_failures_total", nil, 0)
+	mustHave(t, samples, "segment_merge_duration_seconds_count", nil, 0)
+	mustHave(t, samples, "segment_tombstones", nil, 0)
+	mustHave(t, samples, "online_entities", nil, 11)
+	mustHave(t, samples, "wal_appended_records_total", nil, 13)
+	mustHave(t, samples, "store_checkpoints_total", nil, 2)
+	mustHave(t, samples, "store_degraded", nil, 0)
+}
+
 // TestMetricsScrapeEndToEndSharded is the sharded-mode /metrics
 // contract: per-shard entity gauges and query histograms, shard-labeled
 // WAL series, the gather-merge histogram and the size-skew gauge all

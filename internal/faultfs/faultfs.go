@@ -58,6 +58,35 @@ func Open(fsys FS, name string) (File, error) {
 	return fsys.OpenFile(name, os.O_RDONLY, 0)
 }
 
+// WriteFileAtomic streams write into dir/temp, fsyncs, atomically
+// renames it to dir/final and fsyncs the directory entry — the
+// checkpoint discipline shared by snapshots, segment files and the
+// segment manifest. On any error the temp file is removed and the
+// previous dir/final (if any) is untouched.
+func WriteFileAtomic(fsys FS, dir, temp, final string, write func(io.Writer) error) error {
+	tempPath := filepath.Join(dir, temp)
+	f, err := Create(fsys, tempPath)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fsys.Remove(tempPath)
+		return err
+	}
+	if err := fsys.Rename(tempPath, filepath.Join(dir, final)); err != nil {
+		_ = fsys.Remove(tempPath)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
 // OS is the production FS: a direct passthrough to the os package.
 type OS struct{}
 

@@ -41,6 +41,12 @@ func (m Metric) score(q, v vector.Vec) float64 {
 	return vector.L2Sq(q, v)
 }
 
+// Score exposes the metric's raw smaller-is-better score for storage
+// tiers that scan vectors outside the knn indexes (the on-disk segment
+// reader); it is the exact function every index scores with, which is
+// what keeps external scans byte-identical to an index search.
+func (m Metric) Score(q, v vector.Vec) float64 { return m.score(q, v) }
+
 // Result is one search hit: the indexed vector's id and its score
 // (smaller is better, metric-normalized).
 type Result struct {

@@ -80,6 +80,41 @@ func ParseDenseIndex(s string) (DenseIndex, error) {
 	return 0, fmt.Errorf("online: unknown dense index %q", s)
 }
 
+// StorageKind selects where a resolver's index lives: entirely on the
+// heap (the default), or split between a bounded in-memory memtable
+// and an on-disk LSM segment tier.
+type StorageKind uint8
+
+const (
+	// StorageMemory keeps every entity in the incremental in-memory
+	// indexes.
+	StorageMemory StorageKind = iota
+	// StorageDisk bounds the memtable and flushes overflow to immutable
+	// mmap'd segment files under Config.SegmentDir, with answers
+	// byte-identical to StorageMemory.
+	StorageDisk
+)
+
+// String implements fmt.Stringer.
+func (s StorageKind) String() string {
+	if s == StorageDisk {
+		return "disk"
+	}
+	return "memory"
+}
+
+// ParseStorage converts a storage name used by cmd flags (-storage) to
+// a StorageKind.
+func ParseStorage(s string) (StorageKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "memory", "mem", "ram":
+		return StorageMemory, nil
+	case "disk", "lsm", "segment":
+		return StorageDisk, nil
+	}
+	return 0, fmt.Errorf("online: unknown storage kind %q", s)
+}
+
 // ParseMethod converts a method name used by cmd flags and the snapshot
 // format to a Method.
 func ParseMethod(s string) (Method, error) {
@@ -126,6 +161,27 @@ type Config struct {
 	// HNSW tunes the graph when Dense is DenseHNSW; zero fields take
 	// the knn package defaults.
 	HNSW knn.HNSWParams
+
+	// Storage selects in-memory (default) or disk-backed indexing. The
+	// fields below configure the disk tier and, like shard topology,
+	// are deployment shape rather than filter semantics: they are not
+	// serialized into snapshots, and the tier manifest's own copy wins
+	// over a caller's on reopen.
+	Storage StorageKind
+	// SegmentDir is the tier directory for StorageDisk resolvers
+	// opened volatile (durable stores derive it from the WAL dir).
+	SegmentDir string
+	// MemtableCap is the entity count at which the memtable flushes to
+	// a new segment (0 = 32768).
+	MemtableCap int
+	// MergeFanin is how many segments one compaction folds together
+	// (0 = 8, minimum 2).
+	MergeFanin int
+
+	// segSyncMerge runs tier compactions inline rather than in the
+	// background — deterministic scheduling for the equivalence and
+	// crash property tests.
+	segSyncMerge bool
 }
 
 // normalize fills defaults.
@@ -140,6 +196,14 @@ func (c Config) normalize() Config {
 		// Pin the concrete graph parameters now: they are persisted in
 		// snapshots and must not drift if the knn defaults ever change.
 		c.HNSW = c.HNSW.Normalized()
+	}
+	if c.Storage == StorageDisk {
+		if c.MemtableCap <= 0 {
+			c.MemtableCap = 32768
+		}
+		if c.MergeFanin < 2 {
+			c.MergeFanin = 8
+		}
 	}
 	return c
 }

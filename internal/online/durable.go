@@ -15,6 +15,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/faultfs"
 	"erfilter/internal/metrics"
+	"erfilter/internal/segment"
 	"erfilter/internal/wal"
 )
 
@@ -78,14 +79,26 @@ const (
 
 	snapName = "current.snap"
 	tempName = "current.snap.tmp"
+
+	// segmentsDirName is the segment-tier subdirectory of a StorageDisk
+	// store; the WAL and the tier share the store directory.
+	segmentsDirName = "segments"
 )
 
-// OpenStore opens (or initializes) the durable resolver in dir: load the
-// last good snapshot if one exists — its configuration wins over cfg —
-// then replay the WAL on top of it, then open the log for appending.
-// Replay is idempotent, so a crash between a checkpoint's snapshot
-// rename and its WAL trim only costs re-replaying records the snapshot
-// already contains.
+// OpenStore opens (or initializes) the durable resolver in dir.
+//
+// Under StorageMemory it loads the last good snapshot if one exists —
+// its configuration wins over cfg — then replays the WAL on top of it.
+// Under StorageDisk the durable bulk lives in the segment tier at
+// dir/segments (the tier manifest's configuration wins); WAL replay
+// repopulates only the memtable, skipping records already flushed into
+// segments. Replay is idempotent either way, so a crash between a
+// checkpoint's commit and its WAL trim only costs re-replaying records
+// the checkpoint already absorbed.
+//
+// A directory created under one storage kind refuses to open under the
+// other: silently ignoring a snapshot (or a segment tier) would serve
+// a partial collection as if it were complete.
 func OpenStore(dir string, cfg Config, opt StoreOptions) (*Store, error) {
 	fsys := opt.FS
 	if fsys == nil {
@@ -98,7 +111,30 @@ func OpenStore(dir string, cfg Config, opt StoreOptions) (*Store, error) {
 	// the atomic rename; it was never activated, so drop it.
 	_ = fsys.Remove(filepath.Join(dir, tempName))
 
-	res, err := loadOrCreate(fsys, filepath.Join(dir, snapName), cfg)
+	cfg = cfg.normalize()
+	snapPath := filepath.Join(dir, snapName)
+	segDir := filepath.Join(dir, segmentsDirName)
+	hasSnap, err := fileExists(fsys, snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("online: probing snapshot: %w", err)
+	}
+	hasTier, err := segment.Exists(fsys, segDir)
+	if err != nil {
+		return nil, fmt.Errorf("online: probing segment tier: %w", err)
+	}
+	var res *Resolver
+	switch {
+	case cfg.Storage == StorageDisk && hasSnap:
+		return nil, fmt.Errorf("online: store at %s was created with -storage memory (found %s); reopen it with -storage memory or migrate via save/load", dir, snapName)
+	case cfg.Storage != StorageDisk && hasTier:
+		return nil, fmt.Errorf("online: store at %s was created with -storage disk (found a segment tier); reopen it with -storage disk or migrate via save/load", dir)
+	case cfg.Storage == StorageDisk:
+		// The store drives flushes itself (autoFlush=false) so every
+		// flush is fenced against a WAL rotation and trim.
+		res, err = newDiskResolver(cfg, fsys, segDir, false)
+	default:
+		res, err = loadOrCreate(fsys, snapPath, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +155,18 @@ func OpenStore(dir string, cfg Config, opt StoreOptions) (*Store, error) {
 	return s, nil
 }
 
+// fileExists probes a path through the FS seam.
+func fileExists(fsys faultfs.FS, path string) (bool, error) {
+	f, err := faultfs.Open(fsys, path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, f.Close()
+}
+
 func loadOrCreate(fsys faultfs.FS, snapPath string, cfg Config) (*Resolver, error) {
 	f, err := faultfs.Open(fsys, snapPath)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -137,12 +185,15 @@ func loadOrCreate(fsys faultfs.FS, snapPath string, cfg Config) (*Resolver, erro
 
 // replayRecord applies one WAL record during recovery. Callers hold
 // res.mu. Inserts of already-resident ids are records a checkpoint
-// already absorbed (the crash-between-rename-and-trim window) and are
-// skipped; deletes of non-resident ids are no-ops for the same reason.
-// Residency — not an id watermark — is the skip test because a sharded
-// store assigns globally monotonic ids that land in each shard's WAL
-// out of order. An absorbed insert whose entity was later deleted
-// replays as re-add followed by its own delete record (WAL order equals
+// already absorbed (the crash-between-checkpoint-commit-and-trim
+// window) and are skipped — on a disk-backed resolver "resident"
+// includes entities a flush moved into the segment tier. Residency —
+// not an id watermark — is the skip test because a sharded store
+// assigns globally monotonic ids that land in each shard's WAL out of
+// order. Deletes fall through the memtable to the tier: a tombstone a
+// crash caught before its manifest commit is re-applied from its WAL
+// record. An absorbed insert whose entity was later deleted replays as
+// re-add followed by its own delete record (WAL order equals
 // application order), which nets out correctly.
 func replayRecord(res *Resolver, rec wal.Record) error {
 	switch rec.Type {
@@ -151,19 +202,25 @@ func replayRecord(res *Resolver, rec wal.Record) error {
 		if err != nil {
 			return err
 		}
-		if _, ok := res.attrs[id]; ok {
-			return nil
-		}
-		res.addLocked(id, attrs)
 		if id >= res.nextID {
 			res.nextID = id + 1
 		}
+		if _, ok := res.attrs[id]; ok {
+			return nil
+		}
+		if res.tier != nil && res.tier.Has(id) {
+			return nil
+		}
+		res.addLocked(id, attrs)
 	case walDelete:
 		id, err := decodeDelete(rec.Data)
 		if err != nil {
 			return err
 		}
 		if _, ok := res.attrs[id]; !ok {
+			if res.tier != nil && res.tier.Delete(id) {
+				res.deletes++
+			}
 			return nil
 		}
 		if res.sp != nil {
@@ -266,12 +323,17 @@ func (s *Store) insertBatch(assigned []int64, batch [][]entity.Attribute) ([]int
 		r.addLocked(id, copied)
 		ids[i] = id
 	}
+	var flushDue bool
 	if werr == nil {
+		// A full memtable checkpoints (= flushes) even before the
+		// record-count period: the memtable cap is the RAM bound the
+		// disk tier exists to enforce.
+		flushDue = r.tier != nil && len(r.attrs) >= r.cfg.MemtableCap
 		r.publishLocked()
 	}
 	r.mu.Unlock()
 	s.sinceCkpt += len(batch)
-	ckpt := s.ckptDueLocked(werr)
+	ckpt := s.ckptDueLocked(werr) || flushDue
 	s.mu.Unlock()
 	if werr != nil {
 		s.degrade(werr)
@@ -295,21 +357,29 @@ func (s *Store) Delete(id int64) (bool, error) {
 	s.mu.Lock()
 	r := s.res
 	r.mu.Lock()
-	if _, ok := r.attrs[id]; !ok {
+	_, inMem := r.attrs[id]
+	if !inMem && (r.tier == nil || !r.tier.Has(id)) {
 		r.mu.Unlock()
 		s.mu.Unlock()
 		return false, nil
 	}
 	seq, werr := s.log.AppendBuffered(walDelete, encodeDelete(id))
 	if werr == nil {
-		if r.sp != nil {
-			r.sp.Remove(id)
+		if inMem {
+			if r.sp != nil {
+				r.sp.Remove(id)
+			} else {
+				r.kn.Remove(id)
+			}
+			delete(r.attrs, id)
+			r.maybeCompactLocked()
 		} else {
-			r.kn.Remove(id)
+			// The entity lives in a flushed segment: tombstone it in the
+			// tier view. The tombstone reaches the manifest at the next
+			// checkpoint flush, always before this WAL record is trimmed.
+			r.tier.Delete(id)
 		}
-		delete(r.attrs, id)
 		r.deletes++
-		r.maybeCompactLocked()
 		r.publishLocked()
 	}
 	r.mu.Unlock()
@@ -359,6 +429,10 @@ func (s *Store) Checkpoint() error {
 	begin := time.Now()
 	defer func() { s.ckptNS.ObserveDuration(time.Since(begin)) }()
 
+	if s.res.tier != nil {
+		return s.checkpointDisk()
+	}
+
 	s.mu.Lock()
 	r := s.res
 	r.mu.Lock()
@@ -386,14 +460,56 @@ func (s *Store) Checkpoint() error {
 	return nil
 }
 
-// Close checkpoints (when healthy) and closes the WAL. The store must
-// not be used afterwards.
+// checkpointDisk is the StorageDisk checkpoint: instead of rewriting a
+// snapshot file, it rotates the WAL, flushes the memtable into a new
+// segment (which also commits pending tier tombstones and the id
+// watermark into the manifest), and only then trims the WAL segments
+// the flush made obsolete. Rotation and flush are fenced under both
+// the store and resolver locks, so every record before the rotation
+// boundary is in the memtable (or already in the tier) when the flush
+// captures it. A failed flush leaves the WAL untrimmed — durability is
+// unaffected and the checkpoint is retried later, exactly like a
+// failed snapshot write.
+func (s *Store) checkpointDisk() error {
+	s.mu.Lock()
+	r := s.res
+	boundary, werr := s.log.Rotate()
+	var ferr error
+	if werr == nil {
+		r.mu.Lock()
+		if ferr = r.flushLocked(); ferr == nil {
+			s.sinceCkpt = 0
+		}
+		r.publishLocked()
+		r.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if werr != nil {
+		s.degrade(werr)
+		return werr
+	}
+	if ferr != nil {
+		return fmt.Errorf("online: checkpoint flush: %w", ferr)
+	}
+	if err := s.log.TrimBefore(boundary); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// Close checkpoints (when healthy), closes the WAL, and releases the
+// segment tier of a disk-backed store. The store must not be used
+// afterwards.
 func (s *Store) Close() error {
 	var err error
 	if ok, _ := s.Ready(); ok {
 		err = s.Checkpoint()
 	}
 	if cerr := s.log.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if cerr := s.res.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
 	return err
@@ -454,29 +570,10 @@ func (r *Resolver) SaveFile(fsys faultfs.FS, path string) error {
 }
 
 // writeFileAtomic streams write into dir/temp, fsyncs, atomically
-// renames it to dir/final and fsyncs the directory entry.
+// renames it to dir/final and fsyncs the directory entry. It is the
+// shared faultfs helper, kept under its historical local name.
 func writeFileAtomic(fsys faultfs.FS, dir, temp, final string, write func(io.Writer) error) error {
-	tempPath := filepath.Join(dir, temp)
-	f, err := faultfs.Create(fsys, tempPath)
-	if err != nil {
-		return err
-	}
-	err = write(f)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = fsys.Remove(tempPath)
-		return err
-	}
-	if err := fsys.Rename(tempPath, filepath.Join(dir, final)); err != nil {
-		_ = fsys.Remove(tempPath)
-		return err
-	}
-	return fsys.SyncDir(dir)
+	return faultfs.WriteFileAtomic(fsys, dir, temp, final, write)
 }
 
 // encodeInsert frames an insert record: id, then length-prefixed

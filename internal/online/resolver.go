@@ -1,6 +1,7 @@
 package online
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
 	"erfilter/internal/metrics"
+	"erfilter/internal/segment"
 	"erfilter/internal/sparse"
 	"erfilter/internal/vector"
 )
@@ -79,6 +81,10 @@ type Stats struct {
 	Queries     uint64 `json:"queries"`
 	Compactions uint64 `json:"compactions"`
 	Config      string `json:"config"`
+	// Segments and DiskBytes describe the on-disk tier of a
+	// StorageDisk resolver; both are zero under StorageMemory.
+	Segments  int   `json:"segments,omitempty"`
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
 }
 
 // compactMinDead and compactRatio set the tombstone-triggered compaction
@@ -114,6 +120,15 @@ type Resolver struct {
 	sp    *sparse.IncIndex
 	kn    denseIndex
 	emb   *vector.Embedder // writer-side embedding cache (dense only)
+
+	// tier is the on-disk segment store of a StorageDisk resolver (nil
+	// under StorageMemory). The in-memory index above doubles as the
+	// memtable: once it holds MemtableCap entities a flush drains it
+	// into a new immutable segment. autoFlush enables that cap check on
+	// the volatile insert paths; the durable Store drives flushes
+	// itself so they can be fenced against the WAL.
+	tier      *segment.Tier
+	autoFlush bool
 
 	snap    atomic.Pointer[Snapshot]
 	queries atomic.Uint64
@@ -200,6 +215,7 @@ func (r *Resolver) Insert(attrs []entity.Attribute) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	id := r.insertLocked(attrs)
+	r.maybeFlushLocked()
 	r.publishLocked()
 	return id
 }
@@ -212,6 +228,7 @@ func (r *Resolver) InsertBatch(batch [][]entity.Attribute) []int64 {
 	ids := make([]int64, len(batch))
 	for i, attrs := range batch {
 		ids[i] = r.insertLocked(attrs)
+		r.maybeFlushLocked()
 	}
 	r.publishLocked()
 	return ids
@@ -238,8 +255,22 @@ func (r *Resolver) InsertAssigned(ids []int64, batch [][]entity.Attribute) {
 		if ids[i] >= r.nextID {
 			r.nextID = ids[i] + 1
 		}
+		r.maybeFlushLocked()
 	}
 	r.publishLocked()
+}
+
+// maybeFlushLocked drains the memtable to a new segment when a
+// volatile disk-backed resolver crosses its cap. Callers hold mu.
+// Volatile resolvers have no WAL to retreat to, so a flush failure is
+// as fatal as the addLocked panic on an index error.
+func (r *Resolver) maybeFlushLocked() {
+	if r.tier == nil || !r.autoFlush || len(r.attrs) < r.cfg.MemtableCap {
+		return
+	}
+	if err := r.flushLocked(); err != nil {
+		panic(fmt.Sprintf("online: memtable flush: %v", err))
+	}
 }
 
 func (r *Resolver) insertLocked(attrs []entity.Attribute) int64 {
@@ -251,10 +282,16 @@ func (r *Resolver) insertLocked(attrs []entity.Attribute) int64 {
 
 // Delete tombstones the entity, compacts the index when the tombstone
 // policy triggers, and publishes a new epoch. It reports whether the id
-// was resident.
+// was resident. On a disk-backed resolver an id absent from the
+// memtable may still live in the segment tier, where the delete lands
+// as a tier tombstone that the next merge garbage-collects.
 func (r *Resolver) Delete(id int64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.deleteLocked(id)
+}
+
+func (r *Resolver) deleteLocked(id int64) bool {
 	var ok bool
 	if r.sp != nil {
 		ok = r.sp.Remove(id)
@@ -262,6 +299,11 @@ func (r *Resolver) Delete(id int64) bool {
 		ok = r.kn.Remove(id)
 	}
 	if !ok {
+		if r.tier != nil && r.tier.Delete(id) {
+			r.deletes++
+			r.publishLocked()
+			return true
+		}
 		return false
 	}
 	delete(r.attrs, id)
@@ -312,6 +354,10 @@ func (r *Resolver) publishLocked() {
 		s.kn = r.kn.Freeze()
 		s.count = s.kn.Len()
 	}
+	if r.tier != nil {
+		s.tier = r.tier.View()
+		s.count += s.tier.Live()
+	}
 	r.tel.freezeNS.ObserveDuration(time.Since(begin))
 	r.snap.Store(s)
 }
@@ -325,22 +371,46 @@ func (r *Resolver) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 	return r.Snapshot().Query(attrs, opt)
 }
 
-// Get returns a copy of the attributes of a resident entity.
+// Get returns a copy of the attributes of a resident entity, whether
+// it lives in the memtable or a flushed segment.
 func (r *Resolver) Get(id int64) ([]entity.Attribute, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	attrs, ok := r.attrs[id]
-	if !ok {
-		return nil, false
+	if ok {
+		attrs = append([]entity.Attribute(nil), attrs...)
 	}
-	return append([]entity.Attribute(nil), attrs...), true
+	tier := r.tier
+	r.mu.Unlock()
+	if ok {
+		return attrs, true
+	}
+	if tier != nil {
+		return tier.View().Get(id)
+	}
+	return nil, false
 }
 
 // Len returns the number of resident (non-deleted) entities.
 func (r *Resolver) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.attrs)
+	n := len(r.attrs)
+	if r.tier != nil {
+		n += r.tier.View().Live()
+	}
+	return n
+}
+
+// Close releases the segment tier of a disk-backed resolver (waiting
+// out any background merge and unmapping every segment). Callers must
+// have drained queries; Close on a memory resolver is a no-op.
+func (r *Resolver) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tier == nil {
+		return nil
+	}
+	return r.tier.Close()
 }
 
 // Stats summarizes the resolver.
@@ -361,6 +431,13 @@ func (r *Resolver) Stats() Stats {
 		st.VocabSize = r.vocab.Len()
 	} else {
 		st.Tombstones = r.kn.Dead()
+	}
+	if r.tier != nil {
+		v := r.tier.View()
+		st.Entities += v.Live()
+		st.Tombstones += v.Tombstones()
+		st.Segments = v.Segments()
+		st.DiskBytes = v.DiskBytes()
 	}
 	return st
 }
@@ -412,6 +489,9 @@ func (r *Resolver) RegisterMetrics(reg *metrics.Registry) {
 		reg.RegisterCounter("online_scratch_pool_misses_total",
 			"Scratch pool fetches that allocated fresh scratch space.", nil, r.tel.scratchMisses)
 	}
+	if r.tier != nil {
+		r.tier.RegisterMetrics(reg, nil)
+	}
 }
 
 // Snapshot is an immutable view of a resolver as of one published epoch.
@@ -424,6 +504,7 @@ type Snapshot struct {
 	dict    map[string]int32
 	sp      *sparse.IncSnapshot
 	kn      denseSnap
+	tier    *segment.View // disk tier's read view (nil under StorageMemory)
 	queries *atomic.Uint64
 	scratch *sync.Pool
 	embed   *sync.Pool
@@ -540,24 +621,40 @@ func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace, 
 		tr.Encode = time.Since(begin)
 		begin = time.Now()
 		hits := s.denseSearch(q, k, opt)
-		tr.Search = time.Since(begin)
 		out := make([]Candidate, len(hits))
 		for i, h := range hits {
 			out[i] = Candidate{ID: h.ID, Score: -h.Score}
 		}
+		if s.tier != nil {
+			th := s.tier.DenseSearch(q, k)
+			tc := make([]Candidate, len(th))
+			for i, h := range th {
+				tc[i] = Candidate{ID: h.ID, Score: -h.Score}
+			}
+			out = mergeCandidates(FlatKNN, [][]Candidate{out, tc}, k)
+		}
+		tr.Search = time.Since(begin)
 		return out
 	case EpsJoin:
 		eps := s.cfg.Threshold
 		if opt.Threshold > 0 {
 			eps = opt.Threshold
 		}
-		return s.sparseQuery(txt, begin, tr, res.sc, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
-			return s.sp.RangeQuery(q, s.cfg.Measure, eps, sc)
-		})
+		return s.sparseQuery(txt, begin, tr, res.sc, 0,
+			func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+				return s.sp.RangeQuery(q, s.cfg.Measure, eps, sc)
+			},
+			func(toks []string) []segment.Hit {
+				return s.tier.SparseRange(toks, eps)
+			})
 	default: // KNNJoin
-		return s.sparseQuery(txt, begin, tr, res.sc, func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
-			return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
-		})
+		return s.sparseQuery(txt, begin, tr, res.sc, k,
+			func(q []int32, sc *sparse.Scratch) []sparse.IncNeighbor {
+				return s.sp.KNNQuery(q, s.cfg.Measure, k, sc)
+			},
+			func(toks []string) []segment.Hit {
+				return s.tier.SparseKNN(toks, k)
+			})
 	}
 }
 
@@ -609,15 +706,31 @@ func (s *Snapshot) maybeProbeRecall(hs *knn.HNSWSnapshot, q vector.Vec, k int, a
 	t.recallWant.Add(int64(len(exact)))
 }
 
-func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, sc *sparse.Scratch, run func([]int32, *sparse.Scratch) []sparse.IncNeighbor) []Candidate {
-	q := encodeFrozen(s.dict, s.cfg.Model.Tokens(txt))
+// sparseQuery runs a sparse query against the memtable index and, for
+// disk-backed snapshots, the segment tier, folding the two parts with
+// the canonical scatter-gather merge. The tier consumes the raw token
+// strings (segments are vocabulary-free); the memtable consumes the
+// same tokens through the frozen dictionary, so both parts score the
+// identical integer-overlap similarities.
+func (s *Snapshot) sparseQuery(txt string, begin time.Time, tr *Trace, sc *sparse.Scratch, k int,
+	run func([]int32, *sparse.Scratch) []sparse.IncNeighbor, tierRun func([]string) []segment.Hit) []Candidate {
+	toks := s.cfg.Model.Tokens(txt)
+	q := encodeFrozen(s.dict, toks)
 	tr.Encode = time.Since(begin)
 	begin = time.Now()
 	ns := run(q, sc)
-	tr.Search = time.Since(begin)
 	out := make([]Candidate, len(ns))
 	for i, n := range ns {
 		out[i] = Candidate{ID: n.ID, Score: n.Sim}
 	}
+	if s.tier != nil {
+		th := tierRun(toks)
+		tc := make([]Candidate, len(th))
+		for i, h := range th {
+			tc[i] = Candidate{ID: h.ID, Score: h.Score}
+		}
+		out = mergeCandidates(s.cfg.Method, [][]Candidate{out, tc}, k)
+	}
+	tr.Search = time.Since(begin)
 	return out
 }

@@ -509,6 +509,14 @@ func (ss *ShardedSnapshot) foldTraces(traces []Trace) Trace {
 //     values — a set at global distinct rank r ≤ k is at distinct rank
 //     ≤ r within its shard, so it survives the per-shard cut.
 func (ss *ShardedSnapshot) merge(per [][]Candidate, k int) []Candidate {
+	return mergeCandidates(ss.cfg.Method, per, k)
+}
+
+// mergeCandidates is the canonical scatter-gather fold shared by the
+// sharded resolver (one part per shard) and the disk tier (one part
+// for the memtable, one for the segment gather): concatenate, sort by
+// (score desc, id asc), re-apply the method's cut.
+func mergeCandidates(method Method, per [][]Candidate, k int) []Candidate {
 	total := 0
 	for _, p := range per {
 		total += len(p)
@@ -523,7 +531,7 @@ func (ss *ShardedSnapshot) merge(per [][]Candidate, k int) []Candidate {
 		}
 		return all[i].ID < all[j].ID
 	})
-	switch ss.cfg.Method {
+	switch method {
 	case EpsJoin:
 		// union only — no cut
 	case FlatKNN:

@@ -167,6 +167,14 @@ func (r *Resolver) captureLocked() (Config, int64, []snapEntity, *knn.HNSWSnapsh
 	for id, attrs := range r.attrs {
 		ents = append(ents, snapEntity{id: id, attrs: attrs})
 	}
+	if r.tier != nil {
+		// The flushed bulk joins the capture: a disk-backed resolver's
+		// snapshot is the same full-collection stream a memory one
+		// writes, so Save/Load round-trips are storage-agnostic.
+		r.tier.View().EachLive(func(id int64, attrs []entity.Attribute) {
+			ents = append(ents, snapEntity{id: id, attrs: attrs})
+		})
+	}
 	var graph *knn.HNSWSnapshot
 	if g, ok := r.kn.(hnswDense); ok {
 		graph = g.IncHNSW.Freeze()
@@ -205,22 +213,7 @@ func writeSnapshot(w io.Writer, c Config, nextID int64, ents []snapEntity, graph
 
 	bw := &binWriter{w: bufio.NewWriter(w)}
 	bw.bytes([]byte(snapMagic))
-	bw.u8(uint8(c.Method))
-	bw.u8(uint8(c.Setting))
-	bw.u8(boolByte(c.Clean))
-	bw.u8(uint8(c.Model.N))
-	bw.u8(boolByte(c.Model.Multiset))
-	bw.u8(uint8(c.Measure))
-	bw.u8(uint8(c.Metric))
-	bw.u32(uint32(c.K))
-	bw.f64(c.Threshold)
-	bw.u32(uint32(c.Dim))
-	bw.str(c.BestAttribute)
-	bw.u8(uint8(c.Dense))
-	bw.u32(uint32(c.HNSW.M))
-	bw.u32(uint32(c.HNSW.EfConstruction))
-	bw.u32(uint32(c.HNSW.EfSearch))
-	bw.u64(c.HNSW.Seed)
+	writeConfig(bw, c)
 
 	bw.u64(uint64(nextID))
 	bw.u32(uint32(len(ents)))
@@ -311,24 +304,7 @@ func decodeSnapshot(rd io.Reader) (Config, int64, []snapEntity, *knn.IncHNSW, er
 		return fail(fmt.Errorf("online: not an erfilter snapshot (bad magic)"))
 	}
 
-	var c Config
-	c.Method = Method(br.u8())
-	c.Setting = entity.SchemaSetting(br.u8())
-	c.Clean = br.u8() != 0
-	c.Model = text.Model{N: int(br.u8()), Multiset: br.u8() != 0}
-	c.Measure = sparse.Measure(br.u8())
-	c.Metric = knn.Metric(br.u8())
-	c.K = int(br.u32())
-	c.Threshold = br.f64()
-	c.Dim = int(br.u32())
-	c.BestAttribute = br.str()
-	c.Dense = DenseIndex(br.u8())
-	c.HNSW = knn.HNSWParams{
-		M:              int(br.u32()),
-		EfConstruction: int(br.u32()),
-		EfSearch:       int(br.u32()),
-		Seed:           br.u64(),
-	}
+	c := readConfig(br)
 	if br.err != nil {
 		return fail(fmt.Errorf("online: reading snapshot header: %w", br.err))
 	}
@@ -417,6 +393,54 @@ func validateGraph(c Config, graph *knn.IncHNSW, ents []snapEntity) error {
 		}
 	}
 	return nil
+}
+
+// writeConfig encodes the serialized (filter-semantic) fields of a
+// Config — the snapshot header, also pinned verbatim into the segment
+// tier's manifest meta. Deployment-shape fields (Storage, SegmentDir,
+// memtable/merge sizing) are deliberately not written: they describe
+// where an index runs, not what it answers.
+func writeConfig(bw *binWriter, c Config) {
+	bw.u8(uint8(c.Method))
+	bw.u8(uint8(c.Setting))
+	bw.u8(boolByte(c.Clean))
+	bw.u8(uint8(c.Model.N))
+	bw.u8(boolByte(c.Model.Multiset))
+	bw.u8(uint8(c.Measure))
+	bw.u8(uint8(c.Metric))
+	bw.u32(uint32(c.K))
+	bw.f64(c.Threshold)
+	bw.u32(uint32(c.Dim))
+	bw.str(c.BestAttribute)
+	bw.u8(uint8(c.Dense))
+	bw.u32(uint32(c.HNSW.M))
+	bw.u32(uint32(c.HNSW.EfConstruction))
+	bw.u32(uint32(c.HNSW.EfSearch))
+	bw.u64(c.HNSW.Seed)
+}
+
+// readConfig mirrors writeConfig; the caller checks br.err and then
+// validateConfig.
+func readConfig(br *binReader) Config {
+	var c Config
+	c.Method = Method(br.u8())
+	c.Setting = entity.SchemaSetting(br.u8())
+	c.Clean = br.u8() != 0
+	c.Model = text.Model{N: int(br.u8()), Multiset: br.u8() != 0}
+	c.Measure = sparse.Measure(br.u8())
+	c.Metric = knn.Metric(br.u8())
+	c.K = int(br.u32())
+	c.Threshold = br.f64()
+	c.Dim = int(br.u32())
+	c.BestAttribute = br.str()
+	c.Dense = DenseIndex(br.u8())
+	c.HNSW = knn.HNSWParams{
+		M:              int(br.u32()),
+		EfConstruction: int(br.u32()),
+		EfSearch:       int(br.u32()),
+		Seed:           br.u64(),
+	}
+	return c
 }
 
 // addLocked indexes an entity under an explicit id (the snapshot replay

@@ -1,0 +1,299 @@
+package online
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"erfilter/internal/entity"
+	"erfilter/internal/faultfs"
+	"erfilter/internal/knn"
+	"erfilter/internal/segment"
+	"erfilter/internal/sparse"
+	"erfilter/internal/vector"
+)
+
+// This file wires the on-disk segment tier (internal/segment) behind
+// the resolver: constructors that open disk-backed resolvers, the
+// memtable flush that drains the in-memory index into a new segment,
+// and the config codec pinned into the tier manifest so a reopened
+// directory always serves the configuration it was built under.
+
+// cfgMetaMagic versions the config blob stored as tier manifest meta.
+const cfgMetaMagic = "ERCFG\x01\n"
+
+// encodeConfigMeta serializes the filter-semantic Config fields (the
+// same set a snapshot header records) with a self-contained magic and
+// CRC trailer, for pinning into the segment tier's manifest.
+func encodeConfigMeta(c Config) []byte {
+	var buf bytes.Buffer
+	bw := &binWriter{w: bufio.NewWriter(&buf)}
+	bw.bytes([]byte(cfgMetaMagic))
+	writeConfig(bw, c)
+	bw.trailer()
+	if bw.err == nil {
+		bw.err = bw.w.Flush()
+	}
+	if bw.err != nil {
+		// bytes.Buffer writes cannot fail; nothing else can error here.
+		panic(fmt.Sprintf("online: encoding tier config meta: %v", bw.err))
+	}
+	return buf.Bytes()
+}
+
+// decodeConfigMeta mirrors encodeConfigMeta and fully validates the
+// result, so a tampered manifest meta fails loudly at open.
+func decodeConfigMeta(data []byte) (Config, error) {
+	br := &binReader{r: bufio.NewReader(bytes.NewReader(data))}
+	magic := make([]byte, len(cfgMetaMagic))
+	br.bytes(magic)
+	if br.err == nil && string(magic) != cfgMetaMagic {
+		return Config{}, fmt.Errorf("online: tier meta has bad magic")
+	}
+	c := readConfig(br)
+	br.checkTrailer()
+	if br.err != nil {
+		return Config{}, fmt.Errorf("online: tier meta: %w", br.err)
+	}
+	if _, err := br.r.ReadByte(); err != io.EOF {
+		return Config{}, fmt.Errorf("online: tier meta has trailing bytes")
+	}
+	if err := validateConfig(c); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// flushLocked drains the memtable into a new immutable segment and
+// resets the in-memory index to empty. Callers hold r.mu. An empty
+// memtable still commits a manifest round — that ratchets the id
+// watermark and persists any tier tombstones accumulated since the
+// last flush (the durable store's checkpoint path relies on both).
+// On error the memtable is left intact, so a durable caller can retry
+// the flush while the WAL still covers every buffered entity.
+func (r *Resolver) flushLocked() error {
+	if r.tier == nil {
+		return nil
+	}
+	if len(r.attrs) == 0 {
+		return r.tier.Flush(nil, r.nextID)
+	}
+	ids := make([]int64, 0, len(r.attrs))
+	for id := range r.attrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ents := make([]segment.Entry, len(ids))
+	for i, id := range ids {
+		attrs := r.attrs[id]
+		txt := r.cfg.textOf(attrs)
+		ents[i] = segment.Entry{ID: id, Attrs: attrs}
+		if r.sp != nil {
+			ents[i].Tokens = r.cfg.Model.Tokens(txt)
+		} else {
+			ents[i].Vec = r.emb.Text(txt)
+		}
+	}
+	if err := r.tier.Flush(ents, r.nextID); err != nil {
+		return err
+	}
+	r.attrs = make(map[int64][]entity.Attribute)
+	if r.sp != nil {
+		r.sp = sparse.NewIncIndex()
+		r.vocab = NewVocab()
+	} else {
+		r.kn = flatDense{knn.NewIncFlat(r.cfg.Metric)}
+	}
+	return nil
+}
+
+// Flush forces the memtable of a disk-backed resolver to a new segment
+// and publishes the result; a no-op under StorageMemory. Volatile
+// callers use it to persist a tail shorter than MemtableCap.
+func (r *Resolver) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.flushLocked(); err != nil {
+		return err
+	}
+	r.publishLocked()
+	return nil
+}
+
+// OpenResolver creates (or reopens) a resolver under the config's
+// storage kind. StorageMemory behaves exactly like NewResolver;
+// StorageDisk roots a segment tier at cfg.SegmentDir, restores any
+// segments a previous run flushed there, and flushes the memtable
+// automatically whenever it crosses cfg.MemtableCap. Disk-backed
+// resolvers must be Closed when done.
+func OpenResolver(cfg Config) (*Resolver, error) {
+	cfg = cfg.normalize()
+	if cfg.Storage != StorageDisk {
+		return NewResolver(cfg), nil
+	}
+	return newDiskResolver(cfg, nil, cfg.SegmentDir, true)
+}
+
+// newDiskResolver opens a disk-backed resolver over an explicit
+// filesystem and tier directory (the seam the durable store and the
+// crash tests use). When dir already holds a tier, the configuration
+// pinned in its manifest wins over the caller's semantic fields —
+// reopening a directory under a drifted config would silently change
+// every stored score. Deployment-shape fields (memtable cap, merge
+// fan-in) always come from the caller.
+func newDiskResolver(cfg Config, fsys faultfs.FS, dir string, autoFlush bool) (*Resolver, error) {
+	cfg = cfg.normalize()
+	if dir == "" {
+		return nil, fmt.Errorf("online: disk storage needs a segment directory")
+	}
+	meta, err := segment.ReadMeta(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("online: reading tier manifest: %w", err)
+	}
+	if len(meta) > 0 {
+		stored, err := decodeConfigMeta(meta)
+		if err != nil {
+			return nil, err
+		}
+		stored.Storage = StorageDisk
+		stored.SegmentDir = cfg.SegmentDir
+		stored.MemtableCap = cfg.MemtableCap
+		stored.MergeFanin = cfg.MergeFanin
+		stored.segSyncMerge = cfg.segSyncMerge
+		cfg = stored.normalize()
+	}
+	if cfg.Method == FlatKNN && cfg.Dense == DenseHNSW {
+		return nil, fmt.Errorf("online: disk storage serves the exact dense index only (use -knn-index flat)")
+	}
+	kind, dim := segment.KindSparse, 0
+	if cfg.Method == FlatKNN {
+		kind, dim = segment.KindDense, cfg.Dim
+	}
+	t, err := segment.Open(segment.Options{
+		FS:         fsys,
+		Dir:        dir,
+		Kind:       kind,
+		Dim:        dim,
+		Measure:    cfg.Measure,
+		Metric:     cfg.Metric,
+		MergeFanin: cfg.MergeFanin,
+		Meta:       encodeConfigMeta(cfg),
+		SyncMerge:  cfg.segSyncMerge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Resolver{cfg: cfg, attrs: make(map[int64][]entity.Attribute), tel: newTelemetry()}
+	tel := r.tel
+	r.scratch.New = func() any { tel.scratchMisses.Inc(); return &sparse.Scratch{} }
+	r.embed.New = func() any { tel.embedMisses.Inc(); return vector.NewEmbedder(cfg.Dim) }
+	if cfg.Method == FlatKNN {
+		r.kn = flatDense{knn.NewIncFlat(cfg.Metric)}
+		r.emb = vector.NewEmbedder(cfg.Dim)
+	} else {
+		r.sp = sparse.NewIncIndex()
+		r.vocab = NewVocab()
+	}
+	r.tier = t
+	r.autoFlush = autoFlush
+	r.nextID = t.Watermark()
+	r.mu.Lock()
+	r.publishLocked()
+	r.mu.Unlock()
+	return r, nil
+}
+
+// OpenSharded creates (or reopens) a sharded resolver under the
+// config's storage kind. Under StorageDisk each shard roots its own
+// tier at SegmentDir/shard-<i>; shard routing is a pure function of
+// (id, shard count), so reopening with the same count finds every
+// entity in the shard that flushed it.
+func OpenSharded(cfg Config, n int) (*ShardedResolver, error) {
+	cfg = cfg.normalize()
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Storage != StorageDisk {
+		return NewSharded(cfg, n), nil
+	}
+	if cfg.SegmentDir == "" {
+		return nil, fmt.Errorf("online: disk storage needs a segment directory")
+	}
+	shards := make([]*Resolver, n)
+	for i := range shards {
+		sc := cfg
+		sc.SegmentDir = filepath.Join(cfg.SegmentDir, fmt.Sprintf("shard-%d", i))
+		r, err := newDiskResolver(sc, nil, sc.SegmentDir, true)
+		if err != nil {
+			for _, prev := range shards[:i] {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("online: opening shard %d: %w", i, err)
+		}
+		shards[i] = r
+	}
+	return newShardedOver(cfg, shards), nil
+}
+
+// Close releases every shard's segment tier; a no-op for in-memory
+// shards.
+func (sr *ShardedResolver) Close() error {
+	var first error
+	for _, r := range sr.shards {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LoadStorage loads any snapshot written by Save into a disk-backed
+// resolver: the snapshot supplies the configuration and the entities,
+// the caller's cfg supplies the storage shape (segment directory,
+// memtable cap, merge fan-in). The tier directory must be fresh —
+// loading a snapshot over an existing tier would collide ids with
+// already-flushed segments.
+func LoadStorage(rd io.Reader, cfg Config) (*Resolver, error) {
+	c, nextID, ents, _, err := decodeSnapshot(rd)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	c.Storage = StorageDisk
+	c.SegmentDir = cfg.SegmentDir
+	c.MemtableCap = cfg.MemtableCap
+	c.MergeFanin = cfg.MergeFanin
+	c.segSyncMerge = cfg.segSyncMerge
+	if c.Method == FlatKNN && c.Dense == DenseHNSW {
+		// The snapshot's graph cannot flush to segments; serve its
+		// vectors through the exact index instead.
+		c.Dense = DenseFlat
+		c.HNSW = knn.HNSWParams{}
+	}
+	r, err := OpenResolver(c)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() > 0 || r.tier.Watermark() > 0 {
+		_ = r.Close()
+		return nil, fmt.Errorf("online: refusing to load a snapshot into non-empty segment tier %s", c.SegmentDir)
+	}
+	ids := make([]int64, len(ents))
+	batch := make([][]entity.Attribute, len(ents))
+	for i, e := range ents {
+		ids[i] = e.id
+		batch[i] = e.attrs
+	}
+	if len(ids) > 0 {
+		r.InsertAssigned(ids, batch)
+	}
+	r.mu.Lock()
+	if nextID > r.nextID {
+		r.nextID = nextID
+	}
+	r.mu.Unlock()
+	return r, nil
+}

@@ -1,0 +1,175 @@
+// Package segment is the on-disk LSM tier behind the online resolver:
+// an in-memory memtable (owned by the caller) flushes immutable, sorted,
+// CRC-sealed segment files; a manifest tracks the live segment set and
+// its tombstones through atomic generation swaps; and a background merge
+// folds small segments together, garbage-collecting tombstoned entities.
+// Readers scatter exact EpsJoin/FlatKNN/KNNJoin queries across the live
+// segments and merge by the canonical (score desc, id asc) order, so a
+// disk-backed resolver answers byte-identically to the in-memory one.
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// segCRC is the CRC-32 polynomial sealing segment and manifest streams,
+// the same Castagnoli table the ERSNAP/ERHNSW codecs use.
+var segCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// maxSegStr bounds any length-prefixed string (tokens, attribute
+	// names and values) so a corrupt length cannot drive a huge
+	// allocation before the CRC check.
+	maxSegStr = 1 << 24
+	// maxSegAttr bounds the per-entity attribute count.
+	maxSegAttr = 1 << 20
+	// maxSegCount bounds the entity count of a single segment file.
+	maxSegCount = 1 << 31
+)
+
+// binWriter wraps a buffered writer with little-endian encoding and a
+// running CRC over everything written, mirroring the ERSNAP writer.
+type binWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	off int64
+	err error
+}
+
+func newBinWriter(w io.Writer) *binWriter {
+	return &binWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (b *binWriter) bytes(p []byte) {
+	if b.err != nil {
+		return
+	}
+	b.crc = crc32.Update(b.crc, segCRC, p)
+	n, err := b.w.Write(p)
+	b.off += int64(n)
+	b.err = err
+}
+
+func (b *binWriter) u8(v uint8) { b.bytes([]byte{v}) }
+
+func (b *binWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.bytes(buf[:])
+}
+
+func (b *binWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.bytes(buf[:])
+}
+
+func (b *binWriter) f32(v float32) { b.u32(math.Float32bits(v)) }
+
+func (b *binWriter) str(s string) {
+	b.u32(uint32(len(s)))
+	b.bytes([]byte(s))
+}
+
+// trailer appends the accumulated CRC (not itself CRC'd) and flushes.
+func (b *binWriter) trailer() error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], b.crc)
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:])
+		b.off += 4
+	}
+	if b.err == nil {
+		b.err = b.w.Flush()
+	}
+	return b.err
+}
+
+// cursor decodes a fully-resident byte stream (an mmap'd segment or a
+// slurped manifest). Unlike the streaming ERSNAP reader it can seek, so
+// validation can walk sections in file order and cross-check the footer.
+// The whole-stream CRC is verified before any cursor is built, so every
+// read here operates on bytes the trailer has already vouched for.
+type cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *cursor) fail(format string, args ...interface{}) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.data) {
+		c.fail("segment: truncated stream at offset %d (+%d of %d)", c.off, n, len(c.data))
+		return nil
+	}
+	p := c.data[c.off : c.off+n]
+	c.off += n
+	return p
+}
+
+func (c *cursor) u8() uint8 {
+	p := c.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (c *cursor) u32() uint32 {
+	p := c.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (c *cursor) u64() uint64 {
+	p := c.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (c *cursor) str() string {
+	n := c.u32()
+	if c.err != nil {
+		return ""
+	}
+	if n > maxSegStr {
+		c.fail("segment: string length %d exceeds limit", n)
+		return ""
+	}
+	p := c.take(int(n))
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// verifyStream checks the 4-byte CRC trailer against the body and
+// returns the body (everything before the trailer).
+func verifyStream(data []byte, what string) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("segment: %s too short for CRC trailer", what)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, segCRC); got != want {
+		return nil, fmt.Errorf("segment: %s CRC mismatch: got %08x want %08x", what, got, want)
+	}
+	return body, nil
+}

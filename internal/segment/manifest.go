@@ -1,0 +1,153 @@
+package segment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// manMagic identifies a manifest and its format version.
+const manMagic = "ERMAN\x01\n\x00"
+
+const (
+	// manifestName is the single live manifest file in a tier directory.
+	manifestName = "MANIFEST"
+	// manifestTemp is the staging name; a leftover temp is deleted at
+	// open, exactly like checkpoint temps.
+	manifestTemp = "MANIFEST.tmp"
+
+	maxManMeta = 1 << 20
+	maxManSegs = 1 << 20
+	maxManTomb = 1 << 28
+)
+
+// manEntry describes one live segment in a manifest generation. The
+// count, id range, and byte size are re-validated against the loaded
+// segment at open, so manifest and segment cannot silently disagree.
+type manEntry struct {
+	Name  string
+	Kind  Kind
+	Count int
+	MinID int64
+	MaxID int64
+	Bytes int64
+}
+
+// manifest is one decoded generation of the tier's state: the live
+// segment set, the surviving tombstones, the id watermark no future
+// assignment may fall below, and the caller's opaque metadata (the
+// resolver pins its serialized Config here).
+type manifest struct {
+	Gen       uint64
+	Watermark int64
+	Meta      []byte
+	Segs      []manEntry
+	Tombs     []int64
+}
+
+// writeManifest encodes the manifest with the usual CRC-sealed little-
+// endian codec.
+func writeManifest(w io.Writer, m manifest) error {
+	b := newBinWriter(w)
+	b.bytes([]byte(manMagic))
+	b.u64(m.Gen)
+	b.u64(uint64(m.Watermark))
+	b.u32(uint32(len(m.Meta)))
+	b.bytes(m.Meta)
+	b.u32(uint32(len(m.Segs)))
+	for _, e := range m.Segs {
+		b.str(e.Name)
+		b.u8(uint8(e.Kind))
+		b.u32(uint32(e.Count))
+		b.u64(uint64(e.MinID))
+		b.u64(uint64(e.MaxID))
+		b.u64(uint64(e.Bytes))
+	}
+	b.u32(uint32(len(m.Tombs)))
+	for _, id := range m.Tombs {
+		b.u64(uint64(id))
+	}
+	return b.trailer()
+}
+
+// loadManifest decodes and fully validates a manifest stream: CRC
+// first, then magic, bounded sections, well-formed unique segment
+// names, consistent per-segment ranges, and strictly ascending
+// tombstones. Cross-file invariants (each tombstone names a stored
+// entity, entry metadata matches the segment file) are checked by the
+// tier once the segments themselves are loaded.
+func loadManifest(data []byte) (manifest, error) {
+	var m manifest
+	body, err := verifyStream(data, "manifest")
+	if err != nil {
+		return m, err
+	}
+	c := &cursor{data: body}
+	if string(c.take(len(manMagic))) != manMagic {
+		return m, fmt.Errorf("segment: bad manifest magic")
+	}
+	m.Gen = c.u64()
+	m.Watermark = int64(c.u64())
+	metaLen := c.u32()
+	if c.err == nil && metaLen > maxManMeta {
+		return m, fmt.Errorf("segment: manifest meta of %d bytes exceeds limit", metaLen)
+	}
+	m.Meta = append([]byte(nil), c.take(int(metaLen))...)
+	nsegs := c.u32()
+	if c.err != nil {
+		return m, c.err
+	}
+	if m.Watermark < 0 {
+		return m, fmt.Errorf("segment: negative manifest watermark")
+	}
+	if nsegs > maxManSegs {
+		return m, fmt.Errorf("segment: manifest lists %d segments", nsegs)
+	}
+	seen := make(map[string]bool, nsegs)
+	m.Segs = make([]manEntry, nsegs)
+	for i := range m.Segs {
+		e := manEntry{
+			Name:  c.str(),
+			Kind:  Kind(c.u8()),
+			Count: int(c.u32()),
+			MinID: int64(c.u64()),
+			MaxID: int64(c.u64()),
+			Bytes: int64(c.u64()),
+		}
+		if c.err != nil {
+			return m, c.err
+		}
+		if e.Name == "" || strings.ContainsAny(e.Name, "/\\") || seen[e.Name] {
+			return m, fmt.Errorf("segment: manifest entry %d has bad name %q", i, e.Name)
+		}
+		seen[e.Name] = true
+		if e.Kind != KindSparse && e.Kind != KindDense {
+			return m, fmt.Errorf("segment: manifest entry %q has unknown kind %d", e.Name, e.Kind)
+		}
+		if e.Count < 1 || e.Count >= maxSegCount || e.MinID > e.MaxID || e.Bytes < 1 {
+			return m, fmt.Errorf("segment: manifest entry %q is inconsistent", e.Name)
+		}
+		m.Segs[i] = e
+	}
+	ntombs := c.u32()
+	if c.err != nil {
+		return m, c.err
+	}
+	if ntombs > maxManTomb {
+		return m, fmt.Errorf("segment: manifest lists %d tombstones", ntombs)
+	}
+	m.Tombs = make([]int64, ntombs)
+	for i := range m.Tombs {
+		m.Tombs[i] = int64(c.u64())
+		if c.err != nil {
+			return m, c.err
+		}
+		if i > 0 && m.Tombs[i] <= m.Tombs[i-1] {
+			return m, fmt.Errorf("segment: tombstones not strictly ascending at %d", i)
+		}
+	}
+	if c.off != len(body) {
+		return m, fmt.Errorf("segment: %d trailing bytes after manifest", len(body)-c.off)
+	}
+	return m, nil
+}

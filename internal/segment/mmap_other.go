@@ -1,0 +1,23 @@
+//go:build !unix
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap falls back to a resident
+// copy: the stream is slurped once and the handle closed, trading heap
+// for portability. The codec path above it is identical.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package segment
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a real file read-only and returns the mapping plus its
+// release func. The file handle is closed immediately — the mapping
+// outlives it — so readers hold one mapping, not one descriptor, per
+// segment. The OS pages data in on demand and may evict it under
+// pressure, which is what keeps the tier's resident footprint bounded
+// by the page cache rather than the Go heap.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size > 1<<40 {
+		f.Close()
+		return nil, nil, fmt.Errorf("segment: unmappable file size %d for %s", size, f.Name())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	cerr := f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("segment: mmap %s: %w", st.Name(), err)
+	}
+	if cerr != nil {
+		syscall.Munmap(data)
+		return nil, nil, cerr
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
