@@ -4,17 +4,18 @@ GO ?= go
 # online serving path; these run a second time under the race detector.
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
-	./internal/wal ./internal/metrics ./internal/segment ./internal/serve ./cmd/erserve
+	./internal/wal ./internal/metrics ./internal/segment ./internal/serve \
+	./internal/retry ./internal/repl ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
-CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./cmd/erserve
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./internal/repl ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos shard ann lsm scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm
+.PHONY: check vet build test race chaos shard ann lsm repl scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm bench-repl
 
-## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm)
-check: vet build test race chaos shard ann lsm
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm, repl)
+check: vet build test race chaos shard ann lsm repl
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +68,13 @@ ann:
 lsm:
 	$(GO) test -race -count 1 -run 'Segment|Manifest|Tier|DiskStore|Storage|ValidateOptions' ./internal/segment ./internal/online ./cmd/erserve
 
+## repl: the replication gate — WAL-shipping property tests (follower
+## convergence to byte-identical answers, epoch read-your-writes,
+## lease fencing) including the kill-the-leader failover test, under
+## the race detector
+repl:
+	$(GO) test -race -count 1 -run 'Repl|Follower|Failover|Lease|SemiSync' ./internal/wal ./internal/online ./internal/repl ./internal/serve ./cmd/erserve
+
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or
 ## missing series. CI runs this against every change.
@@ -96,3 +104,9 @@ bench-ann:
 ## and the dataset is >= 4x the memtable cap
 bench-lsm:
 	$(GO) run ./cmd/erbench -exp lsm
+
+## bench-repl: read throughput through the proxy at 1, 2 and 4 replicas
+## plus steady-state replication lag — the scale-out case for
+## WAL-shipping read replicas
+bench-repl:
+	$(GO) run ./cmd/erbench -exp repl

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, repl, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -52,6 +52,9 @@ func main() {
 		lsmQ     = flag.Int("lsm-queries", 300, "query count for -exp lsm")
 		lsmCap   = flag.Int("lsm-cap", 25000, "memtable cap for -exp lsm's disk resolver")
 		lsmFanin = flag.Int("lsm-fanin", 6, "segment merge fan-in for -exp lsm")
+		replN    = flag.Int("repl-entities", 20000, "collection size for -exp repl")
+		replQ    = flag.Int("repl-queries", 3000, "query count per replica count for -exp repl")
+		replMax  = flag.Int("repl-max", 4, "max replica count for -exp repl (doubled from 1 up to this)")
 	)
 	flag.Parse()
 
@@ -96,6 +99,13 @@ func main() {
 	}
 	if *exp == "lsm" {
 		if err := lsmExperiment(out, *lsmN, *lsmQ, *lsmCap, *lsmFanin); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "repl" {
+		if err := replExperiment(out, *replN, *replQ, *replMax); err != nil {
 			fmt.Fprintln(os.Stderr, "erbench:", err)
 			os.Exit(1)
 		}

@@ -65,6 +65,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +74,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
 	"erfilter/internal/online"
+	"erfilter/internal/repl"
 	"erfilter/internal/serve"
 	"erfilter/internal/text"
 	"erfilter/internal/tuning"
@@ -113,6 +116,16 @@ type options struct {
 	requestTimeout  time.Duration
 	pprof           bool
 
+	replicaOf   string
+	follow      bool
+	advertise   string
+	lease       string
+	replAck     int
+	maxLag      time.Duration
+	maxLagBytes int64
+	proxy       string
+	probeEvery  time.Duration
+
 	// ready, when set, is invoked with the bound listen address once the
 	// server is accepting connections — the test seam for ":0" listeners.
 	ready func(addr string)
@@ -150,6 +163,15 @@ func main() {
 	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/v1/snapshot is exempt)")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
+	flag.StringVar(&o.replicaOf, "replica-of", "", "follow this leader URL as a read replica (requires -wal; implies -follow)")
+	flag.BoolVar(&o.follow, "follow", false, "start as a follower without an upstream yet (re-parent later via POST /v1/replica-of)")
+	flag.StringVar(&o.advertise, "advertise", "", "this node's replication identity — enables the leader-side replication endpoints (default: the listen address)")
+	flag.StringVar(&o.lease, "lease", "", "leader lease file on a shared path: fenced failover terms")
+	flag.IntVar(&o.replAck, "repl-ack", 0, "semi-sync: follower fetch acks required before a write returns (0 = async)")
+	flag.DurationVar(&o.maxLag, "max-lag", 10*time.Second, "follower readiness: fail /v1/readyz after this long without upstream progress")
+	flag.Int64Var(&o.maxLagBytes, "max-lag-bytes", 4<<20, "follower readiness: fail /v1/readyz beyond this estimated byte lag")
+	flag.StringVar(&o.proxy, "proxy", "", "comma-separated replica URLs: serve as a routing proxy (writes to the leader, reads round-robin) instead of a resolver")
+	flag.DurationVar(&o.probeEvery, "probe-every", time.Second, "with -proxy, the replica health-probe interval")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -207,10 +229,40 @@ func validateOptions(o options, set map[string]bool) error {
 	if o.segmentDir != "" && kind != online.StorageDisk {
 		return fmt.Errorf("-segment-dir requires -storage disk")
 	}
+	if o.proxy != "" {
+		if o.walDir != "" || o.bulk != "" || o.load != "" || o.replicaOf != "" || o.follow {
+			return fmt.Errorf("-proxy serves only as a router; drop the resolver flags")
+		}
+		return nil
+	}
+	follower := o.follow || o.replicaOf != ""
+	replicated := follower || o.lease != "" || o.advertise != "" || o.replAck > 0
+	if replicated {
+		if o.walDir == "" {
+			return fmt.Errorf("replication requires a durable store: set -wal")
+		}
+		if o.shards != 1 {
+			return fmt.Errorf("replication requires -shards 1 (the WAL stream is a single log), got %d", o.shards)
+		}
+		if kind == online.StorageDisk {
+			return fmt.Errorf("replication requires -storage memory: followers mirror into memory-storage dirs")
+		}
+	}
+	if follower {
+		if o.bulk != "" || o.tuneCSV != "" {
+			return fmt.Errorf("a follower takes its state from the leader; drop -bulk/-tune")
+		}
+		if o.replAck > 0 {
+			return fmt.Errorf("-repl-ack is a leader flag; a follower acks by fetching")
+		}
+	}
 	return nil
 }
 
 func run(o options) error {
+	if o.proxy != "" {
+		return runProxy(o)
+	}
 	st, err := buildState(o)
 	if err != nil {
 		return err
@@ -225,6 +277,9 @@ func run(o options) error {
 	if k, _ := online.ParseStorage(o.storage); k == online.StorageDisk {
 		mode += ", storage=disk"
 	}
+	if st.repl != nil {
+		mode += ", role=" + st.repl.Role().String()
+	}
 	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s [%s]\n",
 		st.res.Config().Describe(), st.res.Len(), o.addr, mode)
 
@@ -232,6 +287,7 @@ func run(o options) error {
 		WriteQueue:     o.writeQueue,
 		RequestTimeout: o.requestTimeout,
 		Pprof:          o.pprof,
+		Replication:    st.repl,
 	})
 	// Timeouts bound what one slow or stalled client can hold: the write
 	// timeout is generous because /v1/snapshot streams the whole
@@ -292,9 +348,10 @@ func run(o options) error {
 // only the interfaces; the closures capture the concrete types.
 type state struct {
 	res        serve.Resolver
-	store      serve.Store           // nil in volatile mode
-	closeStore func() error          // nil in volatile mode
-	saveFile   func(p string) error  // atomic shutdown snapshot
+	store      serve.Store          // nil in volatile mode
+	repl       *repl.Node           // nil when unreplicated
+	closeStore func() error         // nil in volatile mode
+	saveFile   func(p string) error // atomic shutdown snapshot
 }
 
 // buildState assembles the serving state: a volatile resolver (single
@@ -308,6 +365,9 @@ func buildState(o options) (state, error) {
 	}
 	if o.load != "" {
 		return state{}, fmt.Errorf("-wal and -load are mutually exclusive: the store recovers from its own directory (copy a snapshot there as current.snap to restore one)")
+	}
+	if o.follow || o.replicaOf != "" {
+		return buildFollower(o)
 	}
 	cfg, ds, err := resolveConfig(o)
 	if err != nil {
@@ -346,6 +406,26 @@ func buildState(o options) (state, error) {
 		return state{}, err
 	}
 	res := st.Resolver()
+	if replicatedLeader(o) {
+		node, err := repl.NewLeader(st, replNodeOptions(o))
+		if err != nil {
+			st.Close()
+			return state{}, err
+		}
+		if node.Role() == repl.RoleLeader {
+			// Seed through the store directly: semi-sync acks would block
+			// a bootstrap with no followers attached yet.
+			if err := seed(st.InsertBatch, res.Len()); err != nil {
+				st.Close()
+				return state{}, fmt.Errorf("bulk seed: %w", err)
+			}
+		}
+		return state{
+			res: serve.WrapReplicated(node), store: node, repl: node,
+			closeStore: node.Close,
+			saveFile:   func(p string) error { return node.Resolver().SaveFile(nil, p) },
+		}, nil
+	}
 	if err := seed(st.InsertBatch, res.Len()); err != nil {
 		st.Close()
 		return state{}, fmt.Errorf("bulk seed: %w", err)
@@ -355,6 +435,102 @@ func buildState(o options) (state, error) {
 		closeStore: st.Close,
 		saveFile:   func(p string) error { return res.SaveFile(nil, p) },
 	}, nil
+}
+
+// replicatedLeader reports whether the leader-side replication surface
+// was requested: an advertised identity, a lease, or semi-sync acks.
+func replicatedLeader(o options) bool {
+	return o.advertise != "" || o.lease != "" || o.replAck > 0
+}
+
+// replNodeOptions folds the replication flags into node options.
+func replNodeOptions(o options) repl.Options {
+	opt := repl.Options{
+		ID:          o.advertise,
+		AckReplicas: o.replAck,
+		MaxLag:      o.maxLag,
+		MaxLagBytes: o.maxLagBytes,
+	}
+	if opt.ID == "" {
+		opt.ID = o.addr
+	}
+	if o.lease != "" {
+		dir, name := filepath.Split(o.lease)
+		if dir == "" {
+			dir = "."
+		}
+		opt.Lease = repl.NewLease(nil, filepath.Clean(dir), name)
+	}
+	return opt
+}
+
+// buildFollower assembles a read replica: the follower store over the
+// -wal directory, the role node and the tailer pulling from -replica-of
+// (or idling until POST /v1/replica-of re-parents it).
+func buildFollower(o options) (state, error) {
+	fol, err := online.OpenFollower(o.walDir, online.StoreOptions{CheckpointEvery: o.checkpointEvery})
+	if err != nil {
+		return state{}, err
+	}
+	node := repl.NewFollower(fol, replNodeOptions(o))
+	if o.replicaOf != "" {
+		if err := node.SetUpstream(o.replicaOf); err != nil {
+			fol.Close()
+			return state{}, err
+		}
+	}
+	tailer := repl.StartTailer(node, repl.TailerOptions{})
+	return state{
+		res: serve.WrapReplicated(node), store: node, repl: node,
+		closeStore: func() error {
+			tailer.Close()
+			return node.Close()
+		},
+		saveFile: func(p string) error { return node.Resolver().SaveFile(nil, p) },
+	}, nil
+}
+
+// runProxy serves the routing proxy over the -proxy replica list.
+func runProxy(o options) error {
+	var urls []string
+	for _, u := range strings.Split(o.proxy, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	p, err := serve.NewProxy(urls, serve.ProxyOptions{ProbeEvery: o.probeEvery})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Fprintf(os.Stderr, "erserve: proxying %d replicas on %s\n", len(urls), o.addr)
+	srv := &http.Server{
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.ready != nil {
+		o.ready(ln.Addr().String())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "erserve: shutting down proxy")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
 }
 
 // buildVolatile builds the in-memory serving state: resumed from a

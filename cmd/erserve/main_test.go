@@ -122,6 +122,56 @@ func TestValidateOptions(t *testing.T) {
 	}
 }
 
+// TestReplFlagValidation audits the replication flag combinations: a
+// replicated node needs a single-sharded memory-storage durable store,
+// follower flags exclude leader flags, and -proxy excludes the whole
+// resolver surface.
+func TestReplFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(o *options)
+		want string // substring of the error; "" means valid
+	}{
+		{"follower without wal", func(o *options) { o.replicaOf = "http://leader" }, "set -wal"},
+		{"replication with shards", func(o *options) {
+			o.walDir, o.lease, o.shards = "store", "shared/leader.lease", 4
+		}, "-shards 1"},
+		{"replication with disk storage", func(o *options) {
+			o.walDir, o.replicaOf, o.storage = "store", "http://leader", "disk"
+		}, "memory"},
+		{"follower with bulk", func(o *options) {
+			o.walDir, o.follow, o.bulk = "store", true, "seed.csv"
+		}, "drop -bulk"},
+		{"follower with repl-ack", func(o *options) {
+			o.walDir, o.replicaOf, o.replAck = "store", "http://leader", 1
+		}, "leader flag"},
+		{"proxy with resolver flags", func(o *options) {
+			o.proxy, o.walDir = "http://a,http://b", "store"
+		}, "router"},
+		{"proxy alone", func(o *options) { o.proxy = "http://a,http://b" }, ""},
+		{"leader with lease and acks", func(o *options) {
+			o.walDir, o.lease, o.replAck = "store", "shared/leader.lease", 1
+		}, ""},
+		{"follower awaiting re-parent", func(o *options) { o.walDir, o.follow = "store", true }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mut(&o)
+			err := validateOptions(o, map[string]bool{})
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
 // TestBuildStatePaths covers the volatile startup paths: bulk CSV load,
 // tuned startup, snapshot resume (single and sharded) and flag errors.
 func TestBuildStatePaths(t *testing.T) {

@@ -52,6 +52,10 @@ type Store struct {
 	checkpoints atomic.Uint64
 	ckptNS      metrics.Histogram // end-to-end checkpoint cost, ns
 
+	// term is the highest replication fencing term this log carries
+	// (the walTerm record type); 0 on a log that has never replicated.
+	term atomic.Uint64
+
 	degraded atomic.Bool
 	reasonMu sync.Mutex
 	reason   error
@@ -76,6 +80,11 @@ type StoreOptions struct {
 const (
 	walInsert uint8 = 1
 	walDelete uint8 = 2
+	// walTerm carries a monotonic replication fencing term (u64). It is
+	// appended at promotion and replicated in-stream, so every follower
+	// learns the new leadership epoch from the log itself and a deposed
+	// leader's stream is recognizably stale.
+	walTerm uint8 = 3
 
 	snapName = "current.snap"
 	tempName = "current.snap.tmp"
@@ -142,6 +151,9 @@ func OpenStore(dir string, cfg Config, opt StoreOptions) (*Store, error) {
 
 	res.mu.Lock()
 	log, err := wal.Open(dir, wal.Options{FS: fsys, SegmentBytes: opt.SegmentBytes}, func(rec wal.Record) error {
+		if rec.Type == walTerm {
+			return s.replayTerm(rec)
+		}
 		return replayRecord(res, rec)
 	})
 	if err == nil {
@@ -439,13 +451,25 @@ func (s *Store) Checkpoint() error {
 	cfg, nextID, ents, graph := r.captureLocked()
 	r.mu.Unlock()
 	boundary, err := s.log.Rotate()
+	var termSeq uint64
 	if err == nil {
 		s.sinceCkpt = 0
+		// The fencing term lives only in the log; trimming the old
+		// segments would lose it, so restate it in the fresh one.
+		if t := s.term.Load(); t > 0 {
+			termSeq, err = s.log.AppendBuffered(walTerm, encodeTerm(t))
+		}
 	}
 	s.mu.Unlock()
 	if err != nil {
 		s.degrade(err)
 		return err
+	}
+	if termSeq > 0 {
+		if err := s.log.WaitSync(termSeq); err != nil {
+			s.degrade(err)
+			return err
+		}
 	}
 
 	if err := writeFileAtomic(s.fs, s.dir, tempName, snapName, func(w io.Writer) error {
@@ -474,7 +498,15 @@ func (s *Store) checkpointDisk() error {
 	s.mu.Lock()
 	r := s.res
 	boundary, werr := s.log.Rotate()
+	var termSeq uint64
 	var ferr error
+	if werr == nil {
+		if t := s.term.Load(); t > 0 {
+			// Restate the fencing term past the trim boundary, as in
+			// the snapshot checkpoint.
+			termSeq, werr = s.log.AppendBuffered(walTerm, encodeTerm(t))
+		}
+	}
 	if werr == nil {
 		r.mu.Lock()
 		if ferr = r.flushLocked(); ferr == nil {
@@ -487,6 +519,12 @@ func (s *Store) checkpointDisk() error {
 	if werr != nil {
 		s.degrade(werr)
 		return werr
+	}
+	if termSeq > 0 {
+		if err := s.log.WaitSync(termSeq); err != nil {
+			s.degrade(err)
+			return err
+		}
 	}
 	if ferr != nil {
 		return fmt.Errorf("online: checkpoint flush: %w", ferr)

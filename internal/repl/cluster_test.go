@@ -1,0 +1,536 @@
+package repl_test
+
+// End-to-end replication tests: a real leader and followers wired over
+// httptest servers, the follower tailers pulling the leader's WAL
+// exactly as production does. The failover test is the property the
+// subsystem exists for — random workload, leader killed mid-stream,
+// a follower promoted — every acked write must survive and every
+// replica must converge to byte-identical answers.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"erfilter/internal/faultfs"
+	"erfilter/internal/online"
+	"erfilter/internal/repl"
+	"erfilter/internal/retry"
+	"erfilter/internal/serve"
+	"erfilter/internal/sparse"
+	"erfilter/internal/text"
+)
+
+func clusterConfig() online.Config {
+	c3g, _ := text.ParseModel("C3G")
+	return online.Config{
+		Method: online.KNNJoin, Model: c3g, Measure: sparse.Cosine, K: 3, Clean: true,
+	}
+}
+
+// replicaHarness is one node of a test cluster: its private file
+// system, its replication node and the HTTP server fronting it.
+type replicaHarness struct {
+	m       *faultfs.Mem
+	node    *repl.Node
+	srv     *httptest.Server
+	tail    *repl.Tailer
+	stopped bool
+}
+
+func (h *replicaHarness) URL() string { return h.srv.URL }
+
+func (h *replicaHarness) stop() {
+	if h.stopped {
+		return
+	}
+	h.stopped = true
+	if h.tail != nil {
+		h.tail.Close()
+	}
+	h.srv.Close()
+	h.node.Close()
+}
+
+func serveNode(node *repl.Node) *httptest.Server {
+	s := serve.NewServer(serve.WrapReplicated(node), node, serve.Options{
+		Replication: node, RequestTimeout: 10 * time.Second,
+	})
+	return httptest.NewServer(s.Handler())
+}
+
+func startLeader(t *testing.T, m *faultfs.Mem, opt repl.Options) *replicaHarness {
+	t.Helper()
+	st, err := online.OpenStore("node", clusterConfig(), online.StoreOptions{FS: m})
+	if err != nil {
+		t.Fatalf("open leader store: %v", err)
+	}
+	node, err := repl.NewLeader(st, opt)
+	if err != nil {
+		t.Fatalf("new leader: %v", err)
+	}
+	h := &replicaHarness{m: m, node: node, srv: serveNode(node)}
+	t.Cleanup(h.stop)
+	return h
+}
+
+// fastTail shortens the long poll and backoff so tests converge in
+// milliseconds instead of the production-friendly seconds.
+func fastTail() repl.TailerOptions {
+	return repl.TailerOptions{
+		Wait:  100 * time.Millisecond,
+		Retry: retry.Policy{Base: 2 * time.Millisecond, Cap: 25 * time.Millisecond},
+	}
+}
+
+func startFollower(t *testing.T, m *faultfs.Mem, id, upstream string, opt repl.Options) *replicaHarness {
+	t.Helper()
+	opt.ID = id
+	fol, err := online.OpenFollower("node", online.StoreOptions{FS: m})
+	if err != nil {
+		t.Fatalf("open follower store: %v", err)
+	}
+	node := repl.NewFollower(fol, opt)
+	if upstream != "" {
+		if err := node.SetUpstream(upstream); err != nil {
+			t.Fatalf("set upstream: %v", err)
+		}
+	}
+	h := &replicaHarness{m: m, node: node, srv: serveNode(node)}
+	h.tail = repl.StartTailer(node, fastTail())
+	t.Cleanup(h.stop)
+	return h
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) (int, http.Header) {
+	t.Helper()
+	var rd io.Reader = http.NoBody
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, resp.Header
+}
+
+type errBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func insertEntities(t *testing.T, base string, texts ...string) ([]int64, http.Header) {
+	t.Helper()
+	ents := make([]map[string]string, len(texts))
+	for i, v := range texts {
+		ents[i] = map[string]string{"text": v}
+	}
+	var out struct {
+		IDs []int64 `json:"ids"`
+	}
+	code, h := doJSON(t, http.MethodPost, base+"/v1/entities", map[string]any{"entities": ents}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("insert on %s: status %d", base, code)
+	}
+	if len(out.IDs) != len(texts) {
+		t.Fatalf("insert returned %d ids for %d entities", len(out.IDs), len(texts))
+	}
+	return out.IDs, h
+}
+
+// queryCandidates runs one query and returns the status plus the
+// candidate list re-marshalled to canonical JSON, so two replicas'
+// answers can be compared byte for byte.
+func queryCandidates(t *testing.T, base, q, minEpoch string) (int, string) {
+	t.Helper()
+	body := map[string]any{"text": q, "k": 3}
+	if minEpoch != "" {
+		body["min_epoch"] = minEpoch
+	}
+	var out map[string]any
+	code, _ := doJSON(t, http.MethodPost, base+"/v1/query", body, &out)
+	b, err := json.Marshal(out["candidates"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(b)
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitConverged(t *testing.T, leader, f *replicaHarness) {
+	t.Helper()
+	waitFor(t, 10*time.Second, "follower to converge with the leader", func() bool {
+		return f.node.LogPos() == leader.node.LogPos()
+	})
+}
+
+func TestReplFollowersServeLeaderWritesAndEpochs(t *testing.T) {
+	leader := startLeader(t, faultfs.NewMem(), repl.Options{ID: "leader"})
+	f1 := startFollower(t, faultfs.NewMem(), "f1", leader.URL(), repl.Options{})
+	f2 := startFollower(t, faultfs.NewMem(), "f2", leader.URL(), repl.Options{})
+
+	corpus := []string{
+		"Atelier Logic Inc", "Atelier Logik Incorporated",
+		"Quantum Paper Co", "Quanta Papers Company",
+		"Nordic Fjord Trading", "Nordik Fiord Traders",
+	}
+	var ids []int64
+	var lastEpoch string
+	for i, v := range corpus {
+		got, h := insertEntities(t, leader.URL(), v, fmt.Sprintf("%s branch %d", v, i))
+		ids = append(ids, got...)
+		lastEpoch = h.Get(repl.HeaderEpoch)
+	}
+	if lastEpoch == "" {
+		t.Fatal("insert response missing the epoch header")
+	}
+	if code, _ := doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/entities/%d", leader.URL(), ids[0]), nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+
+	waitConverged(t, leader, f1)
+	waitConverged(t, leader, f2)
+
+	// Converged followers answer queries byte-identically to the leader,
+	// and satisfy the client's read-your-writes epoch bound.
+	for _, probe := range []string{"Atelier Logic", "Quantum Papers", "Nordic Trading"} {
+		_, want := queryCandidates(t, leader.URL(), probe, "")
+		for i, f := range []*replicaHarness{f1, f2} {
+			code, got := queryCandidates(t, f.URL(), probe, lastEpoch)
+			if code != http.StatusOK {
+				t.Fatalf("follower %d query %q: status %d", i+1, probe, code)
+			}
+			if got != want {
+				t.Errorf("follower %d diverges on %q:\n  got  %s\n  want %s", i+1, probe, got, want)
+			}
+		}
+	}
+
+	// The replicated delete took effect; its neighbor survived.
+	if code, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/entities/%d", f1.URL(), ids[0]), nil, nil); code != http.StatusNotFound {
+		t.Errorf("deleted entity still resident on follower: status %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/entities/%d", f1.URL(), ids[1]), nil, nil); code != http.StatusOK {
+		t.Errorf("live entity missing on follower: status %d", code)
+	}
+
+	// An epoch the follower has not reached answers 412, not stale data.
+	var eb errBody
+	code, _ := doJSON(t, http.MethodPost, f1.URL()+"/v1/query",
+		map[string]any{"text": "x", "k": 1, "min_epoch": "9999.0"}, &eb)
+	if code != http.StatusPreconditionFailed || eb.Error.Code != serve.CodeStaleEpoch {
+		t.Errorf("future min_epoch = %d %q, want 412 %q", code, eb.Error.Code, serve.CodeStaleEpoch)
+	}
+
+	// Roles ride readyz; followers refuse writes with a routable error.
+	if _, h := doJSON(t, http.MethodGet, f1.URL()+"/v1/readyz", nil, nil); h.Get(repl.HeaderRole) != "follower" {
+		t.Errorf("follower readyz role header = %q, want follower", h.Get(repl.HeaderRole))
+	}
+	if _, h := doJSON(t, http.MethodGet, leader.URL()+"/v1/readyz", nil, nil); h.Get(repl.HeaderRole) != "leader" {
+		t.Errorf("leader readyz role header = %q, want leader", h.Get(repl.HeaderRole))
+	}
+	var web errBody
+	if code, _ := doJSON(t, http.MethodPost, f1.URL()+"/v1/entities", map[string]any{"text": "nope"}, &web); code != http.StatusServiceUnavailable || web.Error.Code != serve.CodeNotLeader {
+		t.Errorf("write on follower = %d %q, want 503 %q", code, web.Error.Code, serve.CodeNotLeader)
+	}
+}
+
+// TestReplFailoverCrashPreservesAckedWrites is the subsystem's core
+// property: under a random workload with semi-sync acks, crashing the
+// leader and promoting the most advanced follower loses no acked write,
+// the survivors converge to byte-identical answers, and the crashed
+// ex-leader comes back fenced.
+func TestReplFailoverCrashPreservesAckedWrites(t *testing.T) {
+	leaseFS := faultfs.NewMem()
+	lease := func() *repl.Lease { return repl.NewLease(leaseFS, "shared", "leader.lease") }
+
+	a := startLeader(t, faultfs.NewMem(), repl.Options{
+		ID: "a", Lease: lease(), AckReplicas: 1, AckTimeout: 10 * time.Second,
+	})
+	b := startFollower(t, faultfs.NewMem(), "b", a.URL(), repl.Options{Lease: lease()})
+	c := startFollower(t, faultfs.NewMem(), "c", a.URL(), repl.Options{Lease: lease()})
+
+	rng := rand.New(rand.NewSource(7))
+	oracle := map[int64]string{} // acked live entities: id -> text
+	deleted := map[int64]bool{}  // acked tombstones
+	seq := 0
+	writeRound := func(base string) {
+		t.Helper()
+		if rng.Float64() < 0.8 || len(oracle) == 0 {
+			n := 1 + rng.Intn(3)
+			texts := make([]string, n)
+			for i := range texts {
+				seq++
+				texts[i] = fmt.Sprintf("Entity Corp %d variant %d", seq, rng.Intn(100))
+			}
+			ids, _ := insertEntities(t, base, texts...)
+			for i, id := range ids {
+				oracle[id] = texts[i]
+			}
+		} else {
+			var pick int64
+			k := rng.Intn(len(oracle))
+			for id := range oracle {
+				if k == 0 {
+					pick = id
+					break
+				}
+				k--
+			}
+			if code, _ := doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/entities/%d", base, pick), nil, nil); code != http.StatusOK {
+				t.Fatalf("delete %d: status %d", pick, code)
+			}
+			delete(oracle, pick)
+			deleted[pick] = true
+		}
+	}
+	for range 30 {
+		writeRound(a.URL())
+	}
+
+	// Kill the leader: power loss, no goodbye. Every write above was
+	// acked by at least one follower before it returned.
+	a.srv.Close()
+	a.m.Crash()
+	a.stop()
+
+	// Promote whichever follower saw more of the log; the other one is
+	// re-parented under it.
+	newLeader, other := b, c
+	if newLeader.node.LogPos().Less(other.node.LogPos()) {
+		newLeader, other = other, newLeader
+	}
+	var promo struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+	}
+	if code, _ := doJSON(t, http.MethodPost, newLeader.URL()+"/v1/failover", nil, &promo); code != http.StatusOK {
+		t.Fatalf("failover: status %d", code)
+	}
+	if promo.Role != "leader" || promo.Term < 2 {
+		t.Fatalf("promotion = role %q term %d, want leader at term >= 2", promo.Role, promo.Term)
+	}
+	if code, _ := doJSON(t, http.MethodPost, other.URL()+"/v1/replica-of",
+		map[string]string{"upstream": newLeader.URL()}, nil); code != http.StatusOK {
+		t.Fatalf("replica-of: status %d", code)
+	}
+
+	// Every acked write survives the failover; every acked delete holds.
+	for id, want := range oracle {
+		var got struct {
+			Attrs []struct {
+				Name  string `json:"name"`
+				Value string `json:"value"`
+			} `json:"attrs"`
+		}
+		code, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/entities/%d", newLeader.URL(), id), nil, &got)
+		if code != http.StatusOK {
+			t.Fatalf("acked entity %d lost in failover: status %d", id, code)
+		}
+		if len(got.Attrs) != 1 || got.Attrs[0].Value != want {
+			t.Errorf("entity %d = %+v, want value %q", id, got.Attrs, want)
+		}
+	}
+	for id := range deleted {
+		if code, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/entities/%d", newLeader.URL(), id), nil, nil); code != http.StatusNotFound {
+			t.Errorf("acked delete %d resurrected by failover: status %d", id, code)
+		}
+	}
+
+	// The new leader takes writes; the surviving follower converges to
+	// byte-identical answers.
+	for range 10 {
+		writeRound(newLeader.URL())
+	}
+	waitConverged(t, newLeader, other)
+	for _, probe := range []string{"Entity Corp 3", "Entity Corp 12 variant", "Entity Corp 40"} {
+		_, want := queryCandidates(t, newLeader.URL(), probe, "")
+		if _, got := queryCandidates(t, other.URL(), probe, ""); got != want {
+			t.Errorf("post-failover divergence on %q:\n  got  %s\n  want %s", probe, got, want)
+		}
+	}
+
+	// The crashed ex-leader restarts: only its synced prefix survived.
+	// Consulting the lease, it learns it was deposed and comes up
+	// read-only; its writes are refused with a routable error.
+	a.m.Restart(nil)
+	st, err := online.OpenStore("node", clusterConfig(), online.StoreOptions{FS: a.m})
+	if err != nil {
+		t.Fatalf("reopen ex-leader store: %v", err)
+	}
+	defer st.Close()
+	revenant, err := repl.NewLeader(st, repl.Options{ID: "a", Lease: lease()})
+	if err != nil {
+		t.Fatalf("restart ex-leader: %v", err)
+	}
+	if revenant.Role() != repl.RoleDeposed {
+		t.Fatalf("ex-leader restarted as %s, want deposed", revenant.Role())
+	}
+	rsrv := serveNode(revenant)
+	defer rsrv.Close()
+	var eb errBody
+	if code, _ := doJSON(t, http.MethodPost, rsrv.URL+"/v1/entities", map[string]any{"text": "zombie write"}, &eb); code != http.StatusServiceUnavailable || eb.Error.Code != serve.CodeNotLeader {
+		t.Fatalf("deposed write = %d %q, want 503 %q", code, eb.Error.Code, serve.CodeNotLeader)
+	}
+
+	// Even a lease-blind restart cannot feed the survivors: its stream
+	// carries term 1 and the followers are fenced at term >= 2.
+	zombie, err := repl.NewLeader(st, repl.Options{ID: "a-zombie"})
+	if err != nil {
+		t.Fatalf("lease-blind restart: %v", err)
+	}
+	if zombie.Term() != 1 {
+		t.Fatalf("replayed ex-leader term = %d, want 1", zombie.Term())
+	}
+	zsrv := serveNode(zombie)
+	defer zsrv.Close()
+	before := other.node.LogPos()
+	if code, _ := doJSON(t, http.MethodPost, other.URL()+"/v1/replica-of",
+		map[string]string{"upstream": zsrv.URL}, nil); code != http.StatusOK {
+		t.Fatalf("replica-of zombie: status %d", code)
+	}
+	waitFor(t, 5*time.Second, "the follower to refuse the deposed leader's stream", func() bool {
+		ns, ok := other.node.Stats().(repl.NodeStats)
+		return ok && strings.Contains(ns.TailError, "deposed")
+	})
+	if pos := other.node.LogPos(); pos != before {
+		t.Fatalf("follower advanced on a deposed leader's stream: %s -> %s", before, pos)
+	}
+
+	// Re-parented under the real leader, it picks right back up.
+	if code, _ := doJSON(t, http.MethodPost, other.URL()+"/v1/replica-of",
+		map[string]string{"upstream": newLeader.URL()}, nil); code != http.StatusOK {
+		t.Fatalf("re-parent back: status %d", code)
+	}
+	writeRound(newLeader.URL())
+	waitConverged(t, newLeader, other)
+}
+
+func TestReplFollowerCrashRestartResumesTailing(t *testing.T) {
+	leader := startLeader(t, faultfs.NewMem(), repl.Options{ID: "leader"})
+	fm := faultfs.NewMem()
+	f := startFollower(t, fm, "f", leader.URL(), repl.Options{})
+
+	for i := range 25 {
+		insertEntities(t, leader.URL(), fmt.Sprintf("Crashproof Industries %d", i))
+	}
+	waitConverged(t, leader, f)
+
+	// Power-cycle the follower; whatever it had not fsynced is gone.
+	f.stop()
+	fm.Crash()
+	fm.Restart(nil)
+
+	for i := 25; i < 35; i++ {
+		insertEntities(t, leader.URL(), fmt.Sprintf("Crashproof Industries %d", i))
+	}
+
+	f2 := startFollower(t, fm, "f", leader.URL(), repl.Options{})
+	waitConverged(t, leader, f2)
+	if got, want := f2.node.Resolver().Len(), leader.node.Resolver().Len(); got != want {
+		t.Errorf("restarted follower holds %d entities, leader %d", got, want)
+	}
+	_, want := queryCandidates(t, leader.URL(), "Crashproof Industries", "")
+	if _, got := queryCandidates(t, f2.URL(), "Crashproof Industries", ""); got != want {
+		t.Errorf("restarted follower diverges:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+func TestReplProxyRoutesWritesAndFailsOver(t *testing.T) {
+	leader := startLeader(t, faultfs.NewMem(), repl.Options{ID: "p-leader"})
+	f := startFollower(t, faultfs.NewMem(), "p-f", leader.URL(), repl.Options{})
+
+	proxy, err := serve.NewProxy([]string{leader.URL(), f.URL()}, serve.ProxyOptions{
+		ProbeEvery: 25 * time.Millisecond, EjectAfter: 2,
+	})
+	if err != nil {
+		t.Fatalf("new proxy: %v", err)
+	}
+	t.Cleanup(proxy.Close)
+	psrv := httptest.NewServer(proxy.Handler())
+	t.Cleanup(psrv.Close)
+
+	// Writes route to the leader even when sent to the proxy.
+	ids, _ := insertEntities(t, psrv.URL, "Proxy Metals AG", "Proxy Metals Aktiengesellschaft")
+	if leader.node.Resolver().Len() != 2 {
+		t.Fatalf("proxied write missed the leader: %d entities", leader.node.Resolver().Len())
+	}
+	waitConverged(t, leader, f)
+
+	// Reads fan out across the rotation and keep answering.
+	for i := range 6 {
+		if code, cands := queryCandidates(t, psrv.URL, "Proxy Metals", ""); code != http.StatusOK || cands == "null" {
+			t.Fatalf("proxied read %d: status %d candidates %s", i, code, cands)
+		}
+	}
+	for range 4 {
+		if code, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/entities/%d", psrv.URL, ids[0]), nil, nil); code != http.StatusOK {
+			t.Fatalf("proxied get: status %d", code)
+		}
+	}
+	var stats struct {
+		Leader string `json:"leader"`
+	}
+	if code, _ := doJSON(t, http.MethodGet, psrv.URL+"/v1/stats", nil, &stats); code != http.StatusOK || stats.Leader != leader.URL() {
+		t.Fatalf("proxy stats = %d leader %q, want 200 %q", code, stats.Leader, leader.URL())
+	}
+
+	// The leader dies; after an explicit failover the proxy discovers
+	// the new leader on its next probe round, no reconfiguration.
+	leader.srv.Close()
+	leader.m.Crash()
+	leader.stop()
+	if code, _ := doJSON(t, http.MethodPost, f.URL()+"/v1/failover", nil, nil); code != http.StatusOK {
+		t.Fatalf("failover: status %d", code)
+	}
+	waitFor(t, 5*time.Second, "the proxy to discover the new leader", func() bool {
+		var st struct {
+			Leader string `json:"leader"`
+		}
+		doJSON(t, http.MethodGet, psrv.URL+"/v1/stats", nil, &st)
+		return st.Leader == f.URL()
+	})
+	if ids2, _ := insertEntities(t, psrv.URL, "Post Failover Corp"); len(ids2) != 1 {
+		t.Fatalf("post-failover proxied write returned %d ids", len(ids2))
+	}
+	if code, _ := queryCandidates(t, psrv.URL, "Post Failover", ""); code != http.StatusOK {
+		t.Fatalf("post-failover proxied read: status %d", code)
+	}
+}

@@ -1,0 +1,66 @@
+package repl
+
+import (
+	"testing"
+
+	"erfilter/internal/faultfs"
+)
+
+func TestLeaseAbsentReadsUnheld(t *testing.T) {
+	l := NewLease(faultfs.NewMem(), "shared", "leader.lease")
+	term, owner, err := l.Read()
+	if err != nil {
+		t.Fatalf("read absent lease: %v", err)
+	}
+	if term != 0 || owner != "" {
+		t.Fatalf("absent lease = term %d owner %q, want 0 and empty", term, owner)
+	}
+}
+
+func TestLeaseTakeMonotonic(t *testing.T) {
+	m := faultfs.NewMem()
+	l := NewLease(m, "shared", "leader.lease")
+	if term, err := l.Take("a"); err != nil || term != 1 {
+		t.Fatalf("first take = %d, %v; want 1", term, err)
+	}
+	if term, err := l.Take("b"); err != nil || term != 2 {
+		t.Fatalf("second take = %d, %v; want 2", term, err)
+	}
+	// A fresh handle over the same file sees the latest claim.
+	term, owner, err := NewLease(m, "shared", "leader.lease").Read()
+	if err != nil {
+		t.Fatalf("re-read lease: %v", err)
+	}
+	if term != 2 || owner != "b" {
+		t.Fatalf("lease = term %d owner %q, want 2 %q", term, owner, "b")
+	}
+}
+
+func TestLeaseTakeRejectsEmptyOwner(t *testing.T) {
+	l := NewLease(faultfs.NewMem(), "shared", "leader.lease")
+	if _, err := l.Take(""); err == nil {
+		t.Fatal("take with empty owner succeeded")
+	}
+}
+
+func TestLeaseCrashMidTakeKeepsPrevious(t *testing.T) {
+	m := faultfs.NewMem()
+	l := NewLease(m, "shared", "leader.lease")
+	if _, err := l.Take("a"); err != nil {
+		t.Fatalf("first take: %v", err)
+	}
+	// The atomic write syncs before renaming, so a take that dies on the
+	// sync must leave the previous claim in place.
+	m.FailAllSyncs(true)
+	if _, err := l.Take("b"); err == nil {
+		t.Fatal("take under sync faults succeeded")
+	}
+	m.FailAllSyncs(false)
+	term, owner, err := l.Read()
+	if err != nil {
+		t.Fatalf("re-read lease: %v", err)
+	}
+	if term != 1 || owner != "a" {
+		t.Fatalf("lease after failed take = term %d owner %q, want 1 %q", term, owner, "a")
+	}
+}

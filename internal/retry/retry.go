@@ -1,0 +1,152 @@
+// Package retry implements jittered exponential backoff: the reusable
+// wait schedule behind the replication tailer (and any future client of
+// a flaky peer). A Policy describes the schedule; a Backoff walks it.
+//
+// The schedule is "full jitter": the n-th delay is drawn uniformly from
+// (0, min(Base*Factor^n, Cap)]. Full jitter de-synchronizes a fleet of
+// retriers hammering a recovering leader, which matters more than any
+// individual retry landing early or late. MaxElapsed bounds the total
+// time spent waiting across a Backoff's lifetime; once crossed, Sleep
+// reports false and the caller gives up (or, for the tailer, keeps the
+// replica in its degraded read-only-stale state and re-arms).
+//
+// Time and randomness are injected so tests can verify the exact
+// schedule without sleeping.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is usable and
+// selects the defaults noted per field.
+type Policy struct {
+	// Base is the cap of the first delay (default 50ms).
+	Base time.Duration
+	// Cap bounds any single delay (default 5s).
+	Cap time.Duration
+	// Factor multiplies the cap of successive delays (default 2).
+	Factor float64
+	// MaxElapsed bounds the total time spent sleeping since NewBackoff
+	// or the last Reset; 0 means no bound. Once crossed, Sleep returns
+	// false without sleeping.
+	MaxElapsed time.Duration
+
+	// Rand returns a uniform float64 in [0,1); nil selects math/rand.
+	Rand func() float64
+	// Sleeper sleeps for d or until ctx is done, reporting whether the
+	// full duration elapsed; nil selects a timer-based sleep. Tests
+	// inject a recorder here.
+	Sleeper func(ctx context.Context, d time.Duration) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	if p.Factor <= 1 {
+		p.Factor = 2
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	if p.Sleeper == nil {
+		p.Sleeper = realSleep
+	}
+	return p
+}
+
+func realSleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Backoff walks a Policy's schedule. Not safe for concurrent use; each
+// retry loop owns one.
+type Backoff struct {
+	p       Policy
+	attempt int
+	slept   time.Duration
+}
+
+// NewBackoff returns a Backoff at the start of p's schedule.
+func NewBackoff(p Policy) *Backoff {
+	return &Backoff{p: p.withDefaults()}
+}
+
+// Reset rewinds the schedule to the first delay and clears the elapsed
+// budget — called after a success so the next failure starts cheap.
+func (b *Backoff) Reset() {
+	b.attempt = 0
+	b.slept = 0
+}
+
+// Next returns the upcoming delay without consuming it.
+func (b *Backoff) Next() time.Duration {
+	ceil := float64(b.p.Base)
+	for i := 0; i < b.attempt; i++ {
+		ceil *= b.p.Factor
+		if ceil >= float64(b.p.Cap) {
+			ceil = float64(b.p.Cap)
+			break
+		}
+	}
+	d := time.Duration(b.p.Rand() * ceil)
+	if d <= 0 {
+		d = 1 // a zero sleep would spin; keep the floor visible in tests
+	}
+	if d > b.p.Cap {
+		d = b.p.Cap
+	}
+	return d
+}
+
+// Sleep consumes one delay from the schedule, sleeping through the
+// injected Sleeper. It reports false — without advancing the schedule —
+// when ctx is already done, the MaxElapsed budget is spent, or the
+// sleep was cut short by cancellation.
+func (b *Backoff) Sleep(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if b.p.MaxElapsed > 0 && b.slept >= b.p.MaxElapsed {
+		return false
+	}
+	d := b.Next()
+	if b.p.MaxElapsed > 0 && b.slept+d > b.p.MaxElapsed {
+		d = b.p.MaxElapsed - b.slept
+	}
+	if !b.p.Sleeper(ctx, d) {
+		return false
+	}
+	b.attempt++
+	b.slept += d
+	return true
+}
+
+// Do calls fn until it returns nil, sleeping between failures on p's
+// schedule. It returns fn's last error when ctx is cancelled or the
+// MaxElapsed budget runs out.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	b := NewBackoff(p)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !b.Sleep(ctx) {
+			return err
+		}
+	}
+}

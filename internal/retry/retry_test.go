@@ -1,0 +1,176 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedRand returns r on every draw.
+func fixedRand(r float64) func() float64 { return func() float64 { return r } }
+
+// recordingSleeper appends each requested delay and never blocks.
+func recordingSleeper(got *[]time.Duration) func(context.Context, time.Duration) bool {
+	return func(_ context.Context, d time.Duration) bool {
+		*got = append(*got, d)
+		return true
+	}
+}
+
+func TestScheduleDoublesUpToCap(t *testing.T) {
+	var got []time.Duration
+	b := NewBackoff(Policy{
+		Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2,
+		Rand:    fixedRand(0.999999), // draw ~the ceiling so the shape is visible
+		Sleeper: recordingSleeper(&got),
+	})
+	for i := 0; i < 6; i++ {
+		if !b.Sleep(context.Background()) {
+			t.Fatalf("sleep %d refused", i)
+		}
+	}
+	// Ceilings: 10, 20, 40, 80, 80, 80 ms; the draw is just under each.
+	wantCeil := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, d := range got {
+		ceil := wantCeil[i] * time.Millisecond
+		if d > ceil || d < ceil-ceil/1000-1 {
+			t.Fatalf("delay %d = %v, want ~%v", i, d, ceil)
+		}
+	}
+}
+
+func TestJitterDrawsBelowCeiling(t *testing.T) {
+	var got []time.Duration
+	b := NewBackoff(Policy{
+		Base: 100 * time.Millisecond, Cap: time.Second,
+		Rand:    fixedRand(0.25),
+		Sleeper: recordingSleeper(&got),
+	})
+	b.Sleep(context.Background())
+	b.Sleep(context.Background())
+	if got[0] != 25*time.Millisecond || got[1] != 50*time.Millisecond {
+		t.Fatalf("got %v, want [25ms 50ms]", got)
+	}
+}
+
+func TestMaxElapsedStopsTheSchedule(t *testing.T) {
+	var got []time.Duration
+	b := NewBackoff(Policy{
+		Base: 10 * time.Millisecond, Cap: 10 * time.Millisecond,
+		MaxElapsed: 25 * time.Millisecond,
+		Rand:       fixedRand(0.999999),
+		Sleeper:    recordingSleeper(&got),
+	})
+	ok := 0
+	for b.Sleep(context.Background()) {
+		ok++
+		if ok > 10 {
+			t.Fatal("schedule never ended")
+		}
+	}
+	// Two ~10ms sleeps fit; the third is clipped to the ~5ms remainder;
+	// the fourth is refused.
+	if ok != 3 {
+		t.Fatalf("got %d sleeps, want 3 (delays %v)", ok, got)
+	}
+	var total time.Duration
+	for _, d := range got {
+		total += d
+	}
+	if total > 25*time.Millisecond {
+		t.Fatalf("slept %v, beyond the 25ms budget", total)
+	}
+}
+
+func TestResetRewindsScheduleAndBudget(t *testing.T) {
+	var got []time.Duration
+	b := NewBackoff(Policy{
+		Base: 10 * time.Millisecond, Cap: time.Second, MaxElapsed: time.Minute,
+		Rand:    fixedRand(0.999999),
+		Sleeper: recordingSleeper(&got),
+	})
+	b.Sleep(context.Background())
+	b.Sleep(context.Background())
+	b.Reset()
+	b.Sleep(context.Background())
+	if got[2] > 10*time.Millisecond || got[2] < 9*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want ~10ms", got[2])
+	}
+	if b.slept != got[2] {
+		t.Fatalf("post-reset budget %v, want %v", b.slept, got[2])
+	}
+}
+
+func TestSleepHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewBackoff(Policy{Sleeper: func(context.Context, time.Duration) bool {
+		t.Fatal("sleeper called with a dead context")
+		return false
+	}})
+	if b.Sleep(ctx) {
+		t.Fatal("Sleep succeeded under a cancelled context")
+	}
+}
+
+func TestSleeperCutShortReportsFalse(t *testing.T) {
+	b := NewBackoff(Policy{Sleeper: func(context.Context, time.Duration) bool { return false }})
+	if b.Sleep(context.Background()) {
+		t.Fatal("Sleep reported success for an interrupted sleep")
+	}
+	if b.attempt != 0 {
+		t.Fatal("interrupted sleep advanced the schedule")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var got []time.Duration
+	calls := 0
+	err := Do(context.Background(), Policy{
+		Base: time.Millisecond, Rand: fixedRand(0.5), Sleeper: recordingSleeper(&got),
+	}, func() error {
+		calls++
+		if calls < 4 {
+			return errors.New("nope")
+		}
+		return nil
+	})
+	if err != nil || calls != 4 || len(got) != 3 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/4/3", err, calls, len(got))
+	}
+}
+
+func TestDoReturnsLastErrorOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("persistent failure")
+	calls := 0
+	err := Do(ctx, Policy{Sleeper: func(context.Context, time.Duration) bool { return true }},
+		func() error {
+			calls++
+			if calls == 3 {
+				cancel()
+			}
+			return sentinel
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v, want the fn's last error", err)
+	}
+}
+
+func TestRealSleeperSleepsAndCancels(t *testing.T) {
+	b := NewBackoff(Policy{Base: time.Millisecond, Rand: fixedRand(0.5)})
+	begin := time.Now()
+	if !b.Sleep(context.Background()) {
+		t.Fatal("real sleep refused")
+	}
+	if time.Since(begin) > time.Second {
+		t.Fatal("1ms-scale sleep took over a second")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	b2 := NewBackoff(Policy{Base: time.Hour, Cap: time.Hour, Rand: fixedRand(0.999)})
+	if b2.Sleep(ctx) {
+		t.Fatal("hour-long sleep was not cut short by cancellation")
+	}
+}

@@ -1,0 +1,335 @@
+package serve
+
+// Proxy is the replica-set front door: it probes every replica's
+// /v1/readyz, learns who leads from the X-ER-Role header, routes writes
+// (and replication traffic) to the leader, and load-balances reads
+// round-robin across healthy replicas — ejecting a replica after
+// consecutive forwarding failures until a probe re-admits it. It is a
+// plain HTTP forwarder, not a coordinator: failover is still explicit
+// (POST /v1/failover to the chosen follower), but the proxy notices the
+// new leader on its next probe round without reconfiguration.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"erfilter/internal/metrics"
+	"erfilter/internal/repl"
+)
+
+// ProxyOptions tune the proxy; the zero value is production-ready.
+type ProxyOptions struct {
+	// ProbeEvery is the health-probe interval (default 1s).
+	ProbeEvery time.Duration
+	// EjectAfter ejects a replica from the read rotation after this many
+	// consecutive forwarding failures (default 3); probes re-admit it.
+	EjectAfter int
+	// Client issues probes and forwards (default: a dedicated client).
+	Client *http.Client
+}
+
+func (o ProxyOptions) withDefaults() ProxyOptions {
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// replica is one probed backend.
+type replica struct {
+	url     string
+	healthy atomic.Bool
+	role    atomic.Value // string
+	fails   atomic.Int64
+	lastErr atomic.Value // string
+}
+
+func (b *replica) note(err error) {
+	if err != nil {
+		b.lastErr.Store(err.Error())
+	} else {
+		b.lastErr.Store("")
+	}
+}
+
+// Proxy load-balances a replica set; build with NewProxy, mount
+// Handler(), Close to stop probing.
+type Proxy struct {
+	opt      ProxyOptions
+	replicas []*replica
+	rr       atomic.Uint64
+
+	reg       *metrics.Registry
+	reads     *metrics.Counter
+	writes    *metrics.Counter
+	forwdErrs *metrics.Counter
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewProxy builds a proxy over the replica base URLs and starts its
+// probe loop. Every URL is probed immediately so the first request
+// already has a health view.
+func NewProxy(urls []string, opt ProxyOptions) (*Proxy, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("serve: proxy needs at least one replica URL")
+	}
+	p := &Proxy{opt: opt.withDefaults(), reg: metrics.NewRegistry(), done: make(chan struct{})}
+	for _, raw := range urls {
+		u, err := url.Parse(strings.TrimRight(raw, "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("serve: bad replica URL %q", raw)
+		}
+		b := &replica{url: u.String()}
+		b.role.Store("")
+		b.lastErr.Store("")
+		p.replicas = append(p.replicas, b)
+	}
+	p.reads = p.reg.Counter("erproxy_forwarded_reads_total", "Read requests forwarded to replicas.", nil)
+	p.writes = p.reg.Counter("erproxy_forwarded_writes_total", "Write requests forwarded to the leader.", nil)
+	p.forwdErrs = p.reg.Counter("erproxy_forward_errors_total", "Forwarding attempts that failed at transport level.", nil)
+	for _, b := range p.replicas {
+		bb := b
+		p.reg.GaugeFunc("erproxy_replica_healthy", "1 while the replica passes probes and forwards.",
+			metrics.Labels{"replica": bb.url}, func() float64 {
+				if bb.healthy.Load() {
+					return 1
+				}
+				return 0
+			})
+	}
+	p.probeAll()
+	p.wg.Add(1)
+	go p.probeLoop()
+	return p, nil
+}
+
+// Close stops the probe loop.
+func (p *Proxy) Close() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+func (p *Proxy) probeLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opt.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+// probeAll refreshes every replica's health and role. A replica is
+// healthy only on a 200 readyz — a deposed leader or a stale follower
+// answers 503 and leaves the rotation, while its X-ER-Role (sent even
+// on 503s) keeps the topology view current.
+func (p *Proxy) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.replicas {
+		wg.Add(1)
+		go func(b *replica) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodGet, b.url+"/v1/readyz", nil)
+			if err != nil {
+				b.healthy.Store(false)
+				b.note(err)
+				return
+			}
+			resp, err := p.opt.Client.Do(req)
+			if err != nil {
+				b.healthy.Store(false)
+				b.note(err)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if role := resp.Header.Get(repl.HeaderRole); role != "" {
+				b.role.Store(role)
+			} else {
+				// An unreplicated backend has no role header; it accepts
+				// writes, so it stands in as the leader.
+				b.role.Store(repl.RoleLeader.String())
+			}
+			if resp.StatusCode == http.StatusOK {
+				b.healthy.Store(true)
+				b.fails.Store(0)
+				b.note(nil)
+			} else {
+				b.healthy.Store(false)
+				b.note(fmt.Errorf("readyz: %s", resp.Status))
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// leader returns the healthy leader, or nil while there is none.
+func (p *Proxy) leader() *replica {
+	for _, b := range p.replicas {
+		if b.healthy.Load() && b.role.Load() == repl.RoleLeader.String() {
+			return b
+		}
+	}
+	return nil
+}
+
+// readTargets returns the healthy replicas in round-robin order.
+func (p *Proxy) readTargets() []*replica {
+	n := len(p.replicas)
+	start := int(p.rr.Add(1)) % n
+	var out []*replica
+	for i := range n {
+		if b := p.replicas[(start+i)%n]; b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// isRead classifies a request: queries, entity gets and snapshots fan
+// out across replicas; everything else — writes, failover, replication
+// traffic — goes to the leader.
+func isRead(r *http.Request) bool {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return path != "/v1/wal" && path != "/wal"
+	}
+	if r.Method != http.MethodPost {
+		return false
+	}
+	switch path {
+	case "/v1/query", "/v1/query/batch", "/query", "/query/batch":
+		return true
+	}
+	return false
+}
+
+// Handler returns the proxy's route tree: its own health and stats
+// endpoints, and the forwarder for everything else.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if p.leader() == nil {
+			writeErr(w, http.StatusServiceUnavailable, CodeNotLeader, errors.New("no healthy leader among replicas"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /v1/stats", p.handleStats)
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.reg.WriteText(w)
+	})
+	mux.HandleFunc("/", p.forward)
+	return mux
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	type rep struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+		Role    string `json:"role"`
+		Fails   int64  `json:"fails"`
+		LastErr string `json:"last_error,omitempty"`
+	}
+	out := struct {
+		Leader   string `json:"leader,omitempty"`
+		Replicas []rep  `json:"replicas"`
+	}{}
+	if l := p.leader(); l != nil {
+		out.Leader = l.url
+	}
+	for _, b := range p.replicas {
+		out.Replicas = append(out.Replicas, rep{
+			URL: b.url, Healthy: b.healthy.Load(), Role: b.role.Load().(string),
+			Fails: b.fails.Load(), LastErr: b.lastErr.Load().(string),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// forward relays one request. Reads retry across the healthy rotation
+// on transport errors (they are idempotent); writes go to the leader
+// exactly once. The body is buffered so a retried read can resend it.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	var targets []*replica
+	if isRead(r) {
+		p.reads.Inc()
+		targets = p.readTargets()
+		if len(targets) == 0 {
+			writeErr(w, http.StatusServiceUnavailable, CodeDegraded, errors.New("no healthy replicas"))
+			return
+		}
+	} else {
+		p.writes.Inc()
+		l := p.leader()
+		if l == nil {
+			writeErr(w, http.StatusServiceUnavailable, CodeNotLeader, errors.New("no healthy leader among replicas"))
+			return
+		}
+		targets = []*replica{l}
+	}
+	var lastErr error
+	for _, b := range targets {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			break
+		}
+		req.Header = r.Header.Clone()
+		req.Header.Del("Connection")
+		resp, err := p.opt.Client.Do(req)
+		if err != nil {
+			p.forwdErrs.Inc()
+			b.note(err)
+			if b.fails.Add(1) >= int64(p.opt.EjectAfter) {
+				b.healthy.Store(false)
+			}
+			lastErr = err
+			continue
+		}
+		b.fails.Store(0)
+		h := w.Header()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				h.Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	writeErr(w, http.StatusBadGateway, CodeInternal, fmt.Errorf("forwarding failed: %w", lastErr))
+}

@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestReplMinEpochWithoutReplication(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, eb, _ := doEnvelope(t, http.MethodPost, ts.URL+"/v1/query",
+		map[string]any{"text": "anything", "k": 1, "min_epoch": "1.0"})
+	if code != http.StatusBadRequest || eb.Error.Code != CodeBadRequest {
+		t.Fatalf("min_epoch on unreplicated server = %d %q, want 400 %q", code, eb.Error.Code, CodeBadRequest)
+	}
+}
+
+func TestReplProxyRejectsBadReplicaList(t *testing.T) {
+	if _, err := NewProxy(nil, ProxyOptions{}); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+	if _, err := NewProxy([]string{"not a url"}, ProxyOptions{}); err == nil {
+		t.Fatal("unparsable replica URL accepted")
+	}
+	if _, err := NewProxy([]string{"localhost:9000"}, ProxyOptions{}); err == nil {
+		t.Fatal("scheme-less replica URL accepted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/metrics"
 	"erfilter/internal/online"
+	"erfilter/internal/repl"
 )
 
 // Snapshot is the immutable query surface of one published epoch —
@@ -145,6 +146,16 @@ const (
 	CodeDraining         = "draining"
 	CodeDegraded         = "degraded"
 	CodeInternal         = "internal"
+
+	// Replication codes: writes and replication reads on a non-leader,
+	// queries whose min_epoch the replica has not applied, readiness of
+	// a lagging follower, and WAL fetch positions that were trimmed away
+	// or never existed on this leader's timeline.
+	CodeNotLeader    = "not_leader"
+	CodeStaleEpoch   = "stale_epoch"
+	CodeStaleReplica = "stale_replica"
+	CodeWALTrimmed   = "wal_trimmed"
+	CodeWALDiverged  = "wal_diverged"
 )
 
 // Options tune a server; the zero value is production-ready.
@@ -157,6 +168,10 @@ type Options struct {
 	RequestTimeout time.Duration
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Replication mounts the WAL-shipping endpoints (/v1/wal,
+	// /v1/failover, /v1/replica-of, /v1/snapshot?repl=1) and the epoch
+	// plumbing over this node; nil serves unreplicated.
+	Replication *repl.Node
 }
 
 // Server wires a resolver (and optionally a durable store) to the HTTP
@@ -164,8 +179,9 @@ type Options struct {
 // admission and panic containment.
 type Server struct {
 	res   Resolver
-	store Store  // nil in volatile mode
-	write writer // store when durable, res otherwise
+	store Store      // nil in volatile mode
+	write writer     // store when durable, res otherwise
+	repl  *repl.Node // nil when unreplicated
 
 	admit    chan struct{} // bounded write-admission tokens
 	start    time.Time
@@ -192,7 +208,7 @@ func NewServer(res Resolver, store Store, opt Options) *Server {
 		opt.WriteQueue = 64
 	}
 	s := &Server{
-		res: res, store: store, admit: make(chan struct{}, opt.WriteQueue),
+		res: res, store: store, repl: opt.Replication, admit: make(chan struct{}, opt.WriteQueue),
 		start: time.Now(), reg: metrics.NewRegistry(), eps: map[string]*endpointStats{},
 		timeout: opt.RequestTimeout, pprof: opt.Pprof,
 	}
@@ -242,6 +258,14 @@ type route struct {
 }
 
 func (s *Server) routes() []route {
+	rts := s.baseRoutes()
+	if s.repl != nil {
+		rts = append(rts, s.replRoutes()...)
+	}
+	return rts
+}
+
+func (s *Server) baseRoutes() []route {
 	return []route{
 		{"POST", "/v1/query", "query", s.handleQuery, false},
 		{"POST", "/v1/query/batch", "query_batch", s.handleQueryBatch, false},
@@ -445,6 +469,10 @@ func writeErr(w http.ResponseWriter, status int, code string, err error) {
 // the raw disk error, not ErrDegraded, so the store's readiness is
 // consulted as well — by classification time the failure is sticky.
 func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
+	if errors.Is(err, repl.ErrNotLeader) {
+		writeErr(w, http.StatusServiceUnavailable, CodeNotLeader, err)
+		return
+	}
 	code := CodeInternal
 	if errors.Is(err, online.ErrDegraded) {
 		code = CodeDegraded
@@ -537,15 +565,19 @@ func candList(cands []online.Candidate) []candJSON {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		entityPayload
-		K      int     `json:"k"`
-		Eps    float64 `json:"eps"`
-		Ef     int     `json:"ef"`
-		Approx *bool   `json:"approx"`
-		Limit  int     `json:"limit"`
-		Trace  bool    `json:"trace"`
+		K        int     `json:"k"`
+		Eps      float64 `json:"eps"`
+		Ef       int     `json:"ef"`
+		Approx   *bool   `json:"approx"`
+		Limit    int     `json:"limit"`
+		Trace    bool    `json:"trace"`
+		MinEpoch string  `json:"min_epoch"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if !s.checkEpoch(w, req.MinEpoch) {
 		return
 	}
 	opt, err := resolveANN(req.Ef, req.Approx)
@@ -564,6 +596,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt.K, opt.Threshold = req.K, req.Eps
+	s.tagEpoch(w)
 	snap := s.res.Snapshot()
 	cands, tr := snap.QueryTraced(attrs, opt)
 	truncated := len(cands) > limit
@@ -596,16 +629,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // a sharded resolver, paying one scatter for the whole batch).
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Queries []entityPayload `json:"queries"`
-		K       int             `json:"k"`
-		Eps     float64         `json:"eps"`
-		Ef      int             `json:"ef"`
-		Approx  *bool           `json:"approx"`
-		Limit   int             `json:"limit"`
-		Trace   bool            `json:"trace"`
+		Queries  []entityPayload `json:"queries"`
+		K        int             `json:"k"`
+		Eps      float64         `json:"eps"`
+		Ef       int             `json:"ef"`
+		Approx   *bool           `json:"approx"`
+		Limit    int             `json:"limit"`
+		Trace    bool            `json:"trace"`
+		MinEpoch string          `json:"min_epoch"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if !s.checkEpoch(w, req.MinEpoch) {
 		return
 	}
 	opt, err := resolveANN(req.Ef, req.Approx)
@@ -638,6 +675,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		batch[i] = attrs
 	}
 	opt.K, opt.Threshold = req.K, req.Eps
+	s.tagEpoch(w)
 	snap := s.res.Snapshot()
 	results, tr := snap.QueryBatch(batch, opt)
 	type result struct {
@@ -703,6 +741,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeWriteError(w, err)
 		return
 	}
+	s.tagEpoch(w)
 	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "epoch": s.res.Snapshot().Epoch()})
 }
 
@@ -750,10 +789,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("entity %d not resident", id))
 		return
 	}
+	s.tagEpoch(w)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "epoch": s.res.Snapshot().Epoch()})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("repl") == "1" {
+		if s.repl == nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("replication not enabled"))
+			return
+		}
+		s.handleReplSnapshot(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := s.res.Save(w); err != nil {
 		// Headers are already sent; the truncated stream fails the
@@ -813,13 +861,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // failure. Load balancers should route writes only to ready replicas;
 // reads keep working either way.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.repl != nil {
+		// The role rides even on 503s: a proxy probing not-ready replicas
+		// still learns which one leads.
+		w.Header().Set(repl.HeaderRole, s.repl.Role().String())
+	}
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, CodeDraining, errors.New("draining: shutting down"))
 		return
 	}
 	if s.store != nil {
 		if ok, reason := s.store.Ready(); !ok {
-			writeErr(w, http.StatusServiceUnavailable, CodeDegraded, fmt.Errorf("degraded read-only: %w", reason))
+			code := readyCode(reason)
+			msg := fmt.Errorf("not ready: %w", reason)
+			if code == CodeDegraded {
+				msg = fmt.Errorf("degraded read-only: %w", reason)
+			}
+			writeErr(w, http.StatusServiceUnavailable, code, msg)
 			return
 		}
 	}

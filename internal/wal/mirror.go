@@ -1,0 +1,376 @@
+package wal
+
+// Mirror is the follower-side log: a byte-for-byte replica of a
+// leader's segment files, fed raw chunks lifted by ReadAt on the other
+// end. It never frames records itself — the leader already did — it
+// only appends verbatim, fsyncs before acknowledging, and preserves the
+// invariant that its files are a prefix of the leader's. Because the
+// bytes are identical, recovery after a follower crash is the ordinary
+// WAL recovery (truncate the torn tail, replay the rest), and promotion
+// is a handoff: IntoWAL turns the mirror into a real appendable WAL
+// without copying a byte.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"erfilter/internal/faultfs"
+)
+
+// Mirror replicates a WAL's segment files verbatim. All methods are
+// safe for concurrent use. Like the WAL, any write or fsync error is
+// sticky; Reset clears it (the follower re-bootstraps from scratch).
+type Mirror struct {
+	fs     faultfs.FS
+	dir    string
+	segMax int64
+
+	mu     sync.Mutex
+	f      faultfs.File // current segment; nil before the first byte lands
+	seg    uint64
+	size   int64
+	err    error
+	closed bool
+}
+
+// OpenMirror recovers the mirrored log in dir. Segments below base.Seg
+// are deleted unread — they predate the bootstrap snapshot the caller
+// is anchored to and their records are absorbed by it. The remaining
+// segments are replayed through replay with the ordinary WAL recovery
+// semantics (truncate at the first torn record, drop later segments).
+// When no segment survives, the mirror positions itself at base
+// awaiting the leader's bytes; base.Off must be 0 (bootstrap positions
+// are rotation boundaries).
+func OpenMirror(dir string, opt Options, base Position, replay func(Record) error) (*Mirror, error) {
+	if base.Off != 0 {
+		return nil, fmt.Errorf("wal: mirror base %s: bootstrap positions start segments", base)
+	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	segMax := opt.SegmentBytes
+	if segMax <= 0 {
+		segMax = defaultSegmentBytes
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	m := &Mirror{fs: fsys, dir: dir, segMax: segMax, seg: base.Seg}
+
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []uint64
+	for _, name := range names {
+		idx, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		if idx < base.Seg {
+			// A leftover from before the last bootstrap: the snapshot
+			// already contains its records, and replaying them against
+			// the newer snapshot could resurrect deleted entities.
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("wal: removing pre-bootstrap segment %d: %w", idx, err)
+			}
+			continue
+		}
+		segs = append(segs, idx)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	// Recovery proper is identical to the leader's: the throwaway WAL
+	// value only lends its fs/dir to replaySegment and truncateFile.
+	rw := &WAL{fs: fsys, dir: dir}
+	damagedAt := -1
+	for i, idx := range segs {
+		intact, err := rw.replaySegment(idx, replay)
+		if err != nil {
+			return nil, err
+		}
+		if !intact {
+			damagedAt = i
+			break
+		}
+	}
+	if damagedAt >= 0 {
+		for _, idx := range segs[damagedAt+1:] {
+			if err := fsys.Remove(filepath.Join(dir, segName(idx))); err != nil {
+				return nil, fmt.Errorf("wal: removing post-damage segment %d: %w", idx, err)
+			}
+		}
+		segs = segs[:damagedAt+1]
+	}
+	if len(segs) == 0 {
+		return m, nil
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(dir, segName(last))
+	size, err := sizeOf(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	if size < int64(MagicLen) {
+		// The crash beat even the magic bytes; restart the segment so
+		// the next fetch asks from offset 0.
+		if err := rw.truncateFile(path, 0); err != nil {
+			return nil, fmt.Errorf("wal: resetting runt segment %d: %w", last, err)
+		}
+		size = 0
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopening segment %d: %w", last, err)
+	}
+	m.f, m.seg, m.size = f, last, size
+	return m, nil
+}
+
+// Pos returns the durable end of the mirrored log — the from= value of
+// the follower's next fetch, and therefore its ack to the leader.
+func (m *Mirror) Pos() Position {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Position{Seg: m.seg, Off: m.size}
+}
+
+// Err returns the sticky failure, if any.
+func (m *Mirror) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// AppendAt appends data at pos, which must be the mirror's current end
+// — or the start of a later segment, which seals the current one and
+// cuts the next (the leader rotated). The bytes are fsynced before
+// AppendAt returns: a position the follower advertises is durable.
+func (m *Mirror) AppendAt(pos Position, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if m.closed {
+		return fmt.Errorf("wal: mirror closed")
+	}
+	switch {
+	case pos.Seg == m.seg && pos.Off == m.size:
+		if m.f == nil {
+			if err := m.cutLocked(m.seg); err != nil {
+				return err
+			}
+		}
+	case pos.Seg > m.seg && pos.Off == 0:
+		if err := m.cutLocked(pos.Seg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("wal: mirror at %s cannot append at %s", Position{m.seg, m.size}, pos)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	_, err := m.f.Write(data)
+	if err == nil {
+		err = m.f.Sync()
+	}
+	if err != nil {
+		m.err = fmt.Errorf("wal: mirroring at %s: %w", pos, err)
+		return m.err
+	}
+	m.size += int64(len(data))
+	return nil
+}
+
+// cutLocked opens a fresh, empty segment file as current. Unlike the
+// leader's createSegment it writes no magic — the magic arrives in the
+// replicated byte stream.
+func (m *Mirror) cutLocked(idx uint64) error {
+	f, err := faultfs.Create(m.fs, filepath.Join(m.dir, segName(idx)))
+	if err != nil {
+		m.err = fmt.Errorf("wal: cutting mirror segment %d: %w", idx, err)
+		return m.err
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		f.Close()
+		m.err = fmt.Errorf("wal: syncing dir for mirror segment %d: %w", idx, err)
+		return m.err
+	}
+	if m.f != nil {
+		m.f.Close()
+	}
+	m.f, m.seg, m.size = f, idx, 0
+	return nil
+}
+
+// TruncateTo cuts the mirrored log back to pos: segments beyond pos.Seg
+// are removed and the current segment is truncated to pos.Off. The
+// caller owns re-deriving its in-memory state (the dropped suffix was
+// already applied); the store layer does that by reopening.
+func (m *Mirror) TruncateTo(pos Position) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("wal: mirror closed")
+	}
+	cur := Position{Seg: m.seg, Off: m.size}
+	if cur.Less(pos) {
+		return fmt.Errorf("wal: mirror at %s cannot truncate forward to %s", cur, pos)
+	}
+	names, err := m.fs.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", m.dir, err)
+	}
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
+	for _, name := range names {
+		idx, ok := parseSegName(name)
+		if !ok || idx <= pos.Seg {
+			continue
+		}
+		if err := m.fs.Remove(filepath.Join(m.dir, name)); err != nil {
+			m.err = fmt.Errorf("wal: truncating mirror: %w", err)
+			return m.err
+		}
+	}
+	rw := &WAL{fs: m.fs, dir: m.dir}
+	path := filepath.Join(m.dir, segName(pos.Seg))
+	if err := rw.truncateFile(path, pos.Off); err != nil {
+		m.err = fmt.Errorf("wal: truncating mirror segment %d: %w", pos.Seg, err)
+		return m.err
+	}
+	f, err := m.fs.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		m.err = fmt.Errorf("wal: reopening truncated segment %d: %w", pos.Seg, err)
+		return m.err
+	}
+	m.f, m.seg, m.size = f, pos.Seg, pos.Off
+	return nil
+}
+
+// Reset wipes every mirrored segment and re-anchors the mirror at base
+// (a rotation boundary: base.Off must be 0) — the re-bootstrap path
+// after divergence or a trimmed-away tail. It also clears a sticky
+// error: the slate is genuinely clean.
+func (m *Mirror) Reset(base Position) error {
+	if base.Off != 0 {
+		return fmt.Errorf("wal: mirror reset to %s: bootstrap positions start segments", base)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("wal: mirror closed")
+	}
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
+	names, err := m.fs.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", m.dir, err)
+	}
+	for _, name := range names {
+		if _, ok := parseSegName(name); !ok {
+			continue
+		}
+		if err := m.fs.Remove(filepath.Join(m.dir, name)); err != nil {
+			return fmt.Errorf("wal: resetting mirror: %w", err)
+		}
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		return fmt.Errorf("wal: resetting mirror: %w", err)
+	}
+	m.seg, m.size, m.err = base.Seg, 0, nil
+	return nil
+}
+
+// TrimBefore deletes mirrored segments strictly below keep — the
+// follower's post-checkpoint cleanup. The current segment is never
+// deleted.
+func (m *Mirror) TrimBefore(keep uint64) error {
+	m.mu.Lock()
+	cur := m.seg
+	m.mu.Unlock()
+	if keep > cur {
+		keep = cur
+	}
+	names, err := m.fs.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", m.dir, err)
+	}
+	for _, name := range names {
+		idx, ok := parseSegName(name)
+		if !ok || idx >= keep {
+			continue
+		}
+		if err := m.fs.Remove(filepath.Join(m.dir, name)); err != nil {
+			return fmt.Errorf("wal: trimming mirror segment %d: %w", idx, err)
+		}
+	}
+	return nil
+}
+
+// IntoWAL promotes the mirror into an appendable WAL continuing at the
+// mirror's exact position — the open segment file changes hands without
+// a copy. The mirror is unusable afterwards. When the mirror never
+// received a byte (or holds a runt segment with no magic yet), the WAL
+// starts the segment itself.
+func (m *Mirror) IntoWAL(opt Options) (*WAL, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.closed {
+		return nil, fmt.Errorf("wal: mirror closed")
+	}
+	m.closed = true
+	segMax := opt.SegmentBytes
+	if segMax <= 0 {
+		segMax = m.segMax
+	}
+	w := &WAL{fs: m.fs, dir: m.dir, segMax: segMax}
+	w.cond = sync.NewCond(&w.mu)
+	if m.f == nil || m.size < int64(MagicLen) {
+		if m.f != nil {
+			m.f.Close()
+		}
+		seg := m.seg
+		if seg == 0 {
+			seg = 1
+		}
+		if err := w.createSegment(seg); err != nil {
+			return nil, err
+		}
+		m.f = nil
+		return w, nil
+	}
+	w.f, w.segIdx, w.segSize = m.f, m.seg, m.size
+	m.f = nil
+	return w, nil
+}
+
+// Close closes the mirrored segment file; the mirror is unusable
+// afterwards.
+func (m *Mirror) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.f != nil {
+		err := m.f.Close()
+		m.f = nil
+		return err
+	}
+	return nil
+}
