@@ -5,17 +5,17 @@ GO ?= go
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
 	./internal/wal ./internal/metrics ./internal/segment ./internal/serve \
-	./internal/retry ./internal/repl ./cmd/erserve
+	./internal/retry ./internal/repl ./internal/query ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
 CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./internal/repl ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos shard ann lsm repl scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm bench-repl
+.PHONY: check vet build test race chaos shard ann lsm repl bulk scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm bench-repl bench-bulk
 
-## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm, repl)
-check: vet build test race chaos shard ann lsm repl
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm, repl, bulk)
+check: vet build test race chaos shard ann lsm repl bulk
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,13 @@ lsm:
 repl:
 	$(GO) test -race -count 1 -run 'Repl|Follower|Failover|Lease|SemiSync' ./internal/wal ./internal/online ./internal/repl ./internal/serve ./cmd/erserve
 
+## bulk: the streaming-ingestion gate — feeds a 100k-row NDJSON stream
+## through the live server and fails unless the heap envelope stays
+## bounded and a deterministic sample of the answers is byte-identical
+## to /v1/query/batch
+bulk:
+	$(GO) test -count 1 -run 'TestBulkStreamGate' ./internal/serve
+
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or
 ## missing series. CI runs this against every change.
@@ -110,3 +117,10 @@ bench-lsm:
 ## WAL-shipping read replicas
 bench-repl:
 	$(GO) run ./cmd/erbench -exp repl
+
+## bench-bulk: NDJSON bulk-resolve stream end to end — rows/s plus peak
+## and settled heap deltas while a generated feed flows through POST
+## /v1/resolve/stream; fails on any sampled divergence from the batch
+## endpoint
+bench-bulk:
+	$(GO) run ./cmd/erbench -exp bulk

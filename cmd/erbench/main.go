@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, repl, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, repl, bulk, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -55,6 +55,8 @@ func main() {
 		replN    = flag.Int("repl-entities", 20000, "collection size for -exp repl")
 		replQ    = flag.Int("repl-queries", 3000, "query count per replica count for -exp repl")
 		replMax  = flag.Int("repl-max", 4, "max replica count for -exp repl (doubled from 1 up to this)")
+		bulkN    = flag.Int("bulk-entities", 100000, "collection size for -exp bulk")
+		bulkRows = flag.Int("bulk-rows", 1000000, "NDJSON feed length for -exp bulk")
 	)
 	flag.Parse()
 
@@ -106,6 +108,13 @@ func main() {
 	}
 	if *exp == "repl" {
 		if err := replExperiment(out, *replN, *replQ, *replMax); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "bulk" {
+		if err := bulkExperiment(out, *bulkN, *bulkRows); err != nil {
 			fmt.Fprintln(os.Stderr, "erbench:", err)
 			os.Exit(1)
 		}

@@ -38,9 +38,10 @@
 // answer identically plus a Deprecation header); every non-2xx response
 // carries the envelope {"error":{"code":...,"message":...}}:
 //
-//	POST   /v1/query         {"attrs":{...}|"text":"...","k":N,"eps":X} → top candidates
-//	POST   /v1/query/batch   {"queries":[{...},...],"k":N} → per-query candidates, one snapshot
-//	POST   /v1/entities      {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
+//	POST   /v1/query          {"attrs":{...}|"text":"...","k":N,"eps":X,"where":"..."} → top candidates
+//	POST   /v1/query/batch    {"queries":[{...},...],"k":N,"where":"..."} → per-query candidates, one snapshot
+//	POST   /v1/resolve/stream NDJSON feed in → NDJSON results out, resolved in bounded batches
+//	POST   /v1/entities       {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
 //	GET    /v1/entities/{id} → stored attributes
 //	DELETE /v1/entities/{id} → tombstone + re-publish
 //	GET    /v1/snapshot      → binary snapshot stream (resumable with -load)
@@ -48,6 +49,12 @@
 //	GET    /v1/metrics       → Prometheus text exposition (histograms, counters)
 //	GET    /v1/healthz       → process liveness: always ok while serving
 //	GET    /v1/readyz        → write readiness: 503 while draining or degraded
+//
+// Every JSON endpoint caps its request body at -max-body bytes (413
+// past it); the resolve stream is instead bounded per NDJSON line by
+// -max-line, so a feed of any length streams in O(-max-batch) server
+// memory. "where" takes the predicate DSL (see DESIGN.md §14):
+// attribute clauses with and/or/not plus score >= t, top N and explain.
 //
 // Serving-side protection, instrumentation and graceful shutdown live
 // in internal/serve; this command is flag parsing, state assembly and
@@ -114,6 +121,9 @@ type options struct {
 	checkpointEvery int
 	writeQueue      int
 	requestTimeout  time.Duration
+	maxBody         int64
+	maxBatch        int
+	maxLine         int
 	pprof           bool
 
 	replicaOf   string
@@ -162,6 +172,9 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
 	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline for JSON endpoints (/v1/snapshot is exempt)")
+	flag.Int64Var(&o.maxBody, "max-body", serve.DefaultMaxBody, "JSON request body cap in bytes; larger bodies answer 413 (also caps bodies buffered by -proxy)")
+	flag.IntVar(&o.maxBatch, "max-batch", serve.DefaultMaxBatch, "queries per /v1/query/batch request, and the resolve unit of /v1/resolve/stream")
+	flag.IntVar(&o.maxLine, "max-line", serve.DefaultMaxLine, "one NDJSON line of /v1/resolve/stream, in bytes; a larger record terminates the stream")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	flag.StringVar(&o.replicaOf, "replica-of", "", "follow this leader URL as a read replica (requires -wal; implies -follow)")
 	flag.BoolVar(&o.follow, "follow", false, "start as a follower without an upstream yet (re-parent later via POST /v1/replica-of)")
@@ -212,6 +225,15 @@ func validateOptions(o options, set map[string]bool) error {
 	}
 	if o.mergeFanin < 2 {
 		return fmt.Errorf("-merge-fanin must be >= 2, got %d", o.mergeFanin)
+	}
+	if o.maxBody <= 0 {
+		return fmt.Errorf("-max-body must be > 0, got %d", o.maxBody)
+	}
+	if o.maxBatch <= 0 {
+		return fmt.Errorf("-max-batch must be > 0, got %d", o.maxBatch)
+	}
+	if o.maxLine <= 0 {
+		return fmt.Errorf("-max-line must be > 0, got %d", o.maxLine)
 	}
 	kind, err := online.ParseStorage(o.storage)
 	if err != nil {
@@ -286,6 +308,9 @@ func run(o options) error {
 	s := serve.NewServer(st.res, st.store, serve.Options{
 		WriteQueue:     o.writeQueue,
 		RequestTimeout: o.requestTimeout,
+		MaxBody:        o.maxBody,
+		MaxBatch:       o.maxBatch,
+		MaxLine:        o.maxLine,
 		Pprof:          o.pprof,
 		Replication:    st.repl,
 	})
@@ -498,7 +523,7 @@ func runProxy(o options) error {
 			urls = append(urls, u)
 		}
 	}
-	p, err := serve.NewProxy(urls, serve.ProxyOptions{ProbeEvery: o.probeEvery})
+	p, err := serve.NewProxy(urls, serve.ProxyOptions{ProbeEvery: o.probeEvery, MaxBody: o.maxBody})
 	if err != nil {
 		return err
 	}

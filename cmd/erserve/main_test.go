@@ -17,6 +17,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
 	"erfilter/internal/online"
+	"erfilter/internal/serve"
 	"erfilter/internal/sparse"
 	"erfilter/internal/text"
 )
@@ -64,6 +65,7 @@ func baseOptions() options {
 		method: "knnj", schema: "agnostic", model: "C3G", knnIndex: "flat",
 		clean: true, k: 3, threshold: 0.4, target: 0.9, workers: 1, shards: 1,
 		storage: "memory", memtableCap: 32768, mergeFanin: 8,
+		maxBody: serve.DefaultMaxBody, maxBatch: serve.DefaultMaxBatch, maxLine: serve.DefaultMaxLine,
 	}
 }
 
@@ -86,6 +88,9 @@ func TestValidateOptions(t *testing.T) {
 		{"hnsw-ef zero when set", func(o *options) { o.hnswEf = 0 }, []string{"hnsw-ef"}, "-hnsw-ef"},
 		{"negative checkpoint-every", func(o *options) { o.checkpointEvery = -1 }, nil, "-checkpoint-every"},
 		{"zero memtable-cap", func(o *options) { o.memtableCap = 0 }, nil, "-memtable-cap"},
+		{"zero max-body", func(o *options) { o.maxBody = 0 }, nil, "-max-body"},
+		{"negative max-batch", func(o *options) { o.maxBatch = -1 }, nil, "-max-batch"},
+		{"zero max-line", func(o *options) { o.maxLine = 0 }, nil, "-max-line"},
 		{"merge-fanin below two", func(o *options) { o.mergeFanin = 1 }, nil, "-merge-fanin"},
 		{"unknown storage", func(o *options) { o.storage = "floppy" }, nil, "-storage"},
 		{"disk with hnsw index", func(o *options) {

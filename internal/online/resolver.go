@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,25 @@ type QueryOptions struct {
 	// hatch when a caller needs oracle answers (and the equivalence the
 	// crash-recovery tests assert). Ignored by already-exact indexes.
 	Exact bool
+	// Predicate, when non-nil, restricts candidates to entities whose
+	// stored attributes satisfy it. The predicate is pushed down into
+	// the query: cardinality cuts (FlatKNN's top-k, KNNJoin's k distinct
+	// similarity values) are applied to the matching candidates only, by
+	// over-fetching and re-cutting until k matches are found or the
+	// index is exhausted — so a filtered query returns exactly what an
+	// unfiltered query over the matching sub-collection would. The
+	// predicate must be pure and safe for concurrent use.
+	Predicate func(attrs []entity.Attribute) bool
+	// MinScore, when non-nil, drops candidates scoring below it before
+	// the cardinality cut, under the same pushdown semantics as
+	// Predicate. A pointer because 0 is meaningful: FlatKNN scores are
+	// negated distances, so every candidate scores <= 0.
+	MinScore *float64
+}
+
+// filtered reports whether the options carry a pushdown filter.
+func (o QueryOptions) filtered() bool {
+	return o.Predicate != nil || o.MinScore != nil
 }
 
 // denseIndex is the pluggable write-side seam over the incremental dense
@@ -338,12 +358,13 @@ func (r *Resolver) maybeCompactLocked() {
 func (r *Resolver) publishLocked() {
 	r.epoch++
 	s := &Snapshot{
-		cfg:     r.cfg,
-		epoch:   r.epoch,
-		queries: &r.queries,
-		scratch: &r.scratch,
-		embed:   &r.embed,
-		tel:     r.tel,
+		cfg:      r.cfg,
+		epoch:    r.epoch,
+		getAttrs: r.attrsRef,
+		queries:  &r.queries,
+		scratch:  &r.scratch,
+		embed:    &r.embed,
+		tel:      r.tel,
 	}
 	begin := time.Now()
 	if r.sp != nil {
@@ -374,11 +395,21 @@ func (r *Resolver) Query(attrs []entity.Attribute, opt QueryOptions) []Candidate
 // Get returns a copy of the attributes of a resident entity, whether
 // it lives in the memtable or a flushed segment.
 func (r *Resolver) Get(id int64) ([]entity.Attribute, bool) {
+	attrs, ok := r.attrsRef(id)
+	if !ok {
+		return nil, false
+	}
+	return append([]entity.Attribute(nil), attrs...), true
+}
+
+// attrsRef is Get without the defensive copy — the predicate-pushdown
+// hot path, which may consult attributes for every over-fetched
+// candidate. Stored attribute slices are never mutated after insert
+// (insertLocked copies; deletes only drop the map entry), so readers
+// may hold the slice across the unlock; they must not modify it.
+func (r *Resolver) attrsRef(id int64) ([]entity.Attribute, bool) {
 	r.mu.Lock()
 	attrs, ok := r.attrs[id]
-	if ok {
-		attrs = append([]entity.Attribute(nil), attrs...)
-	}
 	tier := r.tier
 	r.mu.Unlock()
 	if ok {
@@ -498,17 +529,24 @@ func (r *Resolver) RegisterMetrics(reg *metrics.Registry) {
 // Any number of goroutines may query it concurrently; it never blocks
 // and never observes later writes.
 type Snapshot struct {
-	cfg     Config
-	epoch   uint64
-	count   int
-	dict    map[string]int32
-	sp      *sparse.IncSnapshot
-	kn      denseSnap
-	tier    *segment.View // disk tier's read view (nil under StorageMemory)
-	queries *atomic.Uint64
-	scratch *sync.Pool
-	embed   *sync.Pool
-	tel     *telemetry
+	cfg   Config
+	epoch uint64
+	count int
+	dict  map[string]int32
+	sp    *sparse.IncSnapshot
+	kn    denseSnap
+	tier  *segment.View // disk tier's read view (nil under StorageMemory)
+	// getAttrs resolves a candidate id to its stored attributes for
+	// predicate pushdown. It reads the live resolver (attribute slices
+	// are immutable after insert, so the only post-publish drift is an
+	// entity deleted since this epoch, whose candidates are simply
+	// filtered out — the answer a query against the next epoch would
+	// give anyway).
+	getAttrs func(int64) ([]entity.Attribute, bool)
+	queries  *atomic.Uint64
+	scratch  *sync.Pool
+	embed    *sync.Pool
+	tel      *telemetry
 }
 
 // Trace is the phase breakdown of one traced query: how long the text
@@ -609,12 +647,96 @@ func (s *Snapshot) queryOne(attrs []entity.Attribute, opt QueryOptions, res quer
 }
 
 func (s *Snapshot) query(attrs []entity.Attribute, opt QueryOptions, tr *Trace, res queryRes) []Candidate {
-	begin := time.Now()
-	txt := s.cfg.textOf(attrs)
 	k := s.cfg.K
 	if opt.K > 0 {
 		k = opt.K
 	}
+	if !opt.filtered() {
+		return s.rawQuery(attrs, k, opt, tr, res)
+	}
+	return s.filteredQuery(attrs, k, opt, tr, res)
+}
+
+// filteredQuery answers a query whose options carry a pushdown filter,
+// returning exactly what an unfiltered query over the sub-collection of
+// matching entities would: the filter runs before the cardinality cut,
+// not after it.
+//
+// EpsJoin needs no special handling — its answer is a threshold union
+// with no cardinality cut, so filtering the union is filtering the
+// universe. FlatKNN and KNNJoin over-fetch: probe at k', drop
+// non-matching candidates, and either (a) enough matches survive to
+// fill the cut (≥ k candidates for FlatKNN, ≥ k distinct similarity
+// values for KNNJoin) or (b) the raw probe came back short of k', which
+// proves the index has no further candidates to offer; otherwise double
+// k' and retry. The loop terminates because k' eventually exceeds the
+// collection size, at which point (b) must hold.
+func (s *Snapshot) filteredQuery(attrs []entity.Attribute, k int, opt QueryOptions, tr *Trace, res queryRes) []Candidate {
+	if s.cfg.Method == EpsJoin {
+		return s.applyFilter(s.rawQuery(attrs, k, opt, tr, res), opt)
+	}
+	kp := k
+	if kp < 1 {
+		kp = 1
+	}
+	for {
+		raw := s.rawQuery(attrs, kp, opt, tr, res)
+		exhausted := len(raw) < kp
+		if s.cfg.Method == KNNJoin {
+			exhausted = distinctScores(raw) < kp
+		}
+		keep := s.applyFilter(raw, opt)
+		enough := len(keep) >= k
+		if s.cfg.Method == KNNJoin {
+			enough = distinctScores(keep) >= k
+		}
+		if enough || exhausted {
+			return cutCandidates(s.cfg.Method, keep, k)
+		}
+		kp *= 2
+	}
+}
+
+// applyFilter drops candidates failing the options' score floor or
+// attribute predicate. The input is sorted (score desc, id asc) and the
+// output preserves that order.
+func (s *Snapshot) applyFilter(in []Candidate, opt QueryOptions) []Candidate {
+	out := make([]Candidate, 0, len(in))
+	for _, c := range in {
+		if opt.MinScore != nil && c.Score < *opt.MinScore {
+			continue
+		}
+		if opt.Predicate != nil {
+			a, ok := s.getAttrs(c.ID)
+			if !ok || !opt.Predicate(a) {
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// distinctScores counts the distinct similarity values of a sorted
+// candidate list — the quantity KNNJoin's cardinality cut counts.
+func distinctScores(cs []Candidate) int {
+	n := 0
+	last := math.Inf(1)
+	for _, c := range cs {
+		if c.Score != last {
+			n++
+			last = c.Score
+		}
+	}
+	return n
+}
+
+// rawQuery runs the unfiltered probe at an explicit cardinality k (the
+// filtered path calls it with successively doubled k; the unfiltered
+// path with the effective k once).
+func (s *Snapshot) rawQuery(attrs []entity.Attribute, k int, opt QueryOptions, tr *Trace, res queryRes) []Candidate {
+	begin := time.Now()
+	txt := s.cfg.textOf(attrs)
 	switch s.cfg.Method {
 	case FlatKNN:
 		q := res.emb.Text(txt)

@@ -515,7 +515,11 @@ func (ss *ShardedSnapshot) merge(per [][]Candidate, k int) []Candidate {
 // mergeCandidates is the canonical scatter-gather fold shared by the
 // sharded resolver (one part per shard) and the disk tier (one part
 // for the memtable, one for the segment gather): concatenate, sort by
-// (score desc, id asc), re-apply the method's cut.
+// (score desc, id asc), re-apply the method's cut. When the per-shard
+// lists were produced by a filtered (predicate-pushdown) query the same
+// argument applies verbatim to the filtered universe: every list holds
+// its shard's cut over matching candidates, so the re-cut union is the
+// global answer over matching candidates.
 func mergeCandidates(method Method, per [][]Candidate, k int) []Candidate {
 	total := 0
 	for _, p := range per {
@@ -531,6 +535,12 @@ func mergeCandidates(method Method, per [][]Candidate, k int) []Candidate {
 		}
 		return all[i].ID < all[j].ID
 	})
+	return cutCandidates(method, all, k)
+}
+
+// cutCandidates applies the method's cardinality cut to a candidate
+// list already sorted by (score desc, id asc), in place.
+func cutCandidates(method Method, all []Candidate, k int) []Candidate {
 	switch method {
 	case EpsJoin:
 		// union only — no cut

@@ -1,0 +1,621 @@
+// Package query is the hand-rolled predicate language of the serving
+// layer: a lexer, a recursive-descent parser and a typed AST, no
+// generated code. One query string combines an attribute predicate
+// tree with result modifiers:
+//
+//	city = "berlin" AND (name ^= "jo" OR name ~ "j.*n") AND NOT tier = "spam"
+//	score >= 0.35 top 50 explain
+//
+// Clauses test the stored attributes of a candidate entity:
+//
+//	field =  "v"   any attribute named field equals v (case-folded)
+//	field != "v"   no attribute named field equals v
+//	field ^= "v"   any attribute named field starts with v (case-folded)
+//	field ~  "re"  any attribute named field matches the RE2 regexp
+//
+// combined with AND / OR / NOT and parentheses (keywords are
+// case-insensitive; AND binds tighter than OR). Values may be quoted
+// strings or bare words. The trailing modifiers are not predicates:
+// `score >= t` drops candidates scoring below t, `top N` caps the
+// result count after filtering, and `explain` asks the server to
+// annotate the response with the normalized plan.
+//
+// The language is deliberately total: parsing never executes anything,
+// regexps are Go's linear-time RE2, and nesting depth is bounded, so a
+// query string from an untrusted client is safe to parse and evaluate.
+package query
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"erfilter/internal/entity"
+)
+
+// MaxLen bounds the accepted query-string length; longer inputs are
+// rejected before lexing.
+const MaxLen = 64 << 10
+
+// maxDepth bounds parenthesis/NOT nesting so a hostile query cannot
+// overflow the parser's stack.
+const maxDepth = 128
+
+// Op is a clause comparison operator.
+type Op uint8
+
+const (
+	OpEq     Op = iota // =   case-folded equality
+	OpNe               // !=  negated case-folded equality
+	OpPrefix           // ^=  case-folded prefix
+	OpRegex            // ~   RE2 regexp match
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpPrefix:
+		return "^="
+	case OpRegex:
+		return "~"
+	}
+	return "?"
+}
+
+// Expr is a predicate over the stored attributes of one entity. All
+// implementations are immutable and safe for concurrent Eval.
+type Expr interface {
+	// Eval reports whether the attributes satisfy the predicate.
+	Eval(attrs []entity.Attribute) bool
+	// String renders the canonical form (normalized keywords, quoted
+	// values, explicit parentheses around OR under AND).
+	String() string
+}
+
+// And is the conjunction of two predicates.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a *And) Eval(attrs []entity.Attribute) bool { return a.L.Eval(attrs) && a.R.Eval(attrs) }
+
+// String implements Expr.
+func (a *And) String() string { return parenOr(a.L) + " AND " + parenOr(a.R) }
+
+// Or is the disjunction of two predicates.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o *Or) Eval(attrs []entity.Attribute) bool { return o.L.Eval(attrs) || o.R.Eval(attrs) }
+
+// String implements Expr.
+func (o *Or) String() string { return o.L.String() + " OR " + o.R.String() }
+
+// Not negates a predicate.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(attrs []entity.Attribute) bool { return !n.X.Eval(attrs) }
+
+// String implements Expr.
+func (n *Not) String() string {
+	if _, ok := n.X.(*Clause); ok {
+		return "NOT " + n.X.String()
+	}
+	return "NOT (" + n.X.String() + ")"
+}
+
+// parenOr parenthesizes OR nodes under an AND so the canonical form
+// re-parses to the same tree.
+func parenOr(e Expr) string {
+	if _, ok := e.(*Or); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Clause is one attribute comparison. Equality and prefix fold case
+// (ER attribute data is messy); the regexp operator matches the value
+// as-is — prepend (?i) for a case-insensitive pattern.
+type Clause struct {
+	Field string
+	Op    Op
+	Value string
+	re    *regexp.Regexp // compiled at parse time for OpRegex
+}
+
+// Eval implements Expr.
+func (c *Clause) Eval(attrs []entity.Attribute) bool {
+	for i := range attrs {
+		if attrs[i].Name != c.Field {
+			continue
+		}
+		v := attrs[i].Value
+		switch c.Op {
+		case OpEq:
+			if strings.EqualFold(v, c.Value) {
+				return true
+			}
+		case OpNe:
+			if strings.EqualFold(v, c.Value) {
+				return false
+			}
+		case OpPrefix:
+			if len(v) >= len(c.Value) && strings.EqualFold(v[:len(c.Value)], c.Value) {
+				return true
+			}
+		case OpRegex:
+			if c.re.MatchString(v) {
+				return true
+			}
+		}
+	}
+	// != is universally quantified: no attribute of that name equalled
+	// the value (an entity without the attribute passes). The others are
+	// existential and found no witness.
+	return c.Op == OpNe
+}
+
+// String implements Expr.
+func (c *Clause) String() string {
+	return c.Field + " " + c.Op.String() + " " + strconv.Quote(c.Value)
+}
+
+// Query is one parsed query: an optional predicate tree plus the
+// result modifiers. The zero Where matches every entity.
+type Query struct {
+	Where    Expr     // nil = no attribute predicate
+	MinScore *float64 // nil = no score bound
+	Top      int      // 0 = no result cap
+	Explain  bool
+}
+
+// Match reports whether the attributes satisfy the Where predicate
+// (vacuously true when there is none). The score bound and top cap are
+// the caller's to apply — they act on candidates, not attributes.
+func (q *Query) Match(attrs []entity.Attribute) bool {
+	return q.Where == nil || q.Where.Eval(attrs)
+}
+
+// String renders the canonical form of the whole query; Parse of the
+// result yields an equivalent query.
+func (q *Query) String() string {
+	var parts []string
+	if q.Where != nil {
+		parts = append(parts, q.Where.String())
+	}
+	if q.MinScore != nil {
+		parts = append(parts, "score >= "+strconv.FormatFloat(*q.MinScore, 'g', -1, 64))
+	}
+	if q.Top > 0 {
+		parts = append(parts, "top "+strconv.Itoa(q.Top))
+	}
+	if q.Explain {
+		parts = append(parts, "explain")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse parses one query string. An empty (or all-space) input is
+// valid and yields the match-everything query.
+func Parse(src string) (*Query, error) {
+	if len(src) > MaxLen {
+		return nil, fmt.Errorf("query: %d bytes exceeds the %d-byte cap", len(src), MaxLen)
+	}
+	p := &parser{lex: lexer{src: src}}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	// The predicate tree is optional: a query may be modifiers only
+	// ("score >= 0.5 top 10"), or entirely empty.
+	if p.tok.kind != tEOF && !p.atModifier() {
+		e, err := p.parseOr(0)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if err := p.parseModifiers(q); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("unexpected %s after end of query", p.tok)
+	}
+	return q, nil
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tLParen
+	tRParen
+	tOp  // = != ^= ~
+	tGte // >=
+)
+
+type token struct {
+	kind tokKind
+	text string // ident name, unquoted string value, number literal, op
+	pos  int    // byte offset in src
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tString:
+		return strconv.Quote(t.text)
+	default:
+		return strconv.Quote(t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("query: %s at offset %d", fmt.Sprintf(format, args...), pos)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || c == '.' || c == '-' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.src) {
+		if c := l.src[l.pos]; c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tRParen, text: ")", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tOp, text: "=", pos: start}, nil
+	case c == '~':
+		l.pos++
+		return token{kind: tOp, text: "~", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (did you mean !=)", "!")
+	case c == '^':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tOp, text: "^=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (did you mean ^=)", "^")
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tGte, text: ">=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (only >= is supported)", ">")
+	case c == '"':
+		return l.lexString()
+	case isDigit(c) || c == '-' || c == '+':
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+// lexString scans a double-quoted string literal. The scan only finds
+// the closing quote (honoring backslash escapes); decoding is delegated
+// to strconv.Unquote so the accepted escapes are exactly the Go string
+// escapes strconv.Quote emits — which makes Query.String a true inverse
+// even for control bytes and non-ASCII values.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '"':
+			l.pos++
+			raw := l.src[start:l.pos]
+			text, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, l.errf(start, "bad string literal %s", raw)
+			}
+			return token{kind: tString, text: text, pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(l.pos, "unterminated escape")
+			}
+			l.pos += 2
+		case '\n':
+			return token{}, l.errf(start, "unterminated string")
+		default:
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if c := l.src[l.pos]; c == '-' || c == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		if isDigit(l.src[l.pos]) {
+			digits++
+		}
+		if c := l.src[l.pos]; c == 'e' || c == 'E' {
+			// allow a signed exponent
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+				l.pos++
+			}
+		}
+		l.pos++
+	}
+	if digits == 0 {
+		return token{}, l.errf(start, "malformed number %q", l.src[start:l.pos])
+	}
+	return token{kind: tNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+// keyword reports whether the current token is the (case-insensitive)
+// keyword.
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// atModifier reports whether the current token opens the modifier tail
+// (score / top / explain).
+func (p *parser) atModifier() bool {
+	return p.keyword("score") || p.keyword("top") || p.keyword("explain")
+}
+
+func (p *parser) parseOr(depth int) (Expr, error) {
+	left, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd(depth int) (Expr, error) {
+	left, err := p.parseUnary(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary(depth)
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary(depth int) (Expr, error) {
+	if depth > maxDepth {
+		return nil, p.errf("query nests deeper than %d levels", maxDepth)
+	}
+	switch {
+	case p.keyword("not"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	case p.tok.kind == tLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tRParen {
+			return nil, p.errf("expected ) but found %s", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseClause()
+}
+
+// reserved are the keywords that cannot name an attribute field.
+func reserved(name string) bool {
+	switch strings.ToLower(name) {
+	case "and", "or", "not", "score", "top", "explain":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseClause() (Expr, error) {
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected an attribute name but found %s", p.tok)
+	}
+	if reserved(p.tok.text) {
+		return nil, p.errf("%q is a keyword, not an attribute name", p.tok.text)
+	}
+	field := p.tok.text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tOp {
+		return nil, p.errf("expected an operator (= != ^= ~) after %q but found %s", field, p.tok)
+	}
+	var op Op
+	switch p.tok.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "^=":
+		op = OpPrefix
+	case "~":
+		op = OpRegex
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var value string
+	switch p.tok.kind {
+	case tString, tNumber:
+		value = p.tok.text
+	case tIdent:
+		// Bare-word values are a convenience (city = berlin); keywords
+		// must be quoted to be literal.
+		if reserved(p.tok.text) {
+			return nil, p.errf("%q is a keyword; quote it to use it as a value", p.tok.text)
+		}
+		value = p.tok.text
+	default:
+		return nil, p.errf("expected a value after %q %s but found %s", field, op, p.tok)
+	}
+	c := &Clause{Field: field, Op: op, Value: value}
+	if op == OpRegex {
+		re, err := regexp.Compile(value)
+		if err != nil {
+			return nil, p.errf("bad regexp %q: %v", value, err)
+		}
+		c.re = re
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseModifiers consumes the trailing modifier list in any order;
+// each may appear at most once.
+func (p *parser) parseModifiers(q *Query) error {
+	for {
+		switch {
+		case p.keyword("score"):
+			if q.MinScore != nil {
+				return p.errf("duplicate score bound")
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.kind != tGte {
+				return p.errf("expected >= after score but found %s", p.tok)
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.kind != tNumber {
+				return p.errf("expected a number after score >= but found %s", p.tok)
+			}
+			v, err := strconv.ParseFloat(p.tok.text, 64)
+			if err != nil {
+				return p.errf("bad score bound %q", p.tok.text)
+			}
+			q.MinScore = &v
+			if err := p.next(); err != nil {
+				return err
+			}
+		case p.keyword("top"):
+			if q.Top != 0 {
+				return p.errf("duplicate top cap")
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.kind != tNumber {
+				return p.errf("expected a count after top but found %s", p.tok)
+			}
+			n, err := strconv.Atoi(p.tok.text)
+			if err != nil || n <= 0 {
+				return p.errf("top must be a positive integer, got %q", p.tok.text)
+			}
+			q.Top = n
+			if err := p.next(); err != nil {
+				return err
+			}
+		case p.keyword("explain"):
+			if q.Explain {
+				return p.errf("duplicate explain")
+			}
+			q.Explain = true
+			if err := p.next(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"erfilter/internal/entity"
+)
+
+func attrs(pairs ...string) []entity.Attribute {
+	out := make([]entity.Attribute, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, entity.Attribute{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return out
+}
+
+// TestParseCorpus walks a corpus of valid queries and pins the parsed
+// shape through the canonical String rendering.
+func TestParseCorpus(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical rendering
+	}{
+		{``, ``},
+		{`   `, ``},
+		{`city = berlin`, `city = "berlin"`},
+		{`city = "berlin"`, `city = "berlin"`},
+		{`CITY != "Berlin"`, `CITY != "Berlin"`},
+		{`name ^= "jo"`, `name ^= "jo"`},
+		{`name ~ "j.*n"`, `name ~ "j.*n"`},
+		{`zip = 10115`, `zip = "10115"`},
+		{`a = x AND b = y`, `a = "x" AND b = "y"`},
+		{`a = x and b = y or c = z`, `a = "x" AND b = "y" OR c = "z"`},
+		{`a = x AND (b = y OR c = z)`, `a = "x" AND (b = "y" OR c = "z")`},
+		{`NOT a = x`, `NOT a = "x"`},
+		{`not (a = x or b = y)`, `NOT (a = "x" OR b = "y")`},
+		{`score >= 0.35`, `score >= 0.35`},
+		{`score >= -1.5e2`, `score >= -150`},
+		{`top 50`, `top 50`},
+		{`explain`, `explain`},
+		{`a = x score >= 0.5 top 10 explain`, `a = "x" score >= 0.5 top 10 explain`},
+		{`a = x explain top 10 score >= 0.5`, `a = "x" score >= 0.5 top 10 explain`},
+		{`a = "say \"hi\"\n"`, `a = "say \"hi\"\n"`},
+		{`a.b-c = x`, `a.b-c = "x"`},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+		// The canonical form re-parses to the same canonical form.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", q.String(), err)
+			continue
+		}
+		if q2.String() != q.String() {
+			t.Errorf("canonical form is not a fixed point: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+// TestParseErrors pins the rejection of malformed queries.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`city`,
+		`city =`,
+		`= berlin`,
+		`city == berlin`,
+		`city > berlin`,
+		`city ! berlin`,
+		`city ^ berlin`,
+		`(a = x`,
+		`a = x)`,
+		`a = x AND`,
+		`OR a = x`,
+		`NOT`,
+		`a = "unterminated`,
+		`a = "bad \q escape"`,
+		`a ~ "(unclosed"`,
+		`score > 0.5`,
+		`score >= abc`,
+		`top 0`,
+		`top -3`,
+		`top 1.5`,
+		`top 10 top 20`,
+		`explain explain`,
+		`score >= 1 score >= 2`,
+		`and = x`,
+		`a = and`,
+		`a = x garbage`,
+		`a = x AND score`,
+		strings.Repeat("(", 200) + "a = x" + strings.Repeat(")", 200),
+		"a = x \x00",
+	}
+	for _, src := range cases {
+		if q, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted as %q, want error", src, q.String())
+		}
+	}
+	if _, err := Parse(strings.Repeat("x", MaxLen+1)); err == nil {
+		t.Error("Parse accepted an over-length query")
+	}
+}
+
+// TestEval pins clause and boolean semantics against a small entity.
+func TestEval(t *testing.T) {
+	e := attrs("city", "Berlin", "name", "John Smith", "tag", "a", "tag", "b")
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`city = berlin`, true}, // equality folds case
+		{`city = "Berlin"`, true},
+		{`city = munich`, false},
+		{`city != munich`, true},
+		{`city != berlin`, false},
+		{`name ^= "JOHN"`, true}, // prefix folds case
+		{`name ^= "smith"`, false},
+		{`name ~ "Smith$"`, true},
+		{`name ~ "smith$"`, false}, // regexp is case-sensitive as written
+		{`name ~ "(?i)smith$"`, true},
+		{`tag = a`, true}, // any attribute of the name may witness
+		{`tag = b`, true},
+		{`tag = c`, false},
+		{`tag != a`, false}, // != is universally quantified
+		{`missing = x`, false},
+		{`missing != x`, true}, // an absent attribute passes !=
+		{`NOT missing = x`, true},
+		{`city = berlin AND name ^= john`, true},
+		{`city = munich OR name ^= john`, true},
+		{`city = munich AND name ^= john OR tag = a`, true}, // AND binds tighter
+		{`city = munich AND (name ^= john OR tag = a)`, false},
+		{`NOT (city = berlin AND tag = a)`, false},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := q.Match(e); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.src, e, got, c.want)
+		}
+	}
+	// The empty query matches everything, including no attributes.
+	q, err := Parse("top 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Match(nil) || !q.Match(e) {
+		t.Error("modifier-only query must match every entity")
+	}
+	if q.Top != 5 || q.MinScore != nil || q.Explain {
+		t.Errorf("modifiers parsed wrong: %+v", q)
+	}
+}
+
+// TestModifierValues pins the numeric modifier fields.
+func TestModifierValues(t *testing.T) {
+	q, err := Parse(`score >= 0.25 top 7 explain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MinScore == nil || *q.MinScore != 0.25 {
+		t.Errorf("MinScore = %v, want 0.25", q.MinScore)
+	}
+	if q.Top != 7 || !q.Explain || q.Where != nil {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+// FuzzParseQuery feeds arbitrary strings through the parser: it must
+// never panic, and any accepted query must render to a canonical form
+// that re-parses to the same canonical form.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		``,
+		`city = berlin`,
+		`a = x AND (b ^= "y" OR NOT c ~ "z.*") score >= 0.5 top 10 explain`,
+		`a = "\"\\\n\t"`,
+		`score >= -1e9`,
+		strings.Repeat("(", 40) + "a = x" + strings.Repeat(")", 40),
+		`top 10 score >= 0.1`,
+		`a != b or not (c = d)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form is unstable: %q -> %q", canon, got)
+		}
+		// Evaluation must be total on arbitrary attribute sets.
+		q.Match(nil)
+		q.Match([]entity.Attribute{{Name: "a", Value: src}})
+	})
+}

@@ -289,7 +289,7 @@ func TestQueryBatchEndpoint(t *testing.T) {
 	}
 
 	// Oversized batches are refused outright.
-	big := make([]map[string]any, maxBatchQueries+1)
+	big := make([]map[string]any, DefaultMaxBatch+1)
 	for i := range big {
 		big[i] = map[string]any{"text": "x"}
 	}

@@ -34,6 +34,10 @@ type ProxyOptions struct {
 	EjectAfter int
 	// Client issues probes and forwards (default: a dedicated client).
 	Client *http.Client
+	// MaxBody caps a buffered (retryable) request body, answering 413
+	// past it (default DefaultMaxBody, matching the backends). The
+	// resolve stream is exempt: it pipes through unbuffered.
+	MaxBody int64
 }
 
 func (o ProxyOptions) withDefaults() ProxyOptions {
@@ -45,6 +49,9 @@ func (o ProxyOptions) withDefaults() ProxyOptions {
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = DefaultMaxBody
 	}
 	return o
 }
@@ -219,10 +226,43 @@ func isRead(r *http.Request) bool {
 		return false
 	}
 	switch path {
-	case "/v1/query", "/v1/query/batch", "/query", "/query/batch":
+	case "/v1/query", "/v1/query/batch", "/query", "/query/batch",
+		"/v1/resolve/stream", "/resolve/stream":
 		return true
 	}
 	return false
+}
+
+// isStream reports whether the request is the NDJSON resolve stream,
+// which must pipe through unbuffered in both directions.
+func isStream(r *http.Request) bool {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	return r.Method == http.MethodPost &&
+		(path == "/v1/resolve/stream" || path == "/resolve/stream")
+}
+
+// hopHeaders are the hop-by-hop headers of RFC 9110 §7.6.1 (plus the
+// de-facto Proxy-Connection): they describe one transport connection
+// and must not be forwarded in either direction.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Connection", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// stripHopByHop removes hop-by-hop headers from h: first everything the
+// Connection header names (hop-by-hop by declaration), then the
+// standard set.
+func stripHopByHop(h http.Header) {
+	for _, v := range h.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				h.Del(name)
+			}
+		}
+	}
+	for _, name := range hopHeaders {
+		h.Del(name)
+	}
 }
 
 // Handler returns the proxy's route tree: its own health and stats
@@ -276,10 +316,22 @@ func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // forward relays one request. Reads retry across the healthy rotation
 // on transport errors (they are idempotent); writes go to the leader
-// exactly once. The body is buffered so a retried read can resend it.
+// exactly once. The body is buffered — bounded by MaxBody — so a
+// retried read can resend it; the resolve stream takes the unbuffered
+// path instead.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
+	if isStream(r) {
+		p.forwardStream(w, r)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.opt.MaxBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte cap", mbe.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("reading request body: %w", err))
 		return
 	}
@@ -308,7 +360,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		req.Header = r.Header.Clone()
-		req.Header.Del("Connection")
+		stripHopByHop(req.Header)
 		resp, err := p.opt.Client.Do(req)
 		if err != nil {
 			p.forwdErrs.Inc()
@@ -320,16 +372,90 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		b.fails.Store(0)
-		h := w.Header()
-		for k, vs := range resp.Header {
-			for _, v := range vs {
-				h.Add(k, v)
-			}
-		}
+		copyEndToEnd(w.Header(), resp.Header)
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		resp.Body.Close()
 		return
 	}
 	writeErr(w, http.StatusBadGateway, CodeInternal, fmt.Errorf("forwarding failed: %w", lastErr))
+}
+
+// forwardStream relays the NDJSON resolve stream without buffering
+// either direction: the feed pipes straight through to one healthy
+// replica (no retry — the body is consumed as it forwards) and response
+// lines flush to the client as the backend emits them.
+func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request) {
+	// The backend answers while the client's feed is still streaming in;
+	// without full duplex the HTTP/1 server would truncate the body on
+	// the proxy's first response write.
+	http.NewResponseController(w).EnableFullDuplex()
+	p.reads.Inc()
+	targets := p.readTargets()
+	if len(targets) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, CodeDegraded, errors.New("no healthy replicas"))
+		return
+	}
+	b := targets[0]
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, CodeInternal, fmt.Errorf("forwarding failed: %w", err))
+		return
+	}
+	req.Header = r.Header.Clone()
+	stripHopByHop(req.Header)
+	resp, err := p.opt.Client.Do(req)
+	if err != nil {
+		p.forwdErrs.Inc()
+		b.note(err)
+		if b.fails.Add(1) >= int64(p.opt.EjectAfter) {
+			b.healthy.Store(false)
+		}
+		writeErr(w, http.StatusBadGateway, CodeInternal, fmt.Errorf("forwarding failed: %w", err))
+		return
+	}
+	defer resp.Body.Close()
+	b.fails.Store(0)
+	copyEndToEnd(w.Header(), resp.Header)
+	// The backend's Connection: close is hop-by-hop and was stripped; the
+	// client-facing connection needs its own, for the same reason the
+	// backend set one — an early-terminated feed can't be drained.
+	w.Header().Set("Connection", "close")
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+}
+
+// copyEndToEnd copies the backend's response headers into dst with the
+// hop-by-hop set stripped — those belong to the proxy↔backend
+// connection, not the client's.
+func copyEndToEnd(dst, src http.Header) {
+	cleaned := src.Clone()
+	stripHopByHop(cleaned)
+	for k, vs := range cleaned {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// flushCopy copies src to w, flushing after every chunk, so streamed
+// result lines reach the client as they arrive instead of sitting in
+// the proxy's response buffer until the feed ends.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }

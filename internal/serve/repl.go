@@ -7,7 +7,6 @@ package serve
 // server is built with a replication node.
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -140,8 +139,7 @@ func (s *Server) handleReplicaOf(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Upstream string `json:"upstream"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Upstream == "" {

@@ -32,6 +32,7 @@ import (
 	"erfilter/internal/entity"
 	"erfilter/internal/metrics"
 	"erfilter/internal/online"
+	"erfilter/internal/query"
 	"erfilter/internal/repl"
 )
 
@@ -146,6 +147,9 @@ const (
 	CodeDraining         = "draining"
 	CodeDegraded         = "degraded"
 	CodeInternal         = "internal"
+	// CodeTooLarge answers 413: a JSON request body over the server's
+	// byte cap, or one NDJSON stream line over the per-line cap.
+	CodeTooLarge = "request_too_large"
 
 	// Replication codes: writes and replication reads on a non-leader,
 	// queries whose min_epoch the replica has not applied, readiness of
@@ -172,6 +176,18 @@ type Options struct {
 	// /v1/failover, /v1/replica-of, /v1/snapshot?repl=1) and the epoch
 	// plumbing over this node; nil serves unreplicated.
 	Replication *repl.Node
+	// MaxBody caps the request body of every JSON endpoint, in bytes;
+	// oversized bodies answer 413 request_too_large (default
+	// DefaultMaxBody). The NDJSON stream is exempt — it is bounded per
+	// line by MaxLine instead, which is what makes unbounded feeds safe.
+	MaxBody int64
+	// MaxBatch caps both the query count of one /v1/query/batch request
+	// and the resolve unit of the NDJSON stream (default
+	// DefaultMaxBatch, the snapshot pool-amortization unit).
+	MaxBatch int
+	// MaxLine caps one NDJSON input line of /v1/resolve/stream, in
+	// bytes (default DefaultMaxLine).
+	MaxLine int
 }
 
 // Server wires a resolver (and optionally a durable store) to the HTTP
@@ -191,6 +207,9 @@ type Server struct {
 	draining atomic.Bool
 	timeout  time.Duration
 	pprof    bool
+	maxBody  int64
+	maxBatch int
+	maxLine  int
 }
 
 // endpointStats are the latency histogram and error counter of one
@@ -207,10 +226,20 @@ func NewServer(res Resolver, store Store, opt Options) *Server {
 	if opt.WriteQueue <= 0 {
 		opt.WriteQueue = 64
 	}
+	if opt.MaxBody <= 0 {
+		opt.MaxBody = DefaultMaxBody
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = DefaultMaxBatch
+	}
+	if opt.MaxLine <= 0 {
+		opt.MaxLine = DefaultMaxLine
+	}
 	s := &Server{
 		res: res, store: store, repl: opt.Replication, admit: make(chan struct{}, opt.WriteQueue),
 		start: time.Now(), reg: metrics.NewRegistry(), eps: map[string]*endpointStats{},
 		timeout: opt.RequestTimeout, pprof: opt.Pprof,
+		maxBody: opt.MaxBody, maxBatch: opt.MaxBatch, maxLine: opt.MaxLine,
 	}
 	s.write = res
 	if store != nil {
@@ -269,6 +298,7 @@ func (s *Server) baseRoutes() []route {
 	return []route{
 		{"POST", "/v1/query", "query", s.handleQuery, false},
 		{"POST", "/v1/query/batch", "query_batch", s.handleQueryBatch, false},
+		{"POST", "/v1/resolve/stream", "resolve_stream", s.handleResolveStream, true},
 		{"POST", "/v1/entities", "insert", s.admitWrite(s.handleInsert), false},
 		{"GET", "/v1/entities/{id}", "get", s.handleGet, false},
 		{"DELETE", "/v1/entities/{id}", "delete", s.admitWrite(s.handleDelete), false},
@@ -293,7 +323,9 @@ func (s *Server) Handler() http.Handler {
 	for _, rt := range s.routes() {
 		h := http.Handler(rt.h)
 		if !rt.raw {
-			h = timeoutJSON(s.timeout, h)
+			// Body cap innermost, deadline around it: both the canonical
+			// and the legacy alias read through the same bound.
+			h = timeoutJSON(s.timeout, s.limitBody(h))
 		}
 		// One instrumented handler per endpoint, shared by both paths, so
 		// /query and /v1/query feed the same latency series.
@@ -378,6 +410,39 @@ func timeoutJSON(d time.Duration, h http.Handler) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		th.ServeHTTP(w, r)
 	})
+}
+
+// limitBody caps a JSON endpoint's request body with MaxBytesReader,
+// so any read past the byte cap — the decoder's, a proxy copy's —
+// fails with *http.MaxBytesError, which decodeJSON maps to 413. The
+// raw routes are exempt: /v1/snapshot and /v1/metrics read no body,
+// and /v1/resolve/stream is bounded per line, not per body.
+func (s *Server) limitBody(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// decodeJSON decodes a request body into v and, on failure, writes the
+// enveloped error itself: 413 request_too_large when the body ran past
+// the MaxBytesReader cap, 400 bad_request for malformed JSON. Callers
+// return immediately on false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte cap", mbe.Limit))
+		return false
+	}
+	writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+	return false
 }
 
 // admitWrite gates mutating endpoints behind the bounded admission
@@ -515,9 +580,20 @@ func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
 // limit == 0 explicitly selects this default; limit < 0 is rejected.
 const defaultQueryLimit = 1000
 
-// maxBatchQueries bounds one /v1/query/batch request; larger workloads
-// split into multiple requests.
-const maxBatchQueries = 1024
+// Defaults of the ingestion bounds (Options.MaxBody/MaxBatch/MaxLine).
+const (
+	// DefaultMaxBody bounds a JSON request body. Generous for the
+	// largest legitimate request — a full batch of queries — while
+	// keeping a malicious or misrouted upload from buffering RAM.
+	DefaultMaxBody = 8 << 20
+	// DefaultMaxBatch bounds one /v1/query/batch request and sizes the
+	// NDJSON stream's resolve unit, matching the snapshot layer's
+	// pool-amortization batch; larger workloads split into multiple
+	// requests (or stream).
+	DefaultMaxBatch = 1024
+	// DefaultMaxLine bounds one NDJSON record of /v1/resolve/stream.
+	DefaultMaxLine = 1 << 20
+)
 
 // resolveANN validates the ANN knobs of a query request: "ef" widens
 // the beam of an approximate (HNSW) index, "approx": false forces the
@@ -562,6 +638,32 @@ func candList(cands []online.Candidate) []candJSON {
 	return out
 }
 
+// applyWhere parses a request's predicate DSL (empty src is a no-op)
+// and folds it into the query options and serialization limit: the
+// attribute predicate and score floor push down into the engine's
+// pre-cut filter, `top N` overrides the JSON "limit" field, and
+// `explain` asks for the normalized plan, implying the trace section.
+func applyWhere(src string, opt *online.QueryOptions, limit int) (newLimit int, plan string, explain bool, err error) {
+	if src == "" {
+		return limit, "", false, nil
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return 0, "", false, err
+	}
+	if q.Where != nil {
+		opt.Predicate = q.Match
+	}
+	opt.MinScore = q.MinScore
+	if q.Top > 0 {
+		limit = q.Top
+	}
+	if q.Explain {
+		plan = q.String()
+	}
+	return limit, plan, q.Explain, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		entityPayload
@@ -570,11 +672,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Ef       int     `json:"ef"`
 		Approx   *bool   `json:"approx"`
 		Limit    int     `json:"limit"`
+		Where    string  `json:"where"`
 		Trace    bool    `json:"trace"`
 		MinEpoch string  `json:"min_epoch"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if !s.checkEpoch(w, req.MinEpoch) {
@@ -586,6 +688,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	limit, err := resolveLimit(req.Limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	limit, plan, explain, err := applyWhere(req.Where, &opt, limit)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -608,12 +715,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Entities   int        `json:"entities"`
 		Candidates []candJSON `json:"candidates"`
 		Truncated  bool       `json:"truncated,omitempty"`
+		Plan       string     `json:"plan,omitempty"`
 		Trace      *traceJSON `json:"trace,omitempty"`
 	}{
 		Epoch: snap.Epoch(), Entities: snap.Len(),
-		Candidates: candList(cands), Truncated: truncated,
+		Candidates: candList(cands), Truncated: truncated, Plan: plan,
 	}
-	if req.Trace {
+	if req.Trace || explain {
 		out.Trace = &traceJSON{
 			Epoch:      tr.Epoch,
 			EncodeUS:   tr.Encode.Microseconds(),
@@ -635,11 +743,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Ef       int             `json:"ef"`
 		Approx   *bool           `json:"approx"`
 		Limit    int             `json:"limit"`
+		Where    string          `json:"where"`
 		Trace    bool            `json:"trace"`
 		MinEpoch string          `json:"min_epoch"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if !s.checkEpoch(w, req.MinEpoch) {
@@ -654,12 +762,17 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New(`"queries" must not be empty`))
 		return
 	}
-	if len(req.Queries) > maxBatchQueries {
+	if len(req.Queries) > s.maxBatch {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Errorf("%d queries exceeds the per-request cap of %d", len(req.Queries), maxBatchQueries))
+			fmt.Errorf("%d queries exceeds the per-request cap of %d", len(req.Queries), s.maxBatch))
 		return
 	}
 	limit, err := resolveLimit(req.Limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	limit, plan, explain, err := applyWhere(req.Where, &opt, limit)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -686,8 +799,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Epoch    uint64     `json:"epoch"`
 		Entities int        `json:"entities"`
 		Results  []result   `json:"results"`
+		Plan     string     `json:"plan,omitempty"`
 		Trace    *traceJSON `json:"trace,omitempty"`
-	}{Epoch: snap.Epoch(), Entities: snap.Len(), Results: make([]result, len(results))}
+	}{Epoch: snap.Epoch(), Entities: snap.Len(), Results: make([]result, len(results)), Plan: plan}
 	for i, cands := range results {
 		truncated := len(cands) > limit
 		if truncated {
@@ -695,7 +809,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Results[i] = result{Candidates: candList(cands), Truncated: truncated}
 	}
-	if req.Trace {
+	if req.Trace || explain {
 		out.Trace = &traceJSON{
 			Epoch:      tr.Epoch,
 			EncodeUS:   tr.Encode.Microseconds(),
@@ -711,8 +825,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		entityPayload
 		Entities []entityPayload `json:"entities"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	cfg := s.res.Config()
