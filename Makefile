@@ -5,17 +5,17 @@ GO ?= go
 RACE_PKGS = ./internal/parallel ./internal/tuning ./internal/bench ./internal/core \
 	./internal/sparse ./internal/knn ./internal/online ./internal/faultfs \
 	./internal/wal ./internal/metrics ./internal/segment ./internal/serve \
-	./internal/retry ./internal/repl ./internal/query ./cmd/erserve
+	./internal/retry ./internal/repl ./internal/query ./internal/match ./cmd/erserve
 
 # Fault-injection suites: crash recovery, torn writes, fsync failures,
 # degraded mode and overload shedding across the durability stack.
-CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./internal/repl ./cmd/erserve
+CHAOS_PKGS = ./internal/faultfs ./internal/wal ./internal/knn ./internal/segment ./internal/online ./internal/serve ./internal/repl ./internal/match ./cmd/erserve
 CHAOS_RUN = 'Crash|Torn|Corrupt|Truncat|BitFlip|Degraded|Overload|Sticky|Graceful|Panic|SaveFileAtomic|SyncFault'
 
-.PHONY: check vet build test race chaos shard ann lsm repl bulk scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm bench-repl bench-bulk
+.PHONY: check vet build test race chaos shard ann lsm repl bulk match scrape bench-tune bench-serve bench-wal bench-obs bench-shard bench-ann bench-lsm bench-repl bench-bulk bench-match
 
-## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm, repl, bulk)
-check: vet build test race chaos shard ann lsm repl bulk
+## check: the full verification gate (vet, build, tests, race tests, chaos, shard, ann, lsm, repl, bulk, match)
+check: vet build test race chaos shard ann lsm repl bulk match
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +81,20 @@ repl:
 ## to /v1/query/batch
 bulk:
 	$(GO) test -count 1 -run 'TestBulkStreamGate' ./internal/serve
+
+## match: the match-stage gate — greedy/bipartite assignment properties,
+## the batch-vs-online match equivalence test, dirty-ER incremental ==
+## batch clustering (including crash recovery over torn-tail WALs) and
+## the serve-layer match/cluster endpoints, under the race detector
+match:
+	$(GO) test -race -count 1 -run 'Match|Dirty|Assign|Bipartite|Greedy|Cluster|Hungarian' ./internal/match ./internal/serve ./cmd/erserve
+
+## bench-match: the end-to-end match-stage experiment — P/R/F1 of the
+## decided matches against generated groundtruth for greedy vs bipartite
+## assignment, with the sharded path checked byte-identical to the
+## single resolver
+bench-match:
+	$(GO) run ./cmd/erbench -exp match
 
 ## scrape: the /metrics contract gate — boots the real daemon, drives
 ## traffic, scrapes GET /metrics and fails on unparseable exposition or

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, repl, bulk, all")
+		exp      = flag.String("exp", "tableVII", "experiment: tableVI, fig3, tableVII, tableVIII, tableIX, tableX, tableXI, fig4, fig5, fig6, fig7, reduction, conclusions, ablation, serve, ann, lsm, repl, bulk, match, all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's sizes (1.0 = full)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. D2,D4 (default: all)")
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. SBW,kNNJ (default: all)")
@@ -57,6 +57,9 @@ func main() {
 		replMax  = flag.Int("repl-max", 4, "max replica count for -exp repl (doubled from 1 up to this)")
 		bulkN    = flag.Int("bulk-entities", 100000, "collection size for -exp bulk")
 		bulkRows = flag.Int("bulk-rows", 1000000, "NDJSON feed length for -exp bulk")
+		matchN   = flag.Int("match-entities", 4000, "E1 collection size for -exp match (E2 is half, duplicates a quarter)")
+		matchT   = flag.Float64("match-t", 0.85, "scorer decision threshold for -exp match")
+		matchSh  = flag.Int("match-shards", 4, "shard count for -exp match's sharded-equivalence gate")
 	)
 	flag.Parse()
 
@@ -115,6 +118,13 @@ func main() {
 	}
 	if *exp == "bulk" {
 		if err := bulkExperiment(out, *bulkN, *bulkRows); err != nil {
+			fmt.Fprintln(os.Stderr, "erbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "match" {
+		if err := matchExperiment(out, *matchN, *matchT, *matchSh); err != nil {
 			fmt.Fprintln(os.Stderr, "erbench:", err)
 			os.Exit(1)
 		}

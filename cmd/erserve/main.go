@@ -12,6 +12,8 @@
 //	erserve -bulk a.csv -method flat -knn-index hnsw             # approximate dense serving
 //	erserve -bulk a.csv -storage disk -segment-dir /var/lib/seg  # beyond-RAM: on-disk segment tier
 //	erserve -bulk a.csv -wal /var/lib/erserve -storage disk      # durable + bounded memtable
+//	erserve -bulk a.csv -method epsjoin -t 0.3 -match            # decide matches, not just candidates
+//	erserve -method epsjoin -t 0.3 -match -dirty                 # dirty-ER: inserts return their cluster
 //
 // With -wal every mutation is written to a write-ahead log and fsynced
 // before it is acknowledged, so acked writes survive crashes and power
@@ -34,14 +36,29 @@
 // checkpoints double as flushes. Exact indexes only (no -knn-index
 // hnsw).
 //
-// The HTTP surface is versioned under /v1 (legacy unversioned paths
-// answer identically plus a Deprecation header); every non-2xx response
-// carries the envelope {"error":{"code":...,"message":...}}:
+// With -match the daemon runs the match stage on top of the filter: a
+// pluggable post-filter scorer (-match-scorer, threshold -match-t)
+// re-scores the filtered candidates and a one-to-one assignment
+// (-assign greedy or bipartite) decides matches, served by POST
+// /v1/match and mode=match on the resolve stream. Adding -dirty turns
+// on dirty-ER mode over the single resident collection: every insert
+// is decided against the pre-insert snapshot and unioned into its
+// duplicate cluster, POST /v1/entities reports {id, cluster, matches}
+// per entity, and GET /v1/clusters/{id} reads a cluster back. Clusters
+// are rebuilt deterministically on startup from the recovered
+// collection (see DESIGN.md §15 for the pair-locality contract).
+//
+// The HTTP surface is versioned under /v1 — it is the only serving
+// surface; the pre-/v1 unversioned aliases are retired and answer 404.
+// Every non-2xx response carries the envelope
+// {"error":{"code":...,"message":...}}:
 //
 //	POST   /v1/query          {"attrs":{...}|"text":"...","k":N,"eps":X,"where":"..."} → top candidates
 //	POST   /v1/query/batch    {"queries":[{...},...],"k":N,"where":"..."} → per-query candidates, one snapshot
-//	POST   /v1/resolve/stream NDJSON feed in → NDJSON results out, resolved in bounded batches
-//	POST   /v1/entities       {"attrs":{...}} or {"entities":[{...},...]} → assigned ids
+//	POST   /v1/resolve/stream NDJSON feed in → NDJSON results out, resolved in bounded batches (?mode=match decides)
+//	POST   /v1/match          {"queries":[...],"budget":N,"top":N} → decided matches (501 without -match)
+//	POST   /v1/entities       {"attrs":{...}} or {"entities":[{...},...]} → assigned ids (+clusters with -dirty)
+//	GET    /v1/clusters/{id} → duplicate cluster of a resident entity (501 without -match -dirty)
 //	GET    /v1/entities/{id} → stored attributes
 //	DELETE /v1/entities/{id} → tombstone + re-publish
 //	GET    /v1/snapshot      → binary snapshot stream (resumable with -load)
@@ -80,6 +97,7 @@ import (
 	"erfilter/internal/core"
 	"erfilter/internal/entity"
 	"erfilter/internal/knn"
+	"erfilter/internal/match"
 	"erfilter/internal/online"
 	"erfilter/internal/repl"
 	"erfilter/internal/serve"
@@ -116,6 +134,12 @@ type options struct {
 	segmentDir  string
 	memtableCap int
 	mergeFanin  int
+
+	matchStage  bool
+	matchAssign string
+	matchScorer string
+	matchT      float64
+	dirty       bool
 
 	walDir          string
 	checkpointEvery int
@@ -168,6 +192,11 @@ func main() {
 	flag.IntVar(&o.memtableCap, "memtable-cap", 32768, "with -storage disk, flush the memtable to a segment at this many entities")
 	flag.IntVar(&o.mergeFanin, "merge-fanin", 8, "with -storage disk, fold this many segments per background compaction (minimum 2)")
 	flag.IntVar(&o.shards, "shards", 1, "hash-partition the resolver across this many independent shards (with -wal, one WAL directory per shard; pinned on first open)")
+	flag.BoolVar(&o.matchStage, "match", false, "run the match stage: POST /v1/match and ?mode=match decide matches from the filtered candidates")
+	flag.StringVar(&o.matchAssign, "assign", "greedy", "with -match, the one-to-one assignment: greedy or bipartite (maximum-weight)")
+	flag.StringVar(&o.matchScorer, "match-scorer", "jaro-winkler", "with -match, the post-filter scorer: jaro-winkler, jaro, levenshtein, token-jaccard")
+	flag.Float64Var(&o.matchT, "match-t", match.DefaultThreshold, "with -match, decide a pair when scorer similarity reaches this threshold")
+	flag.BoolVar(&o.dirty, "dirty", false, "with -match, dirty-ER mode: inserts join their duplicate cluster, readable via GET /v1/clusters/{id}")
 	flag.StringVar(&o.walDir, "wal", "", "durable store directory: WAL every mutation, checkpoint, recover on restart")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 4096, "with -wal, rewrite the snapshot and trim the log after this many records")
 	flag.IntVar(&o.writeQueue, "write-queue", 64, "max concurrently admitted write requests before shedding with 503")
@@ -251,8 +280,28 @@ func validateOptions(o options, set map[string]bool) error {
 	if o.segmentDir != "" && kind != online.StorageDisk {
 		return fmt.Errorf("-segment-dir requires -storage disk")
 	}
+	if _, err := match.ParseAssign(o.matchAssign); err != nil {
+		return fmt.Errorf("-assign must be greedy or bipartite, got %q", o.matchAssign)
+	}
+	if _, err := match.ParseScorer(o.matchScorer); err != nil {
+		return fmt.Errorf("-match-scorer must be jaro-winkler, jaro, levenshtein or token-jaccard, got %q", o.matchScorer)
+	}
+	if o.matchStage {
+		if err := (match.Config{Threshold: o.matchT}).Normalize().Validate(); err != nil {
+			return fmt.Errorf("-match-t: %v", err)
+		}
+	} else {
+		for _, name := range []string{"assign", "match-scorer", "match-t"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -match", name)
+			}
+		}
+		if o.dirty {
+			return fmt.Errorf("-dirty requires -match")
+		}
+	}
 	if o.proxy != "" {
-		if o.walDir != "" || o.bulk != "" || o.load != "" || o.replicaOf != "" || o.follow {
+		if o.walDir != "" || o.bulk != "" || o.load != "" || o.replicaOf != "" || o.follow || o.matchStage {
 			return fmt.Errorf("-proxy serves only as a router; drop the resolver flags")
 		}
 		return nil
@@ -273,6 +322,9 @@ func validateOptions(o options, set map[string]bool) error {
 	if follower {
 		if o.bulk != "" || o.tuneCSV != "" {
 			return fmt.Errorf("a follower takes its state from the leader; drop -bulk/-tune")
+		}
+		if o.dirty {
+			return fmt.Errorf("-dirty needs leader-side inserts: a follower mirrors the WAL below the cluster layer; drop -dirty")
 		}
 		if o.replAck > 0 {
 			return fmt.Errorf("-repl-ack is a leader flag; a follower acks by fetching")
@@ -302,6 +354,13 @@ func run(o options) error {
 	if st.repl != nil {
 		mode += ", role=" + st.repl.Role().String()
 	}
+	mo := matchOptions(o)
+	if mo != nil {
+		mode += ", match=" + mo.Config.Describe()
+		if mo.Dirty {
+			mode += ", dirty-ER"
+		}
+	}
 	fmt.Fprintf(os.Stderr, "erserve: serving %s with %d entities on %s [%s]\n",
 		st.res.Config().Describe(), st.res.Len(), o.addr, mode)
 
@@ -313,6 +372,7 @@ func run(o options) error {
 		MaxLine:        o.maxLine,
 		Pprof:          o.pprof,
 		Replication:    st.repl,
+		Match:          mo,
 	})
 	// Timeouts bound what one slow or stalled client can hold: the write
 	// timeout is generous because /v1/snapshot streams the whole
@@ -460,6 +520,21 @@ func buildState(o options) (state, error) {
 		closeStore: st.Close,
 		saveFile:   func(p string) error { return res.SaveFile(nil, p) },
 	}, nil
+}
+
+// matchOptions folds the -match flags into serve options, nil when the
+// match stage is off. validateOptions already vetted the values, so the
+// parses here cannot fail.
+func matchOptions(o options) *serve.MatchOptions {
+	if !o.matchStage {
+		return nil
+	}
+	scorer, _ := match.ParseScorer(o.matchScorer)
+	assign, _ := match.ParseAssign(o.matchAssign)
+	return &serve.MatchOptions{
+		Config: match.Config{Scorer: scorer, Threshold: o.matchT, Assign: assign}.Normalize(),
+		Dirty:  o.dirty,
+	}
 }
 
 // replicatedLeader reports whether the leader-side replication surface

@@ -104,6 +104,17 @@ func TestValidateOptions(t *testing.T) {
 		{"segment-dir without disk", func(o *options) { o.segmentDir = "seg" }, nil, "requires -storage disk"},
 		{"durable disk", func(o *options) { o.storage, o.walDir = "disk", "store" }, nil, ""},
 		{"volatile disk", func(o *options) { o.storage, o.segmentDir = "disk", "seg" }, nil, ""},
+		{"dirty without match", func(o *options) { o.dirty = true }, nil, "-dirty requires -match"},
+		{"assign without match", func(o *options) { o.matchAssign = "bipartite" }, []string{"assign"}, "requires -match"},
+		{"match-scorer without match", func(o *options) { o.matchScorer = "jaro" }, []string{"match-scorer"}, "requires -match"},
+		{"match-t without match", func(o *options) { o.matchT = 0.9 }, []string{"match-t"}, "requires -match"},
+		{"unknown assign", func(o *options) { o.matchStage, o.matchAssign = true, "munkres" }, nil, "-assign"},
+		{"unknown match scorer", func(o *options) { o.matchStage, o.matchScorer = true, "tfidf" }, nil, "-match-scorer"},
+		{"match-t out of range", func(o *options) { o.matchStage, o.matchT = true, 1.5 }, nil, "-match-t"},
+		{"match with dirty", func(o *options) { o.matchStage, o.dirty = true, true }, nil, ""},
+		{"match bipartite", func(o *options) {
+			o.matchStage, o.matchAssign, o.matchScorer, o.matchT = true, "bipartite", "levenshtein", 0.9
+		}, nil, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -153,6 +164,15 @@ func TestReplFlagValidation(t *testing.T) {
 		{"proxy with resolver flags", func(o *options) {
 			o.proxy, o.walDir = "http://a,http://b", "store"
 		}, "router"},
+		{"proxy with match", func(o *options) {
+			o.proxy, o.matchStage = "http://a,http://b", true
+		}, "router"},
+		{"dirty follower", func(o *options) {
+			o.walDir, o.follow, o.matchStage, o.dirty = "store", true, true, true
+		}, "drop -dirty"},
+		{"matching follower", func(o *options) {
+			o.walDir, o.follow, o.matchStage = "store", true, true
+		}, ""},
 		{"proxy alone", func(o *options) { o.proxy = "http://a,http://b" }, ""},
 		{"leader with lease and acks", func(o *options) {
 			o.walDir, o.lease, o.replAck = "store", "shared/leader.lease", 1

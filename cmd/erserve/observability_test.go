@@ -99,7 +99,7 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 			resp.Body.Close()
 		}
 		body, _ := json.Marshal(map[string]any{"text": "canon powershot"})
-		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body)) // legacy alias still scrapes into the same series
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
 		if err != nil || resp.StatusCode != http.StatusOK {
 			t.Fatalf("query: %v %v", err, resp)
 		}
@@ -128,6 +128,57 @@ func TestMetricsScrapeEndToEnd(t *testing.T) {
 	if !ok || sum <= 0 {
 		t.Fatalf("insert latency sum = %v ok=%v", sum, ok)
 	}
+}
+
+// TestMetricsScrapeEndToEndMatch boots the daemon with -match -dirty
+// over an ε-join config, drives duplicate inserts and a /v1/match call,
+// and asserts one scrape carries the decision telemetry and the
+// dirty-mode cluster gauges next to the resolver series — the match
+// half of the /metrics contract.
+func TestMetricsScrapeEndToEndMatch(t *testing.T) {
+	o := options{
+		addr: "127.0.0.1:0", method: "epsjoin", schema: "agnostic", model: "C3G",
+		clean: true, k: 3, threshold: 0.3, shards: 1, storage: "memory",
+		matchStage: true, matchAssign: "greedy", matchScorer: "jaro-winkler", matchT: 0.9,
+		dirty:      true,
+		writeQueue: 8, requestTimeout: 10 * time.Second,
+		maxBody: 1 << 20, maxBatch: 64, maxLine: 1 << 16,
+	}
+	samples := scrapeDaemon(t, o, func(base string) {
+		// Two exact duplicates and one distinct entity: the second insert
+		// must union with the first, populating the cluster gauges.
+		for _, text := range []string{
+			"canon powershot a40 zoom digital camera",
+			"canon powershot a40 zoom digital camera",
+			"nikon coolpix 4300 silver",
+		} {
+			body, _ := json.Marshal(map[string]any{"text": text})
+			resp, err := http.Post(base+"/v1/entities", "application/json", bytes.NewReader(body))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("insert: %v %v", err, resp)
+			}
+			resp.Body.Close()
+		}
+		body, _ := json.Marshal(map[string]any{"queries": []map[string]any{
+			{"text": "canon powershot a40 zoom digital camera"},
+		}})
+		resp, err := http.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("match: %v %v", err, resp)
+		}
+		resp.Body.Close()
+	})
+
+	mustHave(t, samples, "match_decide_duration_seconds_count", nil, 1)
+	mustHave(t, samples, "match_batches_total", nil, 1)
+	mustHave(t, samples, "match_candidate_pairs_total", nil, 1)
+	mustHave(t, samples, "match_comparisons_total", nil, 1)
+	mustHave(t, samples, "match_decisions_total", nil, 1)
+	mustHave(t, samples, "match_clusters", nil, 1)
+	mustHave(t, samples, "match_clustered_entities", nil, 2)
+	mustHave(t, samples, "match_cluster_max_size", nil, 2)
+	mustHave(t, samples, "online_entities", nil, 3)
+	mustHave(t, samples, "erserve_http_request_duration_seconds_count", map[string]string{"endpoint": "match"}, 1)
 }
 
 // TestMetricsScrapeEndToEndDiskTier is the -storage disk /metrics

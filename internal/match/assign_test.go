@@ -1,0 +1,131 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func totalWeight(es []Edge) float64 {
+	var w float64
+	for _, e := range es {
+		w += e.Score
+	}
+	return w
+}
+
+// validMatching asserts one-to-one use of both endpoint sets and that
+// every output edge exists in the input.
+func validMatching(t *testing.T, in, out []Edge) {
+	t.Helper()
+	have := map[Edge]bool{}
+	for _, e := range in {
+		have[e] = true
+	}
+	usedQ := map[int]bool{}
+	usedID := map[int64]bool{}
+	for _, e := range out {
+		if !have[e] {
+			t.Fatalf("assignment invented edge %+v", e)
+		}
+		if usedQ[e.Q] || usedID[e.ID] {
+			t.Fatalf("assignment reused an endpoint: %+v", e)
+		}
+		usedQ[e.Q], usedID[e.ID] = true, true
+	}
+}
+
+// bruteForceMax computes the maximum-weight matching by exhaustive
+// recursion — the oracle for small graphs.
+func bruteForceMax(es []Edge) float64 {
+	var rec func(i int, usedQ map[int]bool, usedID map[int64]bool) float64
+	rec = func(i int, usedQ map[int]bool, usedID map[int64]bool) float64 {
+		if i == len(es) {
+			return 0
+		}
+		// Skip edge i.
+		best := rec(i+1, usedQ, usedID)
+		e := es[i]
+		if !usedQ[e.Q] && !usedID[e.ID] {
+			usedQ[e.Q], usedID[e.ID] = true, true
+			if w := e.Score + rec(i+1, usedQ, usedID); w > best {
+				best = w
+			}
+			delete(usedQ, e.Q)
+			delete(usedID, e.ID)
+		}
+		return best
+	}
+	return rec(0, map[int]bool{}, map[int64]bool{})
+}
+
+func TestAssignGreedyUniqueMapping(t *testing.T) {
+	edges := []Edge{
+		{Q: 0, ID: 10, Score: 0.9},
+		{Q: 0, ID: 11, Score: 0.8},
+		{Q: 1, ID: 10, Score: 0.85},
+		{Q: 2, ID: 12, Score: 0.95},
+	}
+	got := Greedy(edges)
+	// Best-first: (2,12) then (0,10); (1,10) and (0,11) reuse endpoints.
+	expect := []Edge{{Q: 2, ID: 12, Score: 0.95}, {Q: 0, ID: 10, Score: 0.9}}
+	if !reflect.DeepEqual(got, expect) {
+		t.Fatalf("greedy picked %+v, want %+v", got, expect)
+	}
+	validMatching(t, edges, got)
+}
+
+func TestAssignBipartiteBeatsGreedyOnContention(t *testing.T) {
+	// Greedy takes (0,a)=0.9 and strands query 1; the optimum pairs
+	// (0,b)=0.8 with (1,a)=0.85.
+	edges := []Edge{
+		{Q: 0, ID: 100, Score: 0.9},
+		{Q: 0, ID: 101, Score: 0.8},
+		{Q: 1, ID: 100, Score: 0.85},
+	}
+	g := Greedy(edges)
+	b := Bipartite(edges)
+	validMatching(t, edges, g)
+	validMatching(t, edges, b)
+	if gw, bw := totalWeight(g), totalWeight(b); !(bw > gw) {
+		t.Fatalf("bipartite weight %v not above greedy %v", bw, gw)
+	}
+	if w := totalWeight(b); w < 1.6499 || w > 1.6501 {
+		t.Fatalf("bipartite total %v, want 1.65", w)
+	}
+}
+
+func TestAssignBipartiteOracleQuick(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 2654435761))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		var edges []Edge
+		for q := 0; q < n; q++ {
+			for c := 0; c < m; c++ {
+				if rng.Intn(3) == 0 {
+					continue // sparse
+				}
+				// Quantized scores force weight ties.
+				s := float64(1+rng.Intn(20)) / 20
+				edges = append(edges, Edge{Q: q, ID: int64(100 + c), Score: s})
+			}
+		}
+		got := Bipartite(edges)
+		validMatching(t, edges, got)
+		want := bruteForceMax(edges)
+		if g := totalWeight(got); g < want-1e-9 || g > want+1e-9 {
+			t.Fatalf("trial %d: bipartite weight %v, brute force %v (edges %+v)", trial, g, want, edges)
+		}
+		if gw := totalWeight(Greedy(edges)); gw > want+1e-9 {
+			t.Fatalf("trial %d: greedy weight %v exceeds optimum %v", trial, gw, want)
+		}
+		// Determinism: a shuffled copy of the same edges decides
+		// identically.
+		shuf := append([]Edge(nil), edges...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		if again := Bipartite(shuf); !reflect.DeepEqual(again, got) {
+			t.Fatalf("trial %d: bipartite not order-independent:\n %+v\n %+v", trial, got, again)
+		}
+	}
+}

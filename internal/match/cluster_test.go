@@ -1,0 +1,49 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClustersCanonicalMinID(t *testing.T) {
+	c := NewClusters()
+	for _, id := range []int64{5, 9, 3, 7} {
+		c.Add(id)
+	}
+	c.Union(9, 5)
+	c.Union(7, 9) // {5,7,9} regardless of union order
+	root, members, ok := c.ClusterOf(7)
+	if !ok || root != 5 {
+		t.Fatalf("ClusterOf(7) = (%d, %v, %v), want root 5", root, members, ok)
+	}
+	if !reflect.DeepEqual(members, []int64{5, 7, 9}) {
+		t.Fatalf("members %v, want [5 7 9]", members)
+	}
+	if root3, _, _ := c.ClusterOf(3); root3 != 3 {
+		t.Fatalf("singleton 3 got root %d", root3)
+	}
+	s := c.Stats()
+	if s.Entities != 4 || s.Clusters != 1 || s.Clustered != 3 || s.MaxSize != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClustersRemoveKeepsRemainder(t *testing.T) {
+	c := NewClusters()
+	c.Union(1, 2)
+	c.Union(2, 3)
+	c.Remove(1) // 1 was the canonical id
+	if _, _, ok := c.ClusterOf(1); ok {
+		t.Fatal("removed id still resolves")
+	}
+	root, members, ok := c.ClusterOf(3)
+	if !ok || root != 2 || !reflect.DeepEqual(members, []int64{2, 3}) {
+		t.Fatalf("after remove: (%d, %v, %v), want (2, [2 3], true)", root, members, ok)
+	}
+	// Re-adding revives the id as part of its old cluster (ids are
+	// never reused upstream; this pins the structure's own contract).
+	c.Add(1)
+	if root, _, _ := c.ClusterOf(3); root != 1 {
+		t.Fatalf("revived cluster root %d, want 1", root)
+	}
+}

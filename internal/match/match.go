@@ -1,0 +1,159 @@
+// Package match turns the resolver's filtered candidates into decided
+// matches — the post-filter stage of the entity-resolution pipeline the
+// paper's filtering benchmark feeds. A Decider scores each (query,
+// candidate) pair with a rule-based similarity, keeps the pairs that
+// reach a decision threshold, and resolves the survivors into a
+// one-to-one matching (clean-clean ER, after Papadakis et al.'s
+// bipartite-graph matching evaluation) — greedily, or by exact
+// maximum-weight bipartite assignment. A Dirty wrapper maintains the
+// transitive closure of decided matches within a single collection
+// (dirty ER): each insert returns its own duplicate cluster, tracked
+// incrementally under the writer lock and rebuilt deterministically
+// after a snapshot load or WAL replay.
+//
+// Everything operates on immutable epoch snapshots, so deciding is as
+// lock-free as querying: a batch is decided against one snapshot, and
+// the sharded scatter-gather path is byte-identical to a single
+// resolver holding the union of the shards (the candidate merge is
+// proven identical upstream, and every stage here is a deterministic
+// function of the candidate lists).
+package match
+
+import (
+	"fmt"
+
+	"erfilter/internal/matching"
+)
+
+// Scorer identifies the pair-local similarity that decides a candidate
+// pair. The corpus-dependent TF-IDF cosine of internal/matching is
+// deliberately absent: a decision must depend only on the two texts, or
+// incremental dirty-ER clusters could not survive replay (the corpus at
+// replay time differs from the corpus at insert time).
+type Scorer int
+
+const (
+	// ScoreJaroWinkler is the default: the Jaro-Winkler similarity,
+	// the customary choice for short entity descriptions.
+	ScoreJaroWinkler Scorer = iota
+	// ScoreJaro is the Jaro similarity without the prefix boost.
+	ScoreJaro
+	// ScoreLevenshtein is the normalized Levenshtein similarity.
+	ScoreLevenshtein
+	// ScoreTokenJaccard is the Jaccard similarity of the token sets.
+	ScoreTokenJaccard
+)
+
+// String implements fmt.Stringer.
+func (s Scorer) String() string {
+	switch s {
+	case ScoreJaroWinkler:
+		return "jaro-winkler"
+	case ScoreJaro:
+		return "jaro"
+	case ScoreLevenshtein:
+		return "levenshtein"
+	case ScoreTokenJaccard:
+		return "token-jaccard"
+	}
+	return "unknown"
+}
+
+// ParseScorer parses a scorer name as spelled by String.
+func ParseScorer(s string) (Scorer, error) {
+	switch s {
+	case "jaro-winkler", "":
+		return ScoreJaroWinkler, nil
+	case "jaro":
+		return ScoreJaro, nil
+	case "levenshtein":
+		return ScoreLevenshtein, nil
+	case "token-jaccard":
+		return ScoreTokenJaccard, nil
+	}
+	return 0, fmt.Errorf("unknown scorer %q (want jaro-winkler, jaro, levenshtein or token-jaccard)", s)
+}
+
+// Sim scores one pair of texts in [0, 1]. Pure and pair-local: the
+// score depends only on the two arguments.
+func (s Scorer) Sim(a, b string) float64 {
+	m := matching.Matcher{Similarity: s.similarity()}
+	return m.Sim(a, b)
+}
+
+func (s Scorer) similarity() matching.Similarity {
+	switch s {
+	case ScoreJaro:
+		return matching.SimJaro
+	case ScoreLevenshtein:
+		return matching.SimLevenshtein
+	case ScoreTokenJaccard:
+		return matching.SimTokenJaccard
+	}
+	return matching.SimJaroWinkler
+}
+
+// Assign identifies the one-to-one assignment algorithm run over the
+// thresholded pair graph.
+type Assign int
+
+const (
+	// AssignGreedy picks edges best-first, skipping any that reuse an
+	// endpoint — Papadakis et al.'s unique-mapping heuristic.
+	AssignGreedy Assign = iota
+	// AssignBipartite computes an exact maximum-weight bipartite
+	// matching over the thresholded edges.
+	AssignBipartite
+)
+
+// String implements fmt.Stringer.
+func (a Assign) String() string {
+	if a == AssignBipartite {
+		return "bipartite"
+	}
+	return "greedy"
+}
+
+// ParseAssign parses an assignment name as spelled by String.
+func ParseAssign(s string) (Assign, error) {
+	switch s {
+	case "greedy", "":
+		return AssignGreedy, nil
+	case "bipartite":
+		return AssignBipartite, nil
+	}
+	return 0, fmt.Errorf("unknown assignment %q (want greedy or bipartite)", s)
+}
+
+// DefaultThreshold is the decision threshold applied when a Config
+// leaves it zero.
+const DefaultThreshold = 0.85
+
+// Config fixes a Decider's scorer, decision threshold and assignment
+// algorithm.
+type Config struct {
+	Scorer    Scorer
+	Threshold float64 // decide a pair when scorer similarity >= this
+	Assign    Assign
+}
+
+// Normalize fills zero values with the defaults.
+func (c Config) Normalize() Config {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	return c
+}
+
+// Validate rejects thresholds outside (0, 1].
+func (c Config) Validate() error {
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("match threshold must be in (0, 1], got %g", c.Threshold)
+	}
+	return nil
+}
+
+// Describe renders the configuration for logs and stats.
+func (c Config) Describe() string {
+	return fmt.Sprintf("%s>=%.2f assign=%s", c.Scorer, c.Threshold, c.Assign)
+}

@@ -266,11 +266,12 @@ func FromTuning(r *tuning.Result, setting entity.SchemaSetting, bestAttribute st
 	return cfg.normalize(), nil
 }
 
-// textOf assembles the indexed/queried text of an entity under the
+// TextOf assembles the indexed/queried text of an entity under the
 // config's schema setting, mirroring entity.NewView, and applies the
 // optional cleaning. Attributes are consumed in slice order, so CSV rows
-// and JSON payloads must present them deterministically.
-func (c Config) textOf(attrs []entity.Attribute) string {
+// and JSON payloads must present them deterministically. Exported so
+// the match stage scores exactly the text the filter indexed.
+func (c Config) TextOf(attrs []entity.Attribute) string {
 	var sb strings.Builder
 	for _, a := range attrs {
 		if a.Value == "" {

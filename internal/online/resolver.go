@@ -3,6 +3,7 @@ package online
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -432,6 +433,36 @@ func (r *Resolver) Len() int {
 	return n
 }
 
+// IDs returns the ids of every resident entity in ascending order,
+// whether it lives in the memtable or a flushed segment. The match
+// stage's dirty-cluster rebuild walks this after a snapshot load or a
+// WAL replay, when insertion order is no longer recoverable.
+func (r *Resolver) IDs() []int64 {
+	r.mu.Lock()
+	ids := make([]int64, 0, len(r.attrs))
+	for id := range r.attrs {
+		ids = append(ids, id)
+	}
+	tier := r.tier
+	r.mu.Unlock()
+	if tier != nil {
+		tier.View().EachLive(func(id int64, _ []entity.Attribute) {
+			ids = append(ids, id)
+		})
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// A freshly replayed WAL can leave an entity both in the memtable
+	// and (as a stale duplicate) in a segment; residency semantics
+	// dedupe them, so the id list must too.
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Close releases the segment tier of a disk-backed resolver (waiting
 // out any background merge and unmapping every segment). Callers must
 // have drained queries; Close on a memory resolver is a no-op.
@@ -568,6 +599,12 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Len returns the number of entities visible to the snapshot.
 func (s *Snapshot) Len() int { return s.count }
+
+// Attrs resolves a candidate id to its stored attributes — the seam the
+// match stage uses to score candidate pairs. The returned slice is the
+// resolver's own storage (never mutated after insert) and must not be
+// modified.
+func (s *Snapshot) Attrs(id int64) ([]entity.Attribute, bool) { return s.getAttrs(id) }
 
 // Query resolves an incoming entity against the snapshot, returning the
 // top candidates best first (ties broken by ascending id). The entity is
@@ -736,7 +773,7 @@ func distinctScores(cs []Candidate) int {
 // path with the effective k once).
 func (s *Snapshot) rawQuery(attrs []entity.Attribute, k int, opt QueryOptions, tr *Trace, res queryRes) []Candidate {
 	begin := time.Now()
-	txt := s.cfg.textOf(attrs)
+	txt := s.cfg.TextOf(attrs)
 	switch s.cfg.Method {
 	case FlatKNN:
 		q := res.emb.Text(txt)

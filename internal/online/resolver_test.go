@@ -270,9 +270,9 @@ func TestSparseQueryMatchesBatchPipeline(t *testing.T) {
 
 			texts := make([]string, len(corpus))
 			for i, s := range corpus {
-				texts[i] = cfg.textOf(attrsText(s))
+				texts[i] = cfg.TextOf(attrsText(s))
 			}
-			c := sparse.BuildCorpus(texts, []string{cfg.textOf(attrsText(query))}, cfg.Model)
+			c := sparse.BuildCorpus(texts, []string{cfg.TextOf(attrsText(query))}, cfg.Model)
 			idx := sparse.NewIndex(c.Sets1, c.NumTokens)
 			var batch []sparse.Neighbor
 			if cfg.Method == EpsJoin {

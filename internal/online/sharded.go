@@ -172,6 +172,17 @@ func (sr *ShardedResolver) Len() int {
 	return total
 }
 
+// IDs returns the ids of every resident entity across all shards in
+// ascending order; see Resolver.IDs.
+func (sr *ShardedResolver) IDs() []int64 {
+	var ids []int64
+	for _, r := range sr.shards {
+		ids = append(ids, r.IDs()...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Snapshot captures the current snapshot of every shard. Each shard's
 // view is immutable and internally consistent; the combined view may
 // straddle concurrent writes to different shards, exactly as two
@@ -380,6 +391,13 @@ func (ss *ShardedSnapshot) Len() int {
 		total += s.Len()
 	}
 	return total
+}
+
+// Attrs resolves a candidate id to its stored attributes via the owning
+// shard — placement is a pure function of (id, shard count), so the
+// lookup touches exactly one shard.
+func (ss *ShardedSnapshot) Attrs(id int64) ([]entity.Attribute, bool) {
+	return ss.shards[shardOf(id, len(ss.shards))].Attrs(id)
 }
 
 // Query resolves an incoming entity against every shard in parallel and

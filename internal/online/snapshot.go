@@ -447,7 +447,7 @@ func readConfig(br *binReader) Config {
 // path). Callers hold mu and guarantee ascending, unused ids.
 func (r *Resolver) addLocked(id int64, attrs []entity.Attribute) {
 	r.attrs[id] = attrs
-	txt := r.cfg.textOf(attrs)
+	txt := r.cfg.TextOf(attrs)
 	var err error
 	if r.sp != nil {
 		err = r.sp.Add(id, r.vocab.Encode(r.cfg.Model.Tokens(txt)))

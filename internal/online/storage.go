@@ -89,7 +89,7 @@ func (r *Resolver) flushLocked() error {
 	ents := make([]segment.Entry, len(ids))
 	for i, id := range ids {
 		attrs := r.attrs[id]
-		txt := r.cfg.textOf(attrs)
+		txt := r.cfg.TextOf(attrs)
 		ents[i] = segment.Entry{ID: id, Attrs: attrs}
 		if r.sp != nil {
 			ents[i].Tokens = r.cfg.Model.Tokens(txt)

@@ -15,9 +15,11 @@ import (
 	"erfilter/internal/online"
 )
 
-// TestRoutingTableVersioned walks the whole route table and checks every
-// endpoint answers identically at its /v1 path and its legacy alias,
-// with the Deprecation and Link headers only on the legacy form.
+// TestRoutingTableVersioned pins the retirement of the pre-/v1 aliases:
+// /v1 is the only serving surface. Every canonical route answers, every
+// retired alias answers 404 in the standard envelope (no Deprecation
+// forwarding, no handler reuse), and the match-stage routes answer 501
+// match_disabled on a server built without the stage.
 func TestRoutingTableVersioned(t *testing.T) {
 	res := online.NewResolver(testConfig())
 	res.Insert([]entity.Attribute{{Name: "name", Value: "canon powershot a540"}})
@@ -27,18 +29,24 @@ func TestRoutingTableVersioned(t *testing.T) {
 	cases := []struct {
 		method, v1 string
 		body       any
+		want       int
 	}{
-		{"POST", "/v1/query", map[string]any{"text": "canon"}},
-		{"POST", "/v1/query/batch", map[string]any{"queries": []map[string]any{{"text": "canon"}}}},
-		{"GET", "/v1/entities/0", nil},
-		{"GET", "/v1/stats", nil},
-		{"GET", "/v1/healthz", nil},
-		{"GET", "/v1/readyz", nil},
-		{"GET", "/v1/metrics", nil},
-		{"GET", "/v1/snapshot", nil},
-		// Error responses ride the same dual registration.
-		{"GET", "/v1/entities/404404", nil},
-		{"DELETE", "/v1/entities/404404", nil},
+		{"POST", "/v1/query", map[string]any{"text": "canon"}, http.StatusOK},
+		{"POST", "/v1/query/batch", map[string]any{"queries": []map[string]any{{"text": "canon"}}}, http.StatusOK},
+		{"POST", "/v1/entities", map[string]any{"text": "nikon coolpix"}, http.StatusOK},
+		{"GET", "/v1/entities/0", nil, http.StatusOK},
+		{"GET", "/v1/stats", nil, http.StatusOK},
+		{"GET", "/v1/healthz", nil, http.StatusOK},
+		{"GET", "/v1/readyz", nil, http.StatusOK},
+		{"GET", "/v1/metrics", nil, http.StatusOK},
+		{"GET", "/v1/snapshot", nil, http.StatusOK},
+		// Match stage not configured on this server: mounted, refused
+		// with a machine-readable 501.
+		{"POST", "/v1/match", map[string]any{"queries": []map[string]any{{"text": "canon"}}}, http.StatusNotImplemented},
+		{"GET", "/v1/clusters/0", nil, http.StatusNotImplemented},
+		// Errors ride the same canonical-only registration.
+		{"GET", "/v1/entities/404404", nil, http.StatusNotFound},
+		{"DELETE", "/v1/entities/404404", nil, http.StatusNotFound},
 	}
 	do := func(method, path string, body any) *http.Response {
 		t.Helper()
@@ -60,44 +68,67 @@ func TestRoutingTableVersioned(t *testing.T) {
 		return resp
 	}
 	for _, c := range cases {
-		legacy := strings.TrimPrefix(c.v1, "/v1")
 		rv1 := do(c.method, c.v1, c.body)
-		rlg := do(c.method, legacy, c.body)
-		if rv1.StatusCode != rlg.StatusCode {
-			t.Errorf("%s %s answered %d but legacy %s answered %d",
-				c.method, c.v1, rv1.StatusCode, legacy, rlg.StatusCode)
-		}
-		if got := rv1.Header.Get("Deprecation"); got != "" {
-			t.Errorf("%s %s: canonical path carries Deprecation=%q", c.method, c.v1, got)
-		}
-		if got := rlg.Header.Get("Deprecation"); got != "true" {
-			t.Errorf("%s %s: legacy path missing Deprecation header (got %q)", c.method, legacy, got)
-		}
-		if link := rlg.Header.Get("Link"); !strings.Contains(link, successorOf(c.v1)) {
-			t.Errorf("%s %s: legacy Link header %q does not point at the successor", c.method, legacy, link)
+		if rv1.StatusCode != c.want {
+			t.Errorf("%s %s answered %d, want %d", c.method, c.v1, rv1.StatusCode, c.want)
 		}
 		rv1.Body.Close()
-		rlg.Body.Close()
-	}
 
-	// Inserts mutate, so exercise the pair sequentially and compare shape.
-	for _, path := range []string{"/v1/entities", "/entities"} {
-		var out struct {
-			IDs []int64 `json:"ids"`
+		// The retired alias is gone: 404 in the envelope, regardless of
+		// what the canonical path answers.
+		legacy := strings.TrimPrefix(c.v1, "/v1")
+		rlg := do(c.method, legacy, c.body)
+		if rlg.StatusCode != http.StatusNotFound {
+			t.Errorf("retired alias %s %s answered %d, want 404", c.method, legacy, rlg.StatusCode)
 		}
-		if code := doJSON(t, "POST", ts.URL+path, map[string]any{"text": "nikon coolpix"}, &out); code != http.StatusOK || len(out.IDs) != 1 {
-			t.Errorf("POST %s: code=%d ids=%v", path, code, out.IDs)
+		if got := rlg.Header.Get("Deprecation"); got != "" {
+			t.Errorf("retired alias %s %s still carries Deprecation=%q", c.method, legacy, got)
 		}
+		var eb errBody
+		if err := json.NewDecoder(rlg.Body).Decode(&eb); err != nil || eb.Error.Code != CodeNotFound {
+			t.Errorf("retired alias %s %s: body not the 404 envelope (err=%v, code=%q)",
+				c.method, legacy, err, eb.Error.Code)
+		}
+		rlg.Body.Close()
 	}
 }
 
-// successorOf returns the route pattern the Link header should carry:
-// concrete path segments map back onto their {id} wildcard form.
-func successorOf(v1 string) string {
-	if strings.HasPrefix(v1, "/v1/entities/") {
-		return "/v1/entities/{id}"
+// TestEnvelopeNoEndpointEscapes walks the full route table and forces an
+// error out of every endpoint (a method the route does not serve), so
+// no endpoint — present or future — can answer a non-2xx outside the
+// JSON envelope without failing this test.
+func TestEnvelopeNoEndpointEscapes(t *testing.T) {
+	res := online.NewResolver(testConfig())
+	s := NewServer(WrapResolver(res), nil, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, rt := range s.routes() {
+		path := strings.ReplaceAll(rt.pattern, "{id}", "1")
+		req, err := http.NewRequest("PATCH", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("PATCH %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("PATCH %s: Content-Type %q, want application/json", path, ct)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, rt.method) {
+			t.Errorf("PATCH %s: Allow %q does not offer %s", path, allow, rt.method)
+		}
+		var eb errBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil ||
+			eb.Error.Code != CodeMethodNotAllowed || eb.Error.Message == "" {
+			t.Errorf("PATCH %s: body not the envelope (err=%v, envelope=%+v)", path, err, eb)
+		}
+		resp.Body.Close()
 	}
-	return v1
 }
 
 // TestErrorEnvelopeEverywhere is the acceptance gate for the /v1 error
@@ -146,15 +177,18 @@ func TestErrorEnvelopeEverywhere(t *testing.T) {
 	check("missing entity", "GET", "/v1/entities/12345", "", http.StatusNotFound, CodeNotFound)
 	check("unknown route", "GET", "/v1/nope", "", http.StatusNotFound, CodeNotFound)
 	check("unknown route legacy", "POST", "/frobnicate", "", http.StatusNotFound, CodeNotFound)
+	// A retired pre-/v1 alias is just an unknown route now.
+	check("retired alias", "POST", "/query", `{"text":"x"}`, http.StatusNotFound, CodeNotFound)
+	check("retired alias method", "PUT", "/entities/3", "", http.StatusNotFound, CodeNotFound)
 
 	// Method mismatch on a known path: 405 with Allow, in the envelope.
 	hdr := check("method mismatch", "GET", "/v1/query", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	if allow := hdr.Get("Allow"); !strings.Contains(allow, "POST") {
 		t.Fatalf("405 Allow header = %q, want POST", allow)
 	}
-	hdr = check("method mismatch legacy", "PUT", "/entities/3", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	hdr = check("method mismatch entity", "PUT", "/v1/entities/3", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	if allow := hdr.Get("Allow"); !strings.Contains(allow, "GET") || !strings.Contains(allow, "DELETE") {
-		t.Fatalf("legacy 405 Allow header = %q, want GET and DELETE", allow)
+		t.Fatalf("405 Allow header = %q, want GET and DELETE", allow)
 	}
 
 	// Draining: write refusal and readyz both carry the code.

@@ -214,20 +214,19 @@ func (p *Proxy) readTargets() []*replica {
 	return out
 }
 
-// isRead classifies a request: queries, entity gets and snapshots fan
-// out across replicas; everything else — writes, failover, replication
-// traffic — goes to the leader.
+// isRead classifies a request: queries, match decisions, entity gets
+// and snapshots fan out across replicas; everything else — writes,
+// failover, replication traffic — goes to the leader.
 func isRead(r *http.Request) bool {
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		return path != "/v1/wal" && path != "/wal"
+		return path != "/v1/wal"
 	}
 	if r.Method != http.MethodPost {
 		return false
 	}
 	switch path {
-	case "/v1/query", "/v1/query/batch", "/query", "/query/batch",
-		"/v1/resolve/stream", "/resolve/stream":
+	case "/v1/query", "/v1/query/batch", "/v1/match", "/v1/resolve/stream":
 		return true
 	}
 	return false
@@ -236,9 +235,8 @@ func isRead(r *http.Request) bool {
 // isStream reports whether the request is the NDJSON resolve stream,
 // which must pipe through unbuffered in both directions.
 func isStream(r *http.Request) bool {
-	path := strings.TrimSuffix(r.URL.Path, "/")
 	return r.Method == http.MethodPost &&
-		(path == "/v1/resolve/stream" || path == "/resolve/stream")
+		strings.TrimSuffix(r.URL.Path, "/") == "/v1/resolve/stream"
 }
 
 // hopHeaders are the hop-by-hop headers of RFC 9110 §7.6.1 (plus the

@@ -35,6 +35,7 @@ type replResolver struct{ n *repl.Node }
 
 func (a replResolver) Config() online.Config                   { return a.n.Resolver().Config() }
 func (a replResolver) Len() int                                { return a.n.Resolver().Len() }
+func (a replResolver) IDs() []int64                            { return a.n.Resolver().IDs() }
 func (a replResolver) Get(id int64) ([]entity.Attribute, bool) { return a.n.Resolver().Get(id) }
 func (a replResolver) Save(w io.Writer) error                  { return a.n.Resolver().Save(w) }
 func (a replResolver) Snapshot() Snapshot                      { return a.n.Resolver().Snapshot() }

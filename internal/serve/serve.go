@@ -10,9 +10,9 @@
 //
 //	{"error":{"code":"<machine readable>","message":"<human readable>"}}
 //
-// Legacy unversioned routes (e.g. /query for /v1/query) answer
-// identically through the same instrumented handler, plus a
-// Deprecation header and a Link to the successor path.
+// The pre-/v1 unversioned aliases (e.g. /query for /v1/query) are
+// retired: they answer 404 in the standard envelope like any unknown
+// path. /v1 is the only serving surface.
 package serve
 
 import (
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"erfilter/internal/entity"
+	"erfilter/internal/match"
 	"erfilter/internal/metrics"
 	"erfilter/internal/online"
 	"erfilter/internal/query"
@@ -37,12 +38,15 @@ import (
 )
 
 // Snapshot is the immutable query surface of one published epoch —
-// satisfied by both *online.Snapshot and *online.ShardedSnapshot.
+// satisfied by both *online.Snapshot and *online.ShardedSnapshot. Its
+// method set is a superset of match.Snapshot, so any serve.Snapshot
+// feeds the match stage directly.
 type Snapshot interface {
 	Epoch() uint64
 	Len() int
 	QueryTraced(attrs []entity.Attribute, opt online.QueryOptions) ([]online.Candidate, online.Trace)
 	QueryBatch(batch [][]entity.Attribute, opt online.QueryOptions) ([][]online.Candidate, online.Trace)
+	Attrs(id int64) ([]entity.Attribute, bool)
 }
 
 // Resolver is the serving surface of a resolver (single or sharded).
@@ -51,6 +55,7 @@ type Snapshot interface {
 type Resolver interface {
 	Config() online.Config
 	Len() int
+	IDs() []int64
 	Get(id int64) ([]entity.Attribute, bool)
 	Save(w io.Writer) error
 	Snapshot() Snapshot
@@ -84,6 +89,7 @@ type singleResolver struct{ r *online.Resolver }
 
 func (a singleResolver) Config() online.Config                   { return a.r.Config() }
 func (a singleResolver) Len() int                                { return a.r.Len() }
+func (a singleResolver) IDs() []int64                            { return a.r.IDs() }
 func (a singleResolver) Get(id int64) ([]entity.Attribute, bool) { return a.r.Get(id) }
 func (a singleResolver) Save(w io.Writer) error                  { return a.r.Save(w) }
 func (a singleResolver) Snapshot() Snapshot                      { return a.r.Snapshot() }
@@ -101,6 +107,7 @@ type shardedResolver struct{ r *online.ShardedResolver }
 
 func (a shardedResolver) Config() online.Config                   { return a.r.Config() }
 func (a shardedResolver) Len() int                                { return a.r.Len() }
+func (a shardedResolver) IDs() []int64                            { return a.r.IDs() }
 func (a shardedResolver) Get(id int64) ([]entity.Attribute, bool) { return a.r.Get(id) }
 func (a shardedResolver) Save(w io.Writer) error                  { return a.r.Save(w) }
 func (a shardedResolver) Snapshot() Snapshot                      { return a.r.Snapshot() }
@@ -160,6 +167,13 @@ const (
 	CodeStaleReplica = "stale_replica"
 	CodeWALTrimmed   = "wal_trimmed"
 	CodeWALDiverged  = "wal_diverged"
+
+	// CodeMatchDisabled answers 501 on the match-stage endpoints
+	// (/v1/match, /v1/clusters/{id}, mode=match streams) of a server
+	// built without Options.Match (or without dirty mode for the
+	// cluster reads). The routes are always mounted so clients get a
+	// machine-readable "not configured" instead of a generic 404.
+	CodeMatchDisabled = "match_disabled"
 )
 
 // Options tune a server; the zero value is production-ready.
@@ -188,6 +202,25 @@ type Options struct {
 	// MaxLine caps one NDJSON input line of /v1/resolve/stream, in
 	// bytes (default DefaultMaxLine).
 	MaxLine int
+	// Match enables the match stage: /v1/match decides one-to-one
+	// matches over the filtered candidates, and with Dirty set,
+	// /v1/entities additionally returns each insert's duplicate
+	// cluster. Nil serves filtering only (the match endpoints answer
+	// 501 match_disabled).
+	Match *MatchOptions
+}
+
+// MatchOptions configure the serving-side match stage.
+type MatchOptions struct {
+	// Config selects the post-filter scorer, decision threshold and
+	// default assignment discipline.
+	Config match.Config
+	// Dirty turns on dirty-ER mode: the collection is treated as one
+	// dirty source, every insert is decided against the pre-insert
+	// snapshot, and the duplicate clusters are maintained incrementally
+	// (and rebuilt from the resolver's state at startup, which is what
+	// makes them survive snapshot load and WAL replay).
+	Dirty bool
 }
 
 // Server wires a resolver (and optionally a durable store) to the HTTP
@@ -198,6 +231,9 @@ type Server struct {
 	store Store      // nil in volatile mode
 	write writer     // store when durable, res otherwise
 	repl  *repl.Node // nil when unreplicated
+
+	matcher *match.Decider // nil unless Options.Match
+	dirty   *match.Dirty   // nil unless Options.Match.Dirty
 
 	admit    chan struct{} // bounded write-admission tokens
 	start    time.Time
@@ -263,6 +299,19 @@ func NewServer(res Resolver, store Store, opt Options) *Server {
 	if store != nil {
 		store.RegisterMetrics(s.reg)
 	}
+	if opt.Match != nil {
+		s.matcher = match.NewDecider(opt.Match.Config, res.Config())
+		s.matcher.RegisterMetrics(s.reg)
+		if opt.Match.Dirty {
+			s.dirty = match.NewDirty(s.matcher)
+			// Recover the cluster state from whatever the resolver holds
+			// (snapshot load, WAL replay): decisions are pair-local, so
+			// the rebuild lands on the same clusters the incremental path
+			// maintained before the restart.
+			s.dirty.Rebuild(res.Snapshot(), res.IDs(), online.QueryOptions{})
+			s.dirty.RegisterMetrics(s.reg)
+		}
+	}
 	return s
 }
 
@@ -274,10 +323,9 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // source) for additional process-level series.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// route is one row of the serving surface. Every endpoint is registered
-// twice: at the canonical /v1 pattern and at the legacy unversioned
-// path, which runs the same instrumented handler plus a Deprecation
-// header pointing at the successor.
+// route is one row of the serving surface, registered only at its
+// canonical /v1 pattern — the pre-/v1 aliases are retired and fall
+// through to the enveloped 404.
 type route struct {
 	method  string
 	pattern string // canonical path under /v1, with {id} wildcards
@@ -299,6 +347,8 @@ func (s *Server) baseRoutes() []route {
 		{"POST", "/v1/query", "query", s.handleQuery, false},
 		{"POST", "/v1/query/batch", "query_batch", s.handleQueryBatch, false},
 		{"POST", "/v1/resolve/stream", "resolve_stream", s.handleResolveStream, true},
+		{"POST", "/v1/match", "match", s.handleMatch, false},
+		{"GET", "/v1/clusters/{id}", "clusters", s.handleCluster, false},
 		{"POST", "/v1/entities", "insert", s.admitWrite(s.handleInsert), false},
 		{"GET", "/v1/entities/{id}", "get", s.handleGet, false},
 		{"DELETE", "/v1/entities/{id}", "delete", s.admitWrite(s.handleDelete), false},
@@ -323,16 +373,10 @@ func (s *Server) Handler() http.Handler {
 	for _, rt := range s.routes() {
 		h := http.Handler(rt.h)
 		if !rt.raw {
-			// Body cap innermost, deadline around it: both the canonical
-			// and the legacy alias read through the same bound.
+			// Body cap innermost, deadline around it.
 			h = timeoutJSON(s.timeout, s.limitBody(h))
 		}
-		// One instrumented handler per endpoint, shared by both paths, so
-		// /query and /v1/query feed the same latency series.
-		inst := s.instrument(rt.name, h)
-		mux.Handle(rt.method+" "+rt.pattern, inst)
-		legacy := strings.TrimPrefix(rt.pattern, "/v1")
-		mux.Handle(rt.method+" "+legacy, deprecated(rt.pattern, inst))
+		mux.Handle(rt.method+" "+rt.pattern, s.instrument(rt.name, h))
 	}
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -489,16 +533,6 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 	})
 }
 
-// deprecated marks a legacy unversioned route: the same handler, plus
-// the Deprecation header (RFC 9745) and a Link to the successor path.
-func deprecated(successor string, h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
-		h.ServeHTTP(w, r)
-	})
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -571,6 +605,33 @@ func (p *entityPayload) attrs(cfg online.Config) ([]entity.Attribute, error) {
 		attrs = append(attrs, entity.Attribute{Name: name, Value: p.Text})
 	}
 	return attrs, nil
+}
+
+// queryBatch validates and converts a request's query list — shared by
+// /v1/query/batch and /v1/match, which accept the same "queries" shape
+// under the same per-request cap. On failure it writes the enveloped
+// 400 itself and returns ok=false.
+func (s *Server) queryBatch(w http.ResponseWriter, queries []entityPayload) ([][]entity.Attribute, bool) {
+	if len(queries) == 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New(`"queries" must not be empty`))
+		return nil, false
+	}
+	if len(queries) > s.maxBatch {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("%d queries exceeds the per-request cap of %d", len(queries), s.maxBatch))
+		return nil, false
+	}
+	cfg := s.res.Config()
+	batch := make([][]entity.Attribute, len(queries))
+	for i := range queries {
+		attrs, err := queries[i].attrs(cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return nil, false
+		}
+		batch[i] = attrs
+	}
+	return batch, true
 }
 
 // defaultQueryLimit caps the serialized candidate list when the request
@@ -667,34 +728,13 @@ func applyWhere(src string, opt *online.QueryOptions, limit int) (newLimit int, 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		entityPayload
-		K        int     `json:"k"`
-		Eps      float64 `json:"eps"`
-		Ef       int     `json:"ef"`
-		Approx   *bool   `json:"approx"`
-		Limit    int     `json:"limit"`
-		Where    string  `json:"where"`
-		Trace    bool    `json:"trace"`
-		MinEpoch string  `json:"min_epoch"`
+		requestOptions
 	}
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if !s.checkEpoch(w, req.MinEpoch) {
-		return
-	}
-	opt, err := resolveANN(req.Ef, req.Approx)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	limit, err := resolveLimit(req.Limit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	limit, plan, explain, err := applyWhere(req.Where, &opt, limit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+	ro, ok := s.resolveOptions(w, req.requestOptions)
+	if !ok {
 		return
 	}
 	attrs, err := req.attrs(s.res.Config())
@@ -702,13 +742,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	opt.K, opt.Threshold = req.K, req.Eps
 	s.tagEpoch(w)
 	snap := s.res.Snapshot()
-	cands, tr := snap.QueryTraced(attrs, opt)
-	truncated := len(cands) > limit
+	cands, tr := snap.QueryTraced(attrs, ro.opt)
+	truncated := len(cands) > ro.limit
 	if truncated {
-		cands = cands[:limit]
+		cands = cands[:ro.limit]
 	}
 	out := struct {
 		Epoch      uint64     `json:"epoch"`
@@ -719,9 +758,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Trace      *traceJSON `json:"trace,omitempty"`
 	}{
 		Epoch: snap.Epoch(), Entities: snap.Len(),
-		Candidates: candList(cands), Truncated: truncated, Plan: plan,
+		Candidates: candList(cands), Truncated: truncated, Plan: ro.plan,
 	}
-	if req.Trace || explain {
+	if req.Trace || ro.explain {
 		out.Trace = &traceJSON{
 			Epoch:      tr.Epoch,
 			EncodeUS:   tr.Encode.Microseconds(),
@@ -737,60 +776,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // a sharded resolver, paying one scatter for the whole batch).
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Queries  []entityPayload `json:"queries"`
-		K        int             `json:"k"`
-		Eps      float64         `json:"eps"`
-		Ef       int             `json:"ef"`
-		Approx   *bool           `json:"approx"`
-		Limit    int             `json:"limit"`
-		Where    string          `json:"where"`
-		Trace    bool            `json:"trace"`
-		MinEpoch string          `json:"min_epoch"`
+		Queries []entityPayload `json:"queries"`
+		requestOptions
 	}
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if !s.checkEpoch(w, req.MinEpoch) {
+	ro, ok := s.resolveOptions(w, req.requestOptions)
+	if !ok {
 		return
 	}
-	opt, err := resolveANN(req.Ef, req.Approx)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+	batch, ok := s.queryBatch(w, req.Queries)
+	if !ok {
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New(`"queries" must not be empty`))
-		return
-	}
-	if len(req.Queries) > s.maxBatch {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Errorf("%d queries exceeds the per-request cap of %d", len(req.Queries), s.maxBatch))
-		return
-	}
-	limit, err := resolveLimit(req.Limit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	limit, plan, explain, err := applyWhere(req.Where, &opt, limit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	cfg := s.res.Config()
-	batch := make([][]entity.Attribute, len(req.Queries))
-	for i := range req.Queries {
-		attrs, err := req.Queries[i].attrs(cfg)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("query %d: %w", i, err))
-			return
-		}
-		batch[i] = attrs
-	}
-	opt.K, opt.Threshold = req.K, req.Eps
 	s.tagEpoch(w)
 	snap := s.res.Snapshot()
-	results, tr := snap.QueryBatch(batch, opt)
+	results, tr := snap.QueryBatch(batch, ro.opt)
 	type result struct {
 		Candidates []candJSON `json:"candidates"`
 		Truncated  bool       `json:"truncated,omitempty"`
@@ -801,15 +803,15 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Results  []result   `json:"results"`
 		Plan     string     `json:"plan,omitempty"`
 		Trace    *traceJSON `json:"trace,omitempty"`
-	}{Epoch: snap.Epoch(), Entities: snap.Len(), Results: make([]result, len(results)), Plan: plan}
+	}{Epoch: snap.Epoch(), Entities: snap.Len(), Results: make([]result, len(results)), Plan: ro.plan}
 	for i, cands := range results {
-		truncated := len(cands) > limit
+		truncated := len(cands) > ro.limit
 		if truncated {
-			cands = cands[:limit]
+			cands = cands[:ro.limit]
 		}
 		out.Results[i] = result{Candidates: candList(cands), Truncated: truncated}
 	}
-	if req.Trace || explain {
+	if req.Trace || ro.explain {
 		out.Trace = &traceJSON{
 			Epoch:      tr.Epoch,
 			EncodeUS:   tr.Encode.Microseconds(),
@@ -847,6 +849,28 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 	} else if err := add(&req.entityPayload); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if s.dirty != nil {
+		// Dirty-ER mode: each entity is decided against the pre-insert
+		// snapshot and folded into the duplicate clusters, so the
+		// response can name its own cluster.
+		decs, err := s.dirty.InsertBatch(s.write,
+			func() match.Snapshot { return s.res.Snapshot() }, batch, online.QueryOptions{})
+		if err != nil {
+			s.writeWriteError(w, err)
+			return
+		}
+		ids := make([]int64, len(decs))
+		results := make([]insertResultJSON, len(decs))
+		for i, d := range decs {
+			ids[i] = d.ID
+			results[i] = insertResultJSON{ID: d.ID, Cluster: d.Cluster, Matches: decList(d.Matches)}
+		}
+		s.tagEpoch(w)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ids": ids, "epoch": s.res.Snapshot().Epoch(), "results": results,
+		})
 		return
 	}
 	ids, err := s.write.InsertBatch(batch)
@@ -901,6 +925,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("entity %d not resident", id))
 		return
+	}
+	if s.dirty != nil {
+		s.dirty.Delete(id)
 	}
 	s.tagEpoch(w)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "epoch": s.res.Snapshot().Epoch()})
@@ -960,6 +987,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		out["store"] = s.store.Stats()
 	}
+	if s.matcher != nil {
+		out["match"] = s.matcher.Stats()
+	}
+	if s.dirty != nil {
+		out["clusters"] = s.dirty.Stats()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -1013,12 +1046,11 @@ func (s *Server) handleUnknown(w http.ResponseWriter, r *http.Request) {
 	writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
 }
 
-// allowedMethods reports which methods the route table serves at path
-// (canonical or legacy form).
+// allowedMethods reports which methods the route table serves at path.
 func (s *Server) allowedMethods(path string) []string {
 	var allow []string
 	for _, rt := range s.routes() {
-		if pathMatches(rt.pattern, path) || pathMatches(strings.TrimPrefix(rt.pattern, "/v1"), path) {
+		if pathMatches(rt.pattern, path) {
 			allow = append(allow, rt.method)
 		}
 	}

@@ -24,6 +24,13 @@ package serve
 // Candidate arrays are serialized exactly as /v1/query/batch serializes
 // them, so a feed streamed here and the same queries batched there are
 // byte-identical per record.
+//
+// With ?mode=match the stream runs the match stage instead of raw
+// candidate retrieval: each resolve batch is decided one-to-one by the
+// configured scorer, the result lines carry decided matches
+// ({"i":N,"matches":[{"query":...,"id":...,"score":...}]}), and the
+// budget= / top= / assign= parameters tune each decided batch. The
+// summary then also reports total matches and scorer comparisons.
 
 import (
 	"bufio"
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"erfilter/internal/entity"
+	"erfilter/internal/match"
 )
 
 // streamQuantum is the rolling per-batch deadline of the resolve
@@ -63,14 +71,26 @@ type streamError struct {
 	} `json:"error"`
 }
 
-// streamSummary is the final line of every response stream.
+// streamMatch is one decided record of a mode=match stream: the
+// record's decided matches (at most one under one-to-one assignment)
+// and whether the batch it rode in ran out of comparison budget.
+type streamMatch struct {
+	I         int       `json:"i"`
+	Matches   []decJSON `json:"matches"`
+	Exhausted bool      `json:"exhausted,omitempty"`
+}
+
+// streamSummary is the final line of every response stream. Matches
+// and Comparisons are populated by mode=match.
 type streamSummary struct {
-	Done    bool   `json:"done"`
-	Records int    `json:"records"`
-	Results int    `json:"results"`
-	Errors  int    `json:"errors"`
-	Epoch   uint64 `json:"epoch"`
-	Plan    string `json:"plan,omitempty"`
+	Done        bool   `json:"done"`
+	Records     int    `json:"records"`
+	Results     int    `json:"results"`
+	Errors      int    `json:"errors"`
+	Epoch       uint64 `json:"epoch"`
+	Plan        string `json:"plan,omitempty"`
+	Matches     int    `json:"matches,omitempty"`
+	Comparisons int    `json:"comparisons,omitempty"`
 }
 
 // streamParams validates the URL query parameters of a resolve stream —
@@ -102,54 +122,46 @@ func floatParam(qp url.Values, name string) (float64, error) {
 
 func (s *Server) handleResolveStream(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
-	k, err := intParam(qp, "k")
+	mode := qp.Get("mode")
+	switch mode {
+	case "", "resolve", "match":
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf(`bad mode: %q (want "resolve" or "match")`, mode))
+		return
+	}
+	if mode == "match" && !s.checkMatch(w) {
+		return
+	}
+	reqOpt, err := optionsFromURL(qp)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	eps, err := floatParam(qp, "eps")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+	ro, ok := s.resolveOptions(w, reqOpt)
+	if !ok {
 		return
 	}
-	ef, err := intParam(qp, "ef")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	var approx *bool
-	if v := qp.Get("approx"); v != "" {
-		b, err := strconv.ParseBool(v)
+	opt, limit, plan := ro.opt, ro.limit, ro.plan
+	var mreq match.Request
+	massign := match.Assign(-1)
+	if mode == "match" {
+		budget, err := intParam(qp, "budget")
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad approx: %q", v))
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
-		approx = &b
+		top, err := intParam(qp, "top")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		p := matchParams{Budget: budget, Top: top, Assign: qp.Get("assign")}
+		if mreq, massign, ok = p.resolve(w); !ok {
+			return
+		}
+		mreq.Opt = opt
 	}
-	opt, err := resolveANN(ef, approx)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	reqLimit, err := intParam(qp, "limit")
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	limit, err := resolveLimit(reqLimit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	limit, plan, _, err := applyWhere(qp.Get("where"), &opt, limit)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	if !s.checkEpoch(w, qp.Get("min_epoch")) {
-		return
-	}
-	opt.K, opt.Threshold = k, eps
 
 	cfg := s.res.Config()
 	rc := http.NewResponseController(w)
@@ -173,12 +185,14 @@ func (s *Server) handleResolveStream(w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(make([]byte, 0, min(64<<10, s.maxLine)), s.maxLine)
 
 	var (
-		batch   [][]entity.Attribute
-		idx     []int // record index of each pending batch entry
-		records int
-		results int
-		errs    int
-		epoch   uint64
+		batch       [][]entity.Attribute
+		idx         []int // record index of each pending batch entry
+		records     int
+		results     int
+		errs        int
+		epoch       uint64
+		matches     int
+		comparisons int
 	)
 	emitErr := func(i int, code, msg string) {
 		var e streamError
@@ -195,15 +209,36 @@ func (s *Server) handleResolveStream(w http.ResponseWriter, r *http.Request) {
 		if len(batch) > 0 {
 			snap := s.res.Snapshot()
 			epoch = snap.Epoch()
-			rs, _ := snap.QueryBatch(batch, opt)
-			for j, cands := range rs {
-				truncated := len(cands) > limit
-				if truncated {
-					cands = cands[:limit]
+			if mode == "match" {
+				// Decide the batch: one line per record with its decided
+				// match (one-to-one within the batch), in input order. The
+				// comparison budget and top-N cut apply per decided batch.
+				res := s.matcher.DecideBatch(snap, batch, mreq, massign)
+				perQ := make([][]decJSON, len(batch))
+				for _, d := range res.Decisions {
+					perQ[d.Query] = append(perQ[d.Query], decJSON{Query: d.Query, ID: d.ID, Score: d.Score})
 				}
-				enc.Encode(streamResult{I: idx[j], Candidates: candList(cands), Truncated: truncated})
+				for j := range batch {
+					ms := perQ[j]
+					if ms == nil {
+						ms = []decJSON{}
+					}
+					enc.Encode(streamMatch{I: idx[j], Matches: ms, Exhausted: res.Exhausted})
+				}
+				matches += len(res.Decisions)
+				comparisons += res.Comparisons
+				results += len(batch)
+			} else {
+				rs, _ := snap.QueryBatch(batch, opt)
+				for j, cands := range rs {
+					truncated := len(cands) > limit
+					if truncated {
+						cands = cands[:limit]
+					}
+					enc.Encode(streamResult{I: idx[j], Candidates: candList(cands), Truncated: truncated})
+				}
+				results += len(rs)
 			}
-			results += len(rs)
 			batch, idx = batch[:0], idx[:0]
 		}
 		if err := bw.Flush(); err != nil {
@@ -262,7 +297,10 @@ func (s *Server) handleResolveStream(w http.ResponseWriter, r *http.Request) {
 	if epoch == 0 {
 		epoch = s.res.Snapshot().Epoch()
 	}
-	enc.Encode(streamSummary{Done: true, Records: records, Results: results, Errors: errs, Epoch: epoch, Plan: plan})
+	enc.Encode(streamSummary{
+		Done: true, Records: records, Results: results, Errors: errs, Epoch: epoch, Plan: plan,
+		Matches: matches, Comparisons: comparisons,
+	})
 	bw.Flush()
 	rc.Flush()
 }
